@@ -1,0 +1,81 @@
+"""Ablation: signature-table layout — column-first vs row-first (Fig. 8).
+
+The paper adopts the column-first layout because a warp's reads of the
+same signature word for 32 consecutive vertices coalesce into one 128 B
+transaction, while the row-first layout leaves "memory access gaps".
+We measure the filter-phase GLD and time under both layouts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record_report
+from repro.bench.reporting import drop_pct, render_table
+from repro.core.config import GSIConfig
+from repro.core.engine import GSIEngine
+
+
+@pytest.fixture(scope="module")
+def layout_sweep(workloads):
+    out = {}
+    for name, wl in workloads.items():
+        metrics = {}
+        for column_first in (False, True):
+            engine = GSIEngine(
+                wl.graph, GSIConfig(column_first_signatures=column_first))
+            gld = 0
+            ms = 0.0
+            for q in wl.queries:
+                r = engine.filter_only(q)
+                gld += r.counters.labeled_gld.get("filter", 0)
+                ms += r.elapsed_ms
+            n = len(wl.queries)
+            metrics[column_first] = (gld / n, ms / n)
+        out[name] = metrics
+    rows = []
+    for name, m in out.items():
+        rows.append([
+            name, f"{m[False][0]:.0f}", f"{m[True][0]:.0f}",
+            drop_pct(m[False][0], m[True][0]),
+            f"{m[False][1]:.3f}", f"{m[True][1]:.3f}",
+        ])
+    report = render_table(
+        "Ablation: signature table layout (filter phase)",
+        ["dataset", "GLD row-first", "GLD column-first", "drop",
+         "ms row-first", "ms column-first"],
+        rows,
+        note="paper Fig. 8: column-first coalesces one transaction per "
+             "warp per word")
+    record_report("ablation_layout", report)
+    return out
+
+
+def test_column_first_fewer_transactions(layout_sweep):
+    for name, m in layout_sweep.items():
+        assert m[True][0] < m[False][0], name
+
+
+def test_column_first_not_slower(layout_sweep):
+    for name, m in layout_sweep.items():
+        assert m[True][1] <= m[False][1] * 1.01, name
+
+
+def test_results_independent_of_layout(workloads):
+    wl = workloads["enron"]
+    col = GSIEngine(wl.graph, GSIConfig(column_first_signatures=True))
+    row = GSIEngine(wl.graph, GSIConfig(column_first_signatures=False))
+    for q in wl.queries:
+        assert col.match(q).match_set() == row.match(q).match_set()
+
+
+@pytest.mark.parametrize("column_first", [False, True],
+                         ids=["row_first", "column_first"])
+def test_bench_filter_layouts(benchmark, workloads, column_first,
+                              layout_sweep):
+    wl = workloads["gowalla"]
+    engine = GSIEngine(wl.graph,
+                       GSIConfig(column_first_signatures=column_first))
+    q = wl.queries[0]
+    benchmark.pedantic(lambda: engine.filter_only(q), rounds=3,
+                       iterations=1)

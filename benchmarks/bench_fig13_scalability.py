@@ -1,0 +1,81 @@
+"""Figure 13: scalability on the WatDiv series (watdiv10M..100M analogs).
+
+Expected shape: GpSM and GunrockSM curves rise sharply with graph size;
+GSI rises much more slowly; GSI-opt is the flattest and lowest line.
+VF3 / CFL-Match cannot run even the smallest instance at paper scale, so
+only GPU engines appear.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import NUM_QUERIES, QUERY_VERTICES, record_report
+from repro.bench.reporting import render_series
+from repro.bench.runner import baseline_factory, gsi_factory, run_workload
+from repro.bench.workloads import Workload
+from repro.core.config import GSIConfig
+from repro.graph.datasets import watdiv_series
+
+STEPS = 6
+BASE_VERTICES = 400
+
+ENGINES = [
+    ("GpSM", lambda: baseline_factory("gpsm")),
+    ("GunrockSM", lambda: baseline_factory("gunrock")),
+    ("GSI", lambda: gsi_factory(GSIConfig.gsi())),
+    ("GSI-opt", lambda: gsi_factory(GSIConfig.gsi_opt())),
+]
+
+
+@pytest.fixture(scope="module")
+def fig13():
+    graphs = watdiv_series(steps=STEPS, base_vertices=BASE_VERTICES)
+    workloads = [
+        Workload.for_graph(f"watdiv{(i + 1) * 10}M", g,
+                           num_queries=NUM_QUERIES,
+                           query_vertices=QUERY_VERTICES)
+        for i, g in enumerate(graphs)
+    ]
+    series = {ename: [] for ename, _ in ENGINES}
+    for wl in workloads:
+        for ename, make in ENGINES:
+            s = run_workload(make(), wl)
+            series[ename].append(None if s.timed_out else s.avg_ms)
+    xs = [wl.name for wl in workloads]
+    report = render_series(
+        "Figure 13 analog: scalability on the WatDiv series",
+        "dataset", xs, series,
+        y_label="avg query time (ms); paper: GpSM/GunrockSM rise "
+                "sharply, GSI slowly, GSI-opt nearly straight")
+    record_report("fig13_scalability", report)
+    return xs, series
+
+
+def test_gsi_opt_lowest_curve_at_scale(fig13):
+    _, series = fig13
+    last = -1
+    assert series["GSI-opt"][last] is not None
+    for other in ("GpSM", "GunrockSM"):
+        if series[other][last] is not None:
+            assert series["GSI-opt"][last] <= series[other][last] * 1.2
+
+
+def test_edge_join_engines_grow_faster(fig13):
+    """Relative growth of the two-step engines exceeds GSI-opt's."""
+    _, series = fig13
+
+    def growth(vals):
+        pts = [v for v in vals if v is not None]
+        return pts[-1] / pts[0] if len(pts) >= 2 else 1.0
+
+    assert growth(series["GpSM"]) >= growth(series["GSI-opt"]) * 0.8
+
+
+def test_bench_gsi_on_largest_step(benchmark, fig13):
+    graphs = watdiv_series(steps=STEPS, base_vertices=BASE_VERTICES)
+    wl = Workload.for_graph("big", graphs[-1], num_queries=1,
+                            query_vertices=QUERY_VERTICES)
+    engine = gsi_factory(GSIConfig.gsi_opt())(wl.graph)
+    benchmark.pedantic(lambda: engine.match(wl.queries[0]), rounds=2,
+                       iterations=1)

@@ -1,0 +1,82 @@
+"""Figure 14: vary the number of vertex / edge labels (gowalla analog).
+
+Expected shape: run time falls as either label count grows; the
+vertex-label curve falls faster initially (candidate sets shrink
+directly) then flattens; edge labels keep paying off by shrinking
+N(v, l).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import NUM_QUERIES, QUERY_VERTICES, record_report
+from repro.bench.reporting import render_series
+from repro.bench.runner import gsi_factory, run_workload
+from repro.bench.workloads import Workload
+from repro.core.config import GSIConfig
+from repro.graph.generators import scale_free_graph
+
+VERTEX_LABEL_COUNTS = [2, 4, 8, 16, 32]
+EDGE_LABEL_COUNTS = [4, 8, 16, 32, 64]
+BASE_LV = 8
+BASE_LE = 8
+N_VERTICES = 1200
+
+
+def run_point(num_vlabels, num_elabels):
+    g = scale_free_graph(N_VERTICES, 6, num_vlabels, num_elabels, seed=11)
+    wl = Workload.for_graph("gowalla-var", g, num_queries=NUM_QUERIES,
+                            query_vertices=QUERY_VERTICES)
+    s = run_workload(gsi_factory(GSIConfig.gsi_opt()), wl)
+    return None if s.timed_out else s.avg_ms
+
+
+@pytest.fixture(scope="module")
+def fig14():
+    vertex_curve = [run_point(k, BASE_LE) for k in VERTEX_LABEL_COUNTS]
+    edge_curve = [run_point(BASE_LV, k) for k in EDGE_LABEL_COUNTS]
+    report = render_series(
+        "Figure 14 analog: vary vertex / edge label counts",
+        "#labels (vertex: 2-32, edge: 4-64)",
+        [f"{v}/{e}" for v, e in zip(VERTEX_LABEL_COUNTS,
+                                    EDGE_LABEL_COUNTS)],
+        {"vertex labels": vertex_curve, "edge labels": edge_curve},
+        y_label="avg query ms; paper: both fall, vertex-label curve "
+                "drops sharper then flattens")
+    record_report("fig14_labels", report)
+    return vertex_curve, edge_curve
+
+
+def _first_finite(curve):
+    return next(v for v in curve if v is not None)
+
+
+def test_more_vertex_labels_not_slower(fig14):
+    vertex_curve, _ = fig14
+    assert vertex_curve[-1] is not None
+    assert vertex_curve[-1] <= _first_finite(vertex_curve) * 1.05
+
+
+def test_more_edge_labels_not_slower(fig14):
+    _, edge_curve = fig14
+    assert edge_curve[-1] is not None
+    assert edge_curve[-1] <= _first_finite(edge_curve) * 1.05
+
+
+def test_bench_few_labels(benchmark, fig14):
+    g = scale_free_graph(N_VERTICES, 6, 2, BASE_LE, seed=11)
+    wl = Workload.for_graph("few", g, num_queries=1,
+                            query_vertices=QUERY_VERTICES)
+    engine = gsi_factory(GSIConfig.gsi_opt())(g)
+    benchmark.pedantic(lambda: engine.match(wl.queries[0]), rounds=2,
+                       iterations=1)
+
+
+def test_bench_many_labels(benchmark, fig14):
+    g = scale_free_graph(N_VERTICES, 6, 32, BASE_LE, seed=11)
+    wl = Workload.for_graph("many", g, num_queries=1,
+                            query_vertices=QUERY_VERTICES)
+    engine = gsi_factory(GSIConfig.gsi_opt())(g)
+    benchmark.pedantic(lambda: engine.match(wl.queries[0]), rounds=2,
+                       iterations=1)

@@ -1,0 +1,87 @@
+"""Figure 15: vary |E(Q)| at fixed |V(Q)|=12, then vary |V(Q)| at
+|E(Q)| ~ 2|V(Q)|.
+
+Expected shape: extra edges cost little (and eventually *help* by
+pruning); extra vertices cost more (one join iteration each) with the
+rise slowing for large queries (fewer matches per iteration).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import NUM_QUERIES, record_report
+from repro.bench.reporting import render_series
+from repro.bench.runner import gsi_factory, run_workload
+from repro.bench.workloads import Workload
+from repro.core.config import GSIConfig
+from repro.graph.datasets import gowalla_like
+
+EDGE_EXTRAS = [0, 2, 4, 6, 8]          # |E(Q)| = 11 + extra
+VERTEX_COUNTS = [8, 9, 10, 11, 12, 13, 14, 15]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gowalla_like()
+
+
+@pytest.fixture(scope="module")
+def fig15_edges(graph):
+    times = []
+    for extra in EDGE_EXTRAS:
+        wl = Workload.for_graph("gowalla", graph,
+                                num_queries=NUM_QUERIES,
+                                query_vertices=12, extra_edges=extra)
+        times.append(run_workload(gsi_factory(GSIConfig.gsi_opt()),
+                                  wl).avg_ms)
+    report = render_series(
+        "Figure 15a analog: vary |E(Q)| at |V(Q)|=12",
+        "extra edges", EDGE_EXTRAS, {"GSI-opt": times},
+        y_label="avg query ms; paper: slow rise, small drop once edges "
+                "add pruning power")
+    record_report("fig15_edges", report)
+    return times
+
+
+@pytest.fixture(scope="module")
+def fig15_vertices(graph):
+    times = []
+    for nv in VERTEX_COUNTS:
+        wl = Workload.for_graph("gowalla", graph,
+                                num_queries=NUM_QUERIES,
+                                query_vertices=nv, extra_edges=nv // 2)
+        times.append(run_workload(gsi_factory(GSIConfig.gsi_opt()),
+                                  wl).avg_ms)
+    report = render_series(
+        "Figure 15b analog: vary |V(Q)|",
+        "|V(Q)|", VERTEX_COUNTS, {"GSI-opt": times},
+        y_label="avg query ms; paper: observable rise, slowing after "
+                "|V(Q)| >= 13")
+    record_report("fig15_vertices", report)
+    return times
+
+
+def test_extra_edges_cost_little(fig15_edges):
+    """Processing extra edges is 'marginally not expensive'."""
+    assert max(fig15_edges) <= 3.0 * min(fig15_edges)
+
+
+def test_vertex_growth_observable(fig15_vertices):
+    """More query vertices => more join iterations => more time."""
+    assert fig15_vertices[-1] >= fig15_vertices[0] * 0.8
+
+
+def test_bench_small_query(benchmark, graph, fig15_vertices,
+                           fig15_edges):
+    wl = Workload.for_graph("g", graph, num_queries=1, query_vertices=8)
+    engine = gsi_factory(GSIConfig.gsi_opt())(graph)
+    benchmark.pedantic(lambda: engine.match(wl.queries[0]), rounds=2,
+                       iterations=1)
+
+
+def test_bench_large_query(benchmark, graph, fig15_vertices):
+    wl = Workload.for_graph("g", graph, num_queries=1, query_vertices=15)
+    engine = gsi_factory(GSIConfig.gsi_opt())(graph)
+    benchmark.pedantic(lambda: engine.match(wl.queries[0]), rounds=2,
+                       iterations=1)

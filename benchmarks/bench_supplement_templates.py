@@ -1,0 +1,80 @@
+"""Supplement: template-workload comparison across engines.
+
+The paper evaluates on random-walk queries only; the wider literature
+(TurboISO, CFL-Match) also reports template families.  This supplement
+runs star / path / clique workloads through the CPU engines and GSI,
+demonstrating (a) result agreement on structured shapes and (b) the
+TurboISO extension's NEC advantage on symmetric stars.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record_report
+from repro.bench.reporting import render_table
+from repro.bench.runner import baseline_factory, gsi_factory, run_workload
+from repro.bench.workloads import Workload
+from repro.core.config import GSIConfig
+from repro.graph.datasets import gowalla_like
+from repro.graph.templates import template_workload
+
+TEMPLATES = [("star", 6), ("path", 5), ("clique", 3)]
+ENGINES = [("VF3", lambda: baseline_factory("vf3")),
+           ("TurboISO", lambda: baseline_factory("turbo")),
+           ("GSI-opt", lambda: gsi_factory(GSIConfig.gsi_opt()))]
+
+
+@pytest.fixture(scope="module")
+def template_results():
+    graph = gowalla_like()
+    out = {}
+    for template, size in TEMPLATES:
+        queries = template_workload(graph, template, size, count=3,
+                                    seed=21)
+        wl = Workload(name=template, graph=graph, queries=queries)
+        for ename, make in ENGINES:
+            out[(template, ename)] = run_workload(make(), wl)
+    rows = []
+    for template, size in TEMPLATES:
+        cells = [f"{template}({size})"]
+        for ename, _ in ENGINES:
+            s = out[(template, ename)]
+            cells.append("-" if s.timed_out else f"{s.avg_ms:.3f}")
+        cells.append(out[(template, ENGINES[0][0])].total_matches)
+        rows.append(cells)
+    report = render_table(
+        "Supplement: template workloads (gowalla analog)",
+        ["template"] + [e for e, _ in ENGINES] + ["matches"],
+        rows,
+        note="avg ms; TurboISO's NEC merging targets the symmetric "
+             "star family")
+    record_report("supplement_templates", report)
+    return out
+
+
+def test_engines_agree_on_templates(template_results):
+    for template, _ in TEMPLATES:
+        counts = {
+            template_results[(template, ename)].total_matches
+            for ename, _ in ENGINES
+            if not template_results[(template, ename)].timed_out
+        }
+        assert len(counts) == 1, template
+
+
+def test_turbo_not_slower_than_vf3_on_stars(template_results):
+    star_turbo = template_results[("star", "TurboISO")]
+    star_vf3 = template_results[("star", "VF3")]
+    if star_turbo.total_matches > 100:
+        assert star_turbo.avg_ms <= star_vf3.avg_ms * 1.1
+
+
+@pytest.mark.parametrize("template,size", TEMPLATES,
+                         ids=[t for t, _ in TEMPLATES])
+def test_bench_templates_gsi(benchmark, template, size, template_results):
+    graph = gowalla_like()
+    queries = template_workload(graph, template, size, count=1, seed=5)
+    engine = gsi_factory(GSIConfig.gsi_opt())(graph)
+    benchmark.pedantic(lambda: engine.match(queries[0]), rounds=2,
+                       iterations=1)

@@ -1,0 +1,83 @@
+"""Table VI: the join-phase technique chain GSI- -> +DS -> +PC -> +SO.
+
+For every dataset: join-phase global-memory load transactions (GLD) and
+query response time, adding one technique at a time.  Expected shape:
+each step drops GLD; +PC's speedup stays below 2x (it can at most halve
+the work); +SO gives the largest wins on match-heavy datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record_report
+from repro.bench.reporting import drop_pct, render_table, speedup
+from repro.bench.runner import gsi_factory, run_workload
+from repro.core.config import GSIConfig
+
+CHAIN = [("GSI-", GSIConfig.baseline()),
+         ("+DS", GSIConfig.with_ds()),
+         ("+PC", GSIConfig.with_pc()),
+         ("+SO", GSIConfig.gsi())]
+
+
+@pytest.fixture(scope="module")
+def table6(workloads):
+    out = {}
+    for name, wl in workloads.items():
+        out[name] = [
+            (label, run_workload(gsi_factory(cfg), wl))
+            for label, cfg in CHAIN
+        ]
+    rows = []
+    for name, chain in out.items():
+        row = [name]
+        prev = None
+        for label, s in chain:
+            row.append(f"{s.avg_join_gld:.0f}")
+            if prev is not None:
+                row.append(drop_pct(prev.avg_join_gld, s.avg_join_gld))
+            prev = s
+        prev = None
+        for label, s in chain:
+            row.append(f"{s.avg_ms:.2f}")
+            if prev is not None:
+                row.append(speedup(prev.avg_ms, s.avg_ms))
+            prev = s
+        rows.append(row)
+    headers = (["dataset", "GLD GSI-", "GLD +DS", "drop", "GLD +PC",
+                "drop", "GLD +SO", "drop", "ms GSI-", "ms +DS",
+                "speedup", "ms +PC", "speedup", "ms +SO", "speedup"])
+    report = render_table(
+        "Table VI analog: join-phase techniques", headers, rows,
+        note="paper: DS ~30% GLD drop / ~2x; PC >=21% / <=2x; "
+             "SO ~40% / up to 6.3x")
+    record_report("table6_join_techniques", report)
+    return out
+
+
+def test_matches_invariant_across_chain(table6):
+    for name, chain in table6.items():
+        counts = {s.total_matches for _, s in chain}
+        assert len(counts) == 1, name
+
+
+def test_gld_monotonically_drops(table6):
+    for name, chain in table6.items():
+        glds = [s.avg_join_gld for _, s in chain]
+        assert glds == sorted(glds, reverse=True), name
+
+
+def test_pc_speedup_below_two(table6):
+    for name, chain in table6.items():
+        ds, pc = chain[1][1], chain[2][1]
+        assert ds.avg_ms / pc.avg_ms < 2.2, name
+
+
+@pytest.mark.parametrize("label,cfg", CHAIN, ids=[c[0] for c in CHAIN])
+def test_bench_chain_on_watdiv(benchmark, watdiv_workload, label, cfg,
+                               table6):
+    factory = gsi_factory(cfg)
+    engine = factory(watdiv_workload.graph)
+    q = watdiv_workload.queries[0]
+    benchmark.pedantic(lambda: engine.match(q), rounds=2, iterations=1)

@@ -1,0 +1,73 @@
+"""Table VII: the write cache — GST transactions and time, on vs off.
+
+Expected shape: GST drops everywhere; datasets with plentiful matches
+(WatDiv / DBpedia analogs) show the biggest drops and time gains, while
+match-poor datasets barely move (the paper's gowalla/road rows).
+"""
+
+from __future__ import annotations
+
+import pytest
+from dataclasses import replace
+
+from conftest import record_report
+from repro.bench.reporting import drop_pct, render_table
+from repro.bench.runner import gsi_factory, run_workload
+from repro.core.config import GSIConfig
+
+
+@pytest.fixture(scope="module")
+def table7(workloads):
+    out = {}
+    for name, wl in workloads.items():
+        no_cache = run_workload(
+            gsi_factory(replace(GSIConfig.gsi(), use_write_cache=False)),
+            wl)
+        cache = run_workload(gsi_factory(GSIConfig.gsi()), wl)
+        out[name] = (no_cache, cache)
+    rows = []
+    for name, (nc, c) in out.items():
+        rows.append([
+            name, f"{nc.avg_gst:.0f}", f"{c.avg_gst:.0f}",
+            drop_pct(nc.avg_gst, c.avg_gst),
+            f"{nc.avg_ms:.2f}", f"{c.avg_ms:.2f}",
+            drop_pct(nc.avg_ms, c.avg_ms),
+        ])
+    report = render_table(
+        "Table VII analog: write cache",
+        ["dataset", "GST no-cache", "GST cache", "drop",
+         "ms no-cache", "ms cache", "drop"],
+        rows,
+        note="paper drops: GST 7-64%, time 0-76%; biggest where "
+             "matches are plentiful")
+    record_report("table7_write_cache", report)
+    return out
+
+
+def test_cache_never_increases_gst(table7):
+    for name, (nc, c) in table7.items():
+        assert c.avg_gst <= nc.avg_gst, name
+
+
+def test_results_unchanged(table7):
+    for name, (nc, c) in table7.items():
+        assert nc.total_matches == c.total_matches, name
+
+
+def test_match_heavy_datasets_gain_most(table7):
+    drops = {
+        name: 1.0 - (c.avg_gst / max(nc.avg_gst, 1e-9))
+        for name, (nc, c) in table7.items()
+    }
+    matches = {name: c.total_matches for name, (_, c) in table7.items()}
+    heavy = max(matches, key=matches.get)
+    light = min(matches, key=matches.get)
+    assert drops[heavy] >= drops[light] - 0.05
+
+
+@pytest.mark.parametrize("cache", [False, True], ids=["no_cache", "cache"])
+def test_bench_write_cache(benchmark, watdiv_workload, cache, table7):
+    cfg = replace(GSIConfig.gsi(), use_write_cache=cache)
+    engine = gsi_factory(cfg)(watdiv_workload.graph)
+    q = watdiv_workload.queries[0]
+    benchmark.pedantic(lambda: engine.match(q), rounds=2, iterations=1)

@@ -1,0 +1,100 @@
+"""Table IX: tuning W1 (layer-1 load-balance threshold) on WatDiv.
+
+Expected shape: U-curve — too small W1 launches too many dedicated
+kernels, too large W1 leaves giant tasks unbalanced; the paper's best
+value is 4096.
+"""
+
+from __future__ import annotations
+
+import pytest
+from dataclasses import replace
+
+from conftest import record_report
+from repro.bench.reporting import render_table
+from repro.bench.runner import gsi_factory, run_workload
+from repro.core.config import GSIConfig
+
+W1_VALUES = [2048, 3072, 4096, 5120, 6144]
+
+
+@pytest.fixture(scope="module")
+def table9(watdiv_workload):
+    times = {}
+    for w1 in W1_VALUES:
+        cfg = replace(GSIConfig.with_lb(), w1=w1)
+        times[w1] = run_workload(gsi_factory(cfg), watdiv_workload).avg_ms
+    report = render_table(
+        "Table IX analog: tuning of W1 (WatDiv)",
+        ["W1"] + [str(w) for w in W1_VALUES],
+        [["time (ms)"] + [f"{times[w]:.2f}" for w in W1_VALUES]],
+        note="paper row: 2.00K 1.44K 1.30K 2.51K 3.73K (best at 4096)")
+    record_report("table9_tune_w1", report)
+    return times
+
+
+@pytest.fixture(scope="module")
+def synthetic_w1():
+    """Paper-scale task-bag sweep through the real 4-layer splitter.
+
+    At our reduced graph scale no neighbor list reaches W1 (hub degree
+    ~300 vs W1 >= 2048), so the end-to-end sweep is flat; this isolates
+    the mechanism at the workload skew the paper tunes against: a
+    power-law bag with tasks well beyond W1.
+    """
+    import numpy as np
+
+    from repro.core.load_balance import balanced_makespan
+    from repro.gpusim.scheduler import LoadBalanceConfig
+
+    rng = np.random.default_rng(11)
+    units = (rng.pareto(1.2, size=4000) * 300.0 + 10.0).tolist()
+    # A couple of hub-monster rows (the DBpedia 2.2M-degree vertex of
+    # Table III): these are what layer 1 exists for.
+    units += [2_000_000.0, 3_000_000.0]
+    sweep = [1100, 2048, 4096, 16384, 65536, 10_000_000]
+    times = {}
+    for w1 in sweep:
+        cfg = LoadBalanceConfig(w1=w1)
+        times[w1] = balanced_makespan(units, cfg, slots=960)
+    report = render_table(
+        "Table IX supplement: wide W1 sweep on a paper-scale synthetic "
+        "bag",
+        ["W1"] + [str(w) for w in sweep],
+        [["makespan (cycles)"] + [f"{times[w]:.0f}" for w in sweep]],
+        note="both failure modes: small W1 over-launches dedicated "
+             "kernels, huge W1 leaves giants unsplit; the tuned region "
+             "sits between (exact optimum depends on launch-latency "
+             "constants)")
+    record_report("table9_tune_w1_synthetic", report)
+    return times
+
+
+def test_synthetic_w1_u_shape(synthetic_w1):
+    """Some interior value must beat both extremes (a U exists)."""
+    times = synthetic_w1
+    keys = sorted(times)
+    interior_best = min(times[k] for k in keys[1:-1])
+    assert interior_best <= times[keys[0]]
+    assert interior_best <= times[keys[-1]]
+
+
+def test_all_w1_produce_same_result(watdiv_workload):
+    counts = set()
+    for w1 in (W1_VALUES[0], W1_VALUES[-1]):
+        cfg = replace(GSIConfig.with_lb(), w1=w1)
+        counts.add(run_workload(gsi_factory(cfg),
+                                watdiv_workload).total_matches)
+    assert len(counts) == 1
+
+
+def test_times_finite(table9):
+    assert all(t > 0 for t in table9.values())
+
+
+@pytest.mark.parametrize("w1", [2048, 4096, 6144])
+def test_bench_w1(benchmark, watdiv_workload, w1, table9, synthetic_w1):
+    cfg = replace(GSIConfig.with_lb(), w1=w1)
+    engine = gsi_factory(cfg)(watdiv_workload.graph)
+    q = watdiv_workload.queries[0]
+    benchmark.pedantic(lambda: engine.match(q), rounds=2, iterations=1)

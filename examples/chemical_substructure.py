@@ -1,0 +1,129 @@
+"""Chemical substructure search (the paper's first motivating
+application, citing graph-indexing work on compound databases).
+
+Molecules are labeled graphs: vertex labels are elements, edge labels
+are bond types.  Substructure search — "which compounds contain this
+functional group?" — is subgraph isomorphism per compound.
+
+Run:  python examples/chemical_substructure.py
+"""
+
+from repro import GraphBuilder, GSIConfig, GSIEngine
+
+# element labels
+C, O, N, H = 0, 1, 2, 3
+ELEMENT = {C: "C", O: "O", N: "N", H: "H"}
+# bond labels
+SINGLE, DOUBLE, AROMATIC = 0, 1, 2
+
+
+def ethanol():
+    """CH3-CH2-OH (hydrogens omitted except the hydroxyl)."""
+    b = GraphBuilder()
+    c1, c2, o = b.add_vertices([C, C, O])
+    h = b.add_vertex(H)
+    b.add_edge(c1, c2, SINGLE)
+    b.add_edge(c2, o, SINGLE)
+    b.add_edge(o, h, SINGLE)
+    return b.build()
+
+
+def acetic_acid():
+    """CH3-COOH: carbonyl plus hydroxyl on the same carbon."""
+    b = GraphBuilder()
+    c1, c2, o1, o2 = b.add_vertices([C, C, O, O])
+    h = b.add_vertex(H)
+    b.add_edge(c1, c2, SINGLE)
+    b.add_edge(c2, o1, DOUBLE)   # C=O
+    b.add_edge(c2, o2, SINGLE)   # C-O
+    b.add_edge(o2, h, SINGLE)    # O-H
+    return b.build()
+
+
+def acetamide():
+    """CH3-CO-NH2: carbonyl with an amine."""
+    b = GraphBuilder()
+    c1, c2, o, n = b.add_vertices([C, C, O, N])
+    b.add_edge(c1, c2, SINGLE)
+    b.add_edge(c2, o, DOUBLE)
+    b.add_edge(c2, n, SINGLE)
+    return b.build()
+
+
+def benzene():
+    """Aromatic six-ring."""
+    b = GraphBuilder()
+    ring = b.add_vertices([C] * 6)
+    for i in range(6):
+        b.add_edge(ring[i], ring[(i + 1) % 6], AROMATIC)
+    return b.build()
+
+
+def hydroxyl_group():
+    """-O-H attached to any carbon."""
+    b = GraphBuilder()
+    c, o, h = b.add_vertices([C, O, H])
+    b.add_edge(c, o, SINGLE)
+    b.add_edge(o, h, SINGLE)
+    return b.build()
+
+
+def carbonyl_group():
+    """C=O."""
+    b = GraphBuilder()
+    c, o = b.add_vertices([C, O])
+    b.add_edge(c, o, DOUBLE)
+    return b.build()
+
+
+def carboxyl_group():
+    """-COOH: carbonyl and hydroxyl on one carbon."""
+    b = GraphBuilder()
+    c, o1, o2, h = b.add_vertices([C, O, O, H])
+    b.add_edge(c, o1, DOUBLE)
+    b.add_edge(c, o2, SINGLE)
+    b.add_edge(o2, h, SINGLE)
+    return b.build()
+
+
+def main() -> None:
+    compounds = {
+        "ethanol": ethanol(),
+        "acetic acid": acetic_acid(),
+        "acetamide": acetamide(),
+        "benzene": benzene(),
+    }
+    groups = {
+        "hydroxyl (-OH)": hydroxyl_group(),
+        "carbonyl (C=O)": carbonyl_group(),
+        "carboxyl (-COOH)": carboxyl_group(),
+    }
+
+    print(f"{'compound':<14}" + "".join(f"{g:<20}" for g in groups))
+    expected = {
+        ("ethanol", "hydroxyl (-OH)"): True,
+        ("ethanol", "carbonyl (C=O)"): False,
+        ("ethanol", "carboxyl (-COOH)"): False,
+        ("acetic acid", "hydroxyl (-OH)"): True,
+        ("acetic acid", "carbonyl (C=O)"): True,
+        ("acetic acid", "carboxyl (-COOH)"): True,
+        ("acetamide", "hydroxyl (-OH)"): False,
+        ("acetamide", "carbonyl (C=O)"): True,
+        ("acetamide", "carboxyl (-COOH)"): False,
+        ("benzene", "hydroxyl (-OH)"): False,
+        ("benzene", "carbonyl (C=O)"): False,
+        ("benzene", "carboxyl (-COOH)"): False,
+    }
+    for cname, compound in compounds.items():
+        engine = GSIEngine(compound, GSIConfig.gsi())
+        row = [f"{cname:<14}"]
+        for gname, group in groups.items():
+            found = engine.match(group).num_matches > 0
+            assert found == expected[(cname, gname)], (cname, gname)
+            row.append(f"{'yes' if found else '-':<20}")
+        print("".join(row))
+    print("\nall containment answers verified against chemistry")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Knowledge-graph pattern search (the paper's DBpedia motivation).
+
+Subgraph isomorphism is the core of SPARQL basic-graph-pattern matching
+over RDF: vertices are entities typed by vertex labels, predicates are
+edge labels.  This example builds a DBpedia-like synthetic knowledge
+graph and runs star and path patterns of the kind a SPARQL engine
+(e.g. gStore) would dispatch to a subgraph matcher.
+
+Run:  python examples/knowledge_graph_search.py
+"""
+
+from repro import GraphBuilder, GSIConfig, GSIEngine
+from repro.graph.datasets import dbpedia_like
+from repro.graph.generators import random_walk_query
+
+
+def star_pattern(center_label: int, spokes, edge_labels):
+    """A star query: one center connected to len(spokes) neighbors."""
+    b = GraphBuilder()
+    center = b.add_vertex(center_label)
+    for spoke_label, elab in zip(spokes, edge_labels):
+        s = b.add_vertex(spoke_label)
+        b.add_edge(center, s, elab)
+    return b.build()
+
+
+def main() -> None:
+    graph = dbpedia_like()
+    print(f"knowledge graph: {graph.num_vertices} entities, "
+          f"{graph.num_edges} triples, "
+          f"{len(graph.distinct_edge_labels())} predicates")
+
+    engine = GSIEngine(graph, GSIConfig.gsi_opt())
+
+    # --- Star pattern: an entity with two specific predicates ---
+    # (like SPARQL: ?x p0 ?a . ?x p1 ?b)
+    vlabels = graph.distinct_vertex_labels()
+    elabels = graph.distinct_edge_labels()
+    star = star_pattern(vlabels[0], [vlabels[1], vlabels[2]],
+                        [elabels[0], elabels[1]])
+    r = engine.match(star)
+    print(f"star pattern: {r.num_matches} bindings in "
+          f"{r.elapsed_ms:.3f} simulated ms "
+          f"(min candidate set {r.min_candidate_size})")
+
+    # --- Realistic patterns sampled from the graph itself ---
+    for size in (4, 6, 8):
+        query = random_walk_query(graph, size, seed=size)
+        r = engine.match(query)
+        print(f"{size}-vertex walk pattern: {r.num_matches:6d} bindings "
+              f"in {r.elapsed_ms:8.3f} simulated ms "
+              f"(join order {r.join_order})")
+
+    # --- The same pattern through the edge-oriented GpSM baseline ---
+    from repro.baselines import GpSMEngine
+
+    query = random_walk_query(graph, 6, seed=6)
+    gsi_r = engine.match(query)
+    gpsm_r = GpSMEngine(graph).match(query)
+    assert gsi_r.match_set() == gpsm_r.match_set()
+    print(f"cross-check vs GpSM: both find {gsi_r.num_matches} bindings; "
+          f"GSI {gsi_r.elapsed_ms:.3f} ms vs GpSM "
+          f"{gpsm_r.elapsed_ms:.3f} ms (two-step output scheme)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""GSI: GPU-friendly Subgraph Isomorphism (ICDE 2020) — reproduction.
+
+Public API quickstart::
+
+    from repro import GSIEngine, GSIConfig, datasets, random_walk_query
+
+    graph = datasets.gowalla_like()
+    query = random_walk_query(graph, num_vertices=8, seed=1)
+    engine = GSIEngine(graph, GSIConfig.gsi_opt())
+    result = engine.match(query)
+    print(result.num_matches, result.elapsed_ms)
+"""
+
+from repro.core.config import GSIConfig
+from repro.core.engine import GSIEngine
+from repro.core.result import MatchResult
+from repro.core.verify import is_valid_embedding, verify_all
+from repro.graph import datasets
+from repro.graph.generators import query_workload, random_walk_query
+from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
+from repro.query import TripleStore, run_pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GSIConfig",
+    "GSIEngine",
+    "MatchResult",
+    "is_valid_embedding",
+    "verify_all",
+    "datasets",
+    "query_workload",
+    "random_walk_query",
+    "GraphBuilder",
+    "LabeledGraph",
+    "TripleStore",
+    "run_pattern",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Baseline engines: CPU (Ullmann, VF3-style, CFL-Match-style) and GPU
+(GpSM, GunrockSM), all producing the same match sets as GSI."""
+
+from repro.baselines.cfl import CFLMatchEngine, cfl_decompose, two_core
+from repro.baselines.edge_join import EdgeJoinCostProfile, EdgeJoinEngine
+from repro.baselines.gpsm import GpSMEngine
+from repro.baselines.gunrock_sm import GunrockSMEngine
+from repro.baselines.turbo_iso import TurboISOEngine, leaf_equivalence_classes
+from repro.baselines.ullmann import UllmannEngine
+from repro.baselines.vf2 import VF2Engine
+
+__all__ = [
+    "TurboISOEngine",
+    "leaf_equivalence_classes",
+    "CFLMatchEngine",
+    "cfl_decompose",
+    "two_core",
+    "EdgeJoinCostProfile",
+    "EdgeJoinEngine",
+    "GpSMEngine",
+    "GunrockSMEngine",
+    "UllmannEngine",
+    "VF2Engine",
+]

@@ -1,0 +1,57 @@
+"""Shared machinery for the CPU baselines (VF3, CFL-Match, Ullmann).
+
+The paper measures CPU engines by wall time on a Xeon E5-2697; we replace
+that with a deterministic operation-count cost model
+(:func:`repro.gpusim.constants.cpu_ops_to_ms`).  Every candidate trial,
+edge probe, and refinement step increments the counter; engines convert
+the total to simulated milliseconds, and a budget turns "exceeds the 100 s
+threshold" (Figure 12) into a deterministic timeout.
+
+A real wall-clock guard is also applied: pure-Python backtracking can be
+slower than the simulated CPU, so runaway searches abort and report a
+timeout rather than hanging the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.errors import BudgetExceeded
+from repro.gpusim.constants import CPU_CLOCK_GHZ, CPU_CYCLES_PER_OP, cpu_ops_to_ms
+
+_CHECK_EVERY = 4096
+
+
+class OpCounter:
+    """Counts basic operations and enforces simulated + wall budgets."""
+
+    def __init__(self, budget_ms: Optional[float] = None,
+                 wall_budget_s: Optional[float] = None) -> None:
+        self.ops = 0
+        self._op_budget: Optional[int] = None
+        if budget_ms is not None:
+            self._op_budget = int(
+                budget_ms * CPU_CLOCK_GHZ * 1e6 / CPU_CYCLES_PER_OP)
+        self._wall_budget_s = wall_budget_s
+        self._wall_start = time.monotonic()
+        self._since_check = 0
+
+    def add(self, n: int = 1) -> None:
+        """Record ``n`` operations; raises on budget exhaustion."""
+        self.ops += n
+        if self._op_budget is not None and self.ops > self._op_budget:
+            raise BudgetExceeded(
+                f"CPU op budget exhausted at {self.elapsed_ms:.1f} ms")
+        self._since_check += n
+        if (self._wall_budget_s is not None
+                and self._since_check >= _CHECK_EVERY):
+            self._since_check = 0
+            if time.monotonic() - self._wall_start > self._wall_budget_s:
+                raise BudgetExceeded(
+                    f"wall-clock guard tripped after {self.ops} ops")
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Simulated CPU milliseconds for the counted operations."""
+        return cpu_ops_to_ms(self.ops)

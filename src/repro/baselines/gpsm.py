@@ -1,0 +1,38 @@
+"""GpSM (Tran, Kim, He — DASFAA 2015): the first strong GPU matcher.
+
+Filtering: label + degree, then a refinement pass that requires every
+surviving candidate to carry all of the query vertex's incident edge
+labels (Section I / VIII describe GpSM's "filter candidates and join
+them" strategy).  Joining: edge-oriented with the two-step output scheme,
+implemented in :mod:`repro.baselines.edge_join`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.baselines.edge_join import EdgeJoinCostProfile, EdgeJoinEngine
+from repro.core.filtering import label_degree_candidates
+from repro.graph.labeled_graph import LabeledGraph
+from repro.gpusim.device import Device
+
+
+class GpSMEngine(EdgeJoinEngine):
+    """GpSM on the simulated device."""
+
+    name = "GpSM"
+
+    def __init__(self, graph: LabeledGraph, **kwargs) -> None:
+        super().__init__(graph, **kwargs)
+        self.profile = EdgeJoinCostProfile(
+            candidate_probe_gld=2,
+            batched_intermediate_writes=True,
+            extra_pass_ops_per_row=0,
+        )
+
+    def _filter(self, query: LabeledGraph,
+                device: Device) -> Dict[int, np.ndarray]:
+        return label_degree_candidates(query, self.graph, device,
+                                       check_neighbor_labels=True)

@@ -1,0 +1,42 @@
+"""GunrockSM (Wang, Wang, Owens — HPDC 2016): subgraph matching on the
+Gunrock frontier library.
+
+Filtering: node label + degree only (Table IV's "GSM" column shows its
+candidate sets are the loosest).  Joining: the same edge-oriented
+two-step join as GpSM, but through Gunrock's generic filter/advance
+pipeline — frontier elements are materialized individually (unbatched
+intermediate writes) with extra per-row frontier bookkeeping, while each
+membership probe is slightly cheaper thanks to Gunrock's tuned advance
+kernels.  The paper finds "no clear winner" between GpSM and GunrockSM;
+the differing cost profile reproduces that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.baselines.edge_join import EdgeJoinCostProfile, EdgeJoinEngine
+from repro.core.filtering import label_degree_candidates
+from repro.graph.labeled_graph import LabeledGraph
+from repro.gpusim.device import Device
+
+
+class GunrockSMEngine(EdgeJoinEngine):
+    """GunrockSM on the simulated device."""
+
+    name = "GunrockSM"
+
+    def __init__(self, graph: LabeledGraph, **kwargs) -> None:
+        super().__init__(graph, **kwargs)
+        self.profile = EdgeJoinCostProfile(
+            candidate_probe_gld=1,
+            batched_intermediate_writes=False,
+            extra_pass_ops_per_row=8,
+        )
+
+    def _filter(self, query: LabeledGraph,
+                device: Device) -> Dict[int, np.ndarray]:
+        return label_degree_candidates(query, self.graph, device,
+                                       check_neighbor_labels=False)

@@ -1,0 +1,215 @@
+"""A TurboISO-style CPU engine (Han, Lee, Lee — SIGMOD 2013).
+
+TurboISO's headline idea (Section VIII of the GSI paper: "TurboISO
+merges similar query nodes") is the **Neighborhood Equivalence Class
+(NEC)**: query vertices that are interchangeable — same label, same
+neighborhood — are merged into one representative with a multiplicity,
+so the search explores the shared candidate pool *once* and expands
+combinations at the end instead of backtracking through every
+permutation of equivalent vertices.
+
+This implementation merges the dominant NEC case (degree-1 leaves that
+share their parent set, vertex label, and edge labels — the case
+TurboISO's own examples center on) and otherwise searches like the VF
+engine, so the comparison isolates the NEC effect.  Included as a
+related-work extension beyond the paper's evaluated baselines.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.baselines.cpu_base import OpCounter
+from repro.core.result import MatchResult
+from repro.errors import BudgetExceeded
+from repro.graph.labeled_graph import LabeledGraph
+
+NecKey = Tuple[int, FrozenSet[Tuple[int, int]]]
+
+
+def leaf_equivalence_classes(query: LabeledGraph) -> List[List[int]]:
+    """Group degree-1 query vertices into NECs.
+
+    Two leaves are equivalent iff they carry the same vertex label and
+    attach to the same parent through the same edge label; matching one
+    of them is then symmetric with matching the other.
+    """
+    classes: Dict[NecKey, List[int]] = {}
+    for u in range(query.num_vertices):
+        if query.degree(u) != 1:
+            continue
+        signature = frozenset(
+            (int(w), int(lab)) for w, lab in
+            zip(query.neighbors(u), query.incident_labels(u)))
+        key = (query.vertex_label(u), signature)
+        classes.setdefault(key, []).append(u)
+    return [members for members in classes.values()]
+
+
+class TurboISOEngine:
+    """Sequential TurboISO-style matcher with NEC leaf merging."""
+
+    name = "TurboISO"
+
+    def __init__(self, graph: LabeledGraph,
+                 budget_ms: Optional[float] = None,
+                 wall_budget_s: Optional[float] = 10.0) -> None:
+        self.graph = graph
+        self.budget_ms = budget_ms
+        self.wall_budget_s = wall_budget_s
+        self._by_label: Dict[int, np.ndarray] = {}
+        labels = graph.vertex_labels
+        for lab in np.unique(labels):
+            self._by_label[int(lab)] = np.nonzero(labels == lab)[0]
+
+    # ------------------------------------------------------------------
+
+    def _matching_order(self, query: LabeledGraph,
+                        class_of: Dict[int, List[int]]) -> List[int]:
+        """Connected rarity-first order over the *rewritten* query
+        (non-leaf vertices plus one representative per NEC).
+
+        Multi-member representatives sort last among ties: their pool
+        should be anchored by an already-matched parent, never scanned
+        label-wide (a label-wide pool would be permuted m-fold).
+        """
+        keep = set(class_of)
+        keep.update(u for u in range(query.num_vertices)
+                    if query.degree(u) != 1)
+
+        def rarity(u: int) -> float:
+            pool = len(self._by_label.get(query.vertex_label(u), ()))
+            return pool / max(1, query.degree(u))
+
+        def key(u: int):
+            multi = len(class_of.get(u, [u])) > 1
+            return (multi, rarity(u), u)
+
+        start = min(keep, key=key)
+        order = [start]
+        chosen = {start}
+        while len(order) < len(keep):
+            frontier = [
+                u for u in keep if u not in chosen
+                and any(int(w) in chosen for w in query.neighbors(u))
+            ]
+            if not frontier:
+                frontier = sorted(keep - chosen)
+            nxt = min(frontier, key=key)
+            order.append(nxt)
+            chosen.add(nxt)
+        return order
+
+    def match(self, query: LabeledGraph) -> MatchResult:
+        """All embeddings; NEC leaf pools expand combinatorially at the
+        end instead of being backtracked through."""
+        ops = OpCounter(self.budget_ms, self.wall_budget_s)
+        result = MatchResult(engine=self.name)
+        graph = self.graph
+        matches: List[tuple] = []
+
+        nec_classes = leaf_equivalence_classes(query)
+        class_of: Dict[int, List[int]] = {}
+        rep_of: Dict[int, int] = {}
+        for members in nec_classes:
+            rep = min(members)
+            class_of[rep] = members
+            for member in members:
+                rep_of[member] = rep
+
+        order = self._matching_order(query, class_of)
+        result.join_order = order
+        pos_of = {u: i for i, u in enumerate(order)}
+
+        def placed_before(w: int, i: int) -> bool:
+            """Whether query vertex w (possibly a non-representative NEC
+            member, which is assigned together with its representative)
+            is matched before position i."""
+            anchor = rep_of.get(w, w)
+            return anchor in pos_of and pos_of[anchor] < i
+
+        mapped_nbrs: List[List[tuple]] = []
+        for i, u in enumerate(order):
+            mapped_nbrs.append([
+                (int(w), int(lab)) for w, lab in
+                zip(query.neighbors(u), query.incident_labels(u))
+                if placed_before(int(w), i)
+            ])
+
+        assigned: Dict[int, int] = {}
+        used: Set[int] = set()
+
+        def candidate_pool(i: int) -> List[int]:
+            u = order[i]
+            prior = mapped_nbrs[i]
+            if prior:
+                w, lab = prior[0]
+                pool = graph.neighbors_by_label(assigned[w], lab)
+            else:
+                pool = self._by_label.get(query.vertex_label(u), ())
+            ops.add(len(pool))
+            out = []
+            for v in pool:
+                v = int(v)
+                if v in used:
+                    continue
+                if graph.vertex_label(v) != query.vertex_label(u):
+                    continue
+                if graph.degree(v) < query.degree(u):
+                    continue
+                ok = True
+                for w, lab in prior[1:] if prior else []:
+                    ops.add(1)
+                    if (not graph.has_edge(assigned[w], v)
+                            or graph.edge_label(assigned[w], v) != lab):
+                        ok = False
+                        break
+                if ok:
+                    out.append(v)
+            return out
+
+        def emit() -> None:
+            matches.append(tuple(
+                assigned[u] for u in range(query.num_vertices)))
+
+        def dfs(i: int) -> None:
+            if i == len(order):
+                emit()
+                return
+            u = order[i]
+            members = class_of.get(u)
+            pool = candidate_pool(i)
+            if members is None or len(members) == 1:
+                for v in pool:
+                    ops.add(1)
+                    assigned[u] = v
+                    used.add(v)
+                    dfs(i + 1)
+                    del assigned[u]
+                    used.remove(v)
+                return
+            # NEC expansion: the pool is found ONCE; each ordered
+            # m-selection instantiates the whole class.
+            m = len(members)
+            if len(pool) < m:
+                return
+            for combo in permutations(pool, m):
+                ops.add(1)
+                for member, v in zip(members, combo):
+                    assigned[member] = v
+                    used.add(v)
+                dfs(i + 1)
+                for member in members:
+                    used.remove(assigned[member])
+                    del assigned[member]
+
+        try:
+            dfs(0)
+            result.matches = matches
+        except BudgetExceeded:
+            result.timed_out = True
+        result.elapsed_ms = ops.elapsed_ms
+        return result

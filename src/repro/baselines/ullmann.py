@@ -1,0 +1,121 @@
+"""Ullmann's algorithm (1976): the original depth-first subgraph matcher.
+
+Candidate matrices per query vertex are refined by the classic rule —
+a candidate ``v`` for ``u`` survives only if every query neighbor of ``u``
+still has some candidate among ``v``'s neighbors — then a depth-first
+search assigns vertices in id order.  Included as the historical baseline
+of the related-work section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.baselines.cpu_base import OpCounter
+from repro.core.result import MatchResult
+from repro.errors import BudgetExceeded
+from repro.graph.labeled_graph import LabeledGraph
+
+
+class UllmannEngine:
+    """Sequential Ullmann matcher with the op-count cost model."""
+
+    name = "Ullmann"
+
+    def __init__(self, graph: LabeledGraph,
+                 budget_ms: Optional[float] = None,
+                 wall_budget_s: Optional[float] = 10.0) -> None:
+        self.graph = graph
+        self.budget_ms = budget_ms
+        self.wall_budget_s = wall_budget_s
+
+    # ------------------------------------------------------------------
+
+    def _initial_candidates(self, query: LabeledGraph,
+                            ops: OpCounter) -> Dict[int, Set[int]]:
+        cands: Dict[int, Set[int]] = {}
+        g = self.graph
+        for u in range(query.num_vertices):
+            ops.add(g.num_vertices)
+            cands[u] = {
+                v for v in range(g.num_vertices)
+                if g.vertex_label(v) == query.vertex_label(u)
+                and g.degree(v) >= query.degree(u)
+            }
+        return cands
+
+    def _refine(self, query: LabeledGraph, cands: Dict[int, Set[int]],
+                ops: OpCounter) -> bool:
+        """Ullmann's refinement to a fixed point; False if a set empties."""
+        changed = True
+        while changed:
+            changed = False
+            for u in range(query.num_vertices):
+                dead = []
+                for v in cands[u]:
+                    for w, lab in zip(query.neighbors(u),
+                                      query.incident_labels(u)):
+                        nbrs = set(
+                            int(x) for x in
+                            self.graph.neighbors_by_label(v, int(lab)))
+                        # Refinement walks the whole neighbor list.
+                        ops.add(max(1, len(nbrs)))
+                        if not (nbrs & cands[int(w)]):
+                            dead.append(v)
+                            break
+                if dead:
+                    changed = True
+                    cands[u] -= set(dead)
+                    if not cands[u]:
+                        return False
+        return True
+
+    # ------------------------------------------------------------------
+
+    def match(self, query: LabeledGraph) -> MatchResult:
+        """All embeddings of ``query`` via refined depth-first search."""
+        ops = OpCounter(self.budget_ms, self.wall_budget_s)
+        result = MatchResult(engine=self.name)
+        matches: List[tuple] = []
+        try:
+            cands = self._initial_candidates(query, ops)
+            result.candidate_sizes = {u: len(c) for u, c in cands.items()}
+            if self._refine(query, cands, ops):
+                assigned: Dict[int, int] = {}
+                used: Set[int] = set()
+
+                def dfs(u: int) -> None:
+                    if u == query.num_vertices:
+                        matches.append(tuple(
+                            assigned[i] for i in range(u)))
+                        return
+                    for v in sorted(cands[u]):
+                        ops.add(1)
+                        if v in used:
+                            continue
+                        ok = True
+                        for w, lab in zip(query.neighbors(u),
+                                          query.incident_labels(u)):
+                            w = int(w)
+                            if w in assigned:
+                                ops.add(1)
+                                if (not self.graph.has_edge(assigned[w], v)
+                                        or self.graph.edge_label(
+                                            assigned[w], v) != int(lab)):
+                                    ok = False
+                                    break
+                        if ok:
+                            assigned[u] = v
+                            used.add(v)
+                            dfs(u + 1)
+                            del assigned[u]
+                            used.remove(v)
+
+                dfs(0)
+            result.matches = matches
+        except BudgetExceeded:
+            result.timed_out = True
+        result.elapsed_ms = ops.elapsed_ms
+        return result

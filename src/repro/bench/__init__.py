@@ -1,0 +1,29 @@
+"""Benchmark harness: workloads, engine runners, paper-style reporting."""
+
+from repro.bench.reporting import drop_pct, render_series, render_table, speedup
+from repro.bench.runner import (
+    DEFAULT_MAX_ROWS,
+    DEFAULT_THRESHOLD_MS,
+    WorkloadSummary,
+    baseline_factory,
+    gsi_factory,
+    run_matrix,
+    run_workload,
+)
+from repro.bench.workloads import Workload, standard_workloads
+
+__all__ = [
+    "drop_pct",
+    "render_series",
+    "render_table",
+    "speedup",
+    "DEFAULT_MAX_ROWS",
+    "DEFAULT_THRESHOLD_MS",
+    "WorkloadSummary",
+    "baseline_factory",
+    "gsi_factory",
+    "run_matrix",
+    "run_workload",
+    "Workload",
+    "standard_workloads",
+]

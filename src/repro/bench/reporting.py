@@ -1,0 +1,68 @@
+"""Text rendering of benchmark results in the paper's table shapes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 note: str = "") -> str:
+    """Fixed-width table matching the paper's presentation style."""
+    cols = len(headers)
+    widths = [len(str(h)) for h in headers]
+    str_rows = []
+    for row in rows:
+        cells = [_fmt(c) for c in row]
+        cells += [""] * (cols - len(cells))
+        str_rows.append(cells)
+        for i, c in enumerate(cells):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} =="]
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for cells in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    if note:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        if value >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_series(title: str, x_label: str, xs: Sequence[object],
+                  series: Dict[str, Sequence[Optional[float]]],
+                  y_label: str = "time (ms)") -> str:
+    """Figure-style output: one row per x, one column per curve."""
+    headers = [x_label] + list(series)
+    rows: List[List[object]] = []
+    for i, x in enumerate(xs):
+        row: List[object] = [x]
+        for name in series:
+            v = series[name][i]
+            row.append("-" if v is None else v)
+        rows.append(row)
+    return render_table(title, headers, rows, note=y_label)
+
+
+def drop_pct(before: float, after: float) -> str:
+    """Percentage drop, rendered like the paper's 'drop' columns."""
+    if before <= 0:
+        return "0%"
+    return f"{100.0 * (before - after) / before:.0f}%"
+
+
+def speedup(before: float, after: float) -> str:
+    """Speedup factor, rendered like the paper's 'speedup' columns."""
+    if after <= 0:
+        return "inf"
+    return f"{before / after:.1f}x"

@@ -1,0 +1,166 @@
+"""Regenerate every paper table/figure in one shot.
+
+Usage::
+
+    python -m repro.bench.run_all [--queries N] [--out DIR]
+
+This is a thin, dependency-free alternative to the pytest benchmark
+suite: it runs the same sweeps the `benchmarks/bench_*.py` files run and
+writes the rendered tables to the output directory (default
+``benchmarks/results/``), printing each to stdout as it completes.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.bench.reporting import drop_pct, render_series, render_table, speedup
+from repro.bench.runner import baseline_factory, gsi_factory, run_workload
+from repro.bench.workloads import Workload, standard_workloads
+from repro.core.config import GSIConfig
+from repro.core.engine import GSIEngine
+
+
+def _emit(out_dir: Path, name: str, text: str) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(text)
+    print()
+
+
+def run_table6(workloads: Dict[str, Workload], out_dir: Path) -> None:
+    chain = [("GSI-", GSIConfig.baseline()), ("+DS", GSIConfig.with_ds()),
+             ("+PC", GSIConfig.with_pc()), ("+SO", GSIConfig.gsi())]
+    rows = []
+    for name, wl in workloads.items():
+        summaries = [run_workload(gsi_factory(cfg), wl)
+                     for _, cfg in chain]
+        row: List[object] = [name]
+        prev = None
+        for s in summaries:
+            row.append(f"{s.avg_join_gld:.0f}")
+            if prev is not None:
+                row.append(drop_pct(prev.avg_join_gld, s.avg_join_gld))
+            prev = s
+        prev = None
+        for s in summaries:
+            row.append(f"{s.avg_ms:.2f}")
+            if prev is not None:
+                row.append(speedup(prev.avg_ms, s.avg_ms))
+            prev = s
+        rows.append(row)
+    headers = ["dataset", "GLD GSI-", "GLD +DS", "drop", "GLD +PC",
+               "drop", "GLD +SO", "drop", "ms GSI-", "ms +DS", "spd",
+               "ms +PC", "spd", "ms +SO", "spd"]
+    _emit(out_dir, "table6_join_techniques",
+          render_table("Table VI analog: join-phase techniques",
+                       headers, rows))
+
+
+def run_table7(workloads: Dict[str, Workload], out_dir: Path) -> None:
+    rows = []
+    for name, wl in workloads.items():
+        nc = run_workload(gsi_factory(
+            replace(GSIConfig.gsi(), use_write_cache=False)), wl)
+        c = run_workload(gsi_factory(GSIConfig.gsi()), wl)
+        rows.append([name, f"{nc.avg_gst:.0f}", f"{c.avg_gst:.0f}",
+                     drop_pct(nc.avg_gst, c.avg_gst),
+                     f"{nc.avg_ms:.2f}", f"{c.avg_ms:.2f}",
+                     drop_pct(nc.avg_ms, c.avg_ms)])
+    _emit(out_dir, "table7_write_cache",
+          render_table("Table VII analog: write cache",
+                       ["dataset", "GST no-cache", "GST cache", "drop",
+                        "ms no-cache", "ms cache", "drop"], rows))
+
+
+def run_table8(workloads: Dict[str, Workload], out_dir: Path) -> None:
+    rows = []
+    for name, wl in workloads.items():
+        base = run_workload(gsi_factory(GSIConfig.gsi()), wl)
+        lb = run_workload(gsi_factory(GSIConfig.with_lb()), wl)
+        dr = run_workload(gsi_factory(GSIConfig.gsi_opt()), wl)
+        rows.append([name, f"{base.avg_ms:.2f}", f"{lb.avg_ms:.2f}",
+                     speedup(base.avg_ms, lb.avg_ms),
+                     f"{dr.avg_ms:.2f}", speedup(lb.avg_ms, dr.avg_ms)])
+    _emit(out_dir, "table8_optimizations",
+          render_table("Table VIII analog: optimizations",
+                       ["dataset", "ms GSI", "ms +LB", "speedup",
+                        "ms +DR", "speedup"], rows))
+
+
+def run_fig12(workloads: Dict[str, Workload], out_dir: Path) -> None:
+    engines = [("VF3", baseline_factory("vf3")),
+               ("CFL-Match", baseline_factory("cfl")),
+               ("GpSM", baseline_factory("gpsm")),
+               ("GunrockSM", baseline_factory("gunrock")),
+               ("GSI", gsi_factory(GSIConfig.gsi())),
+               ("GSI-opt", gsi_factory(GSIConfig.gsi_opt()))]
+    rows = []
+    for wname, wl in workloads.items():
+        cells: List[object] = [wname]
+        for _, factory in engines:
+            s = run_workload(factory, wl)
+            cells.append("-" if s.timed_out else f"{s.avg_ms:.2f}")
+        rows.append(cells)
+    _emit(out_dir, "fig12_overall",
+          render_table("Figure 12 analog: overall comparison (avg ms)",
+                       ["dataset"] + [e for e, _ in engines], rows))
+
+
+def run_table4(workloads: Dict[str, Workload], out_dir: Path) -> None:
+    from repro.core.filtering import label_degree_candidates
+    from repro.gpusim.device import Device
+
+    rows = []
+    for name, wl in workloads.items():
+        gsi = GSIEngine(wl.graph, GSIConfig.gsi())
+        agg = {"GpSM": [0.0, 0.0], "GSM": [0.0, 0.0], "GSI": [0.0, 0.0]}
+        for q in wl.queries:
+            dev = Device()
+            c = label_degree_candidates(q, wl.graph, dev, True)
+            agg["GpSM"][0] += min(len(x) for x in c.values())
+            agg["GpSM"][1] += dev.elapsed_ms
+            dev = Device()
+            c = label_degree_candidates(q, wl.graph, dev, False)
+            agg["GSM"][0] += min(len(x) for x in c.values())
+            agg["GSM"][1] += dev.elapsed_ms
+            r = gsi.filter_only(q)
+            agg["GSI"][0] += r.min_candidate_size
+            agg["GSI"][1] += r.elapsed_ms
+        n = len(wl.queries)
+        rows.append([name] + [f"{agg[k][0] / n:.0f}"
+                              for k in ("GpSM", "GSM", "GSI")]
+                    + [f"{agg[k][1] / n:.3f}"
+                       for k in ("GpSM", "GSM", "GSI")])
+    _emit(out_dir, "table4_filtering",
+          render_table("Table IV analog: filtering strategies",
+                       ["dataset", "minC GpSM", "minC GSM", "minC GSI",
+                        "ms GpSM", "ms GSM", "ms GSI"], rows))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.bench.run_all")
+    parser.add_argument("--queries", type=int, default=3)
+    parser.add_argument("--query-vertices", type=int, default=12)
+    parser.add_argument("--out", default="benchmarks/results")
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out)
+    workloads = standard_workloads(num_queries=args.queries,
+                                   query_vertices=args.query_vertices)
+    run_table4(workloads, out_dir)
+    run_table6(workloads, out_dir)
+    run_table7(workloads, out_dir)
+    run_table8(workloads, out_dir)
+    run_fig12(workloads, out_dir)
+    print(f"tables written to {out_dir}/ — the pytest suite "
+          f"(pytest benchmarks/) additionally covers Tables II, V, "
+          f"IX-XI and Figures 13-15 with shape assertions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,138 @@
+"""Engine runners: execute a workload, average the paper's metrics.
+
+Mirrors the paper's methodology: run every query of a workload, average
+query response time; a simulated-time threshold (the paper uses 100 s)
+marks engines that "show no result" in Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.workloads import Workload
+from repro.core.config import GSIConfig
+from repro.core.engine import GSIEngine
+from repro.core.result import MatchResult
+from repro.baselines import (
+    CFLMatchEngine,
+    GpSMEngine,
+    GunrockSMEngine,
+    TurboISOEngine,
+    UllmannEngine,
+    VF2Engine,
+)
+from repro.graph.labeled_graph import LabeledGraph
+
+#: the paper's Figure 12 cut-off, scaled to our reduced datasets
+DEFAULT_THRESHOLD_MS = 2_000.0
+
+#: safety cap so pure-Python joins cannot blow up the harness
+DEFAULT_MAX_ROWS = 300_000
+
+
+@dataclass
+class WorkloadSummary:
+    """Averaged metrics over one workload for one engine."""
+
+    engine: str
+    dataset: str
+    avg_ms: float = 0.0
+    avg_join_gld: float = 0.0
+    avg_gst: float = 0.0
+    total_matches: int = 0
+    timeouts: int = 0
+    queries: int = 0
+    avg_min_candidates: float = 0.0
+    results: List[MatchResult] = field(default_factory=list)
+
+    @property
+    def timed_out(self) -> bool:
+        """Engine considered failed on this workload (Figure 12 gaps)."""
+        return self.timeouts > self.queries // 2
+
+
+EngineFactory = Callable[[LabeledGraph], object]
+
+
+def gsi_factory(config: Optional[GSIConfig] = None,
+                budget_ms: Optional[float] = DEFAULT_THRESHOLD_MS,
+                max_rows: Optional[int] = DEFAULT_MAX_ROWS) -> EngineFactory:
+    """Factory for GSI engines with harness-level safety limits."""
+    base = config if config is not None else GSIConfig()
+
+    def make(graph: LabeledGraph) -> GSIEngine:
+        from dataclasses import replace
+        cfg = replace(base, budget_ms=budget_ms,
+                      max_intermediate_rows=max_rows)
+        return GSIEngine(graph, cfg)
+
+    return make
+
+
+def baseline_factory(kind: str,
+                     budget_ms: Optional[float] = DEFAULT_THRESHOLD_MS,
+                     max_rows: Optional[int] = DEFAULT_MAX_ROWS,
+                     wall_budget_s: Optional[float] = 15.0) -> EngineFactory:
+    """Factory for one of the named baseline engines."""
+
+    def make(graph: LabeledGraph):
+        if kind == "vf3":
+            return VF2Engine(graph, budget_ms=budget_ms,
+                             wall_budget_s=wall_budget_s)
+        if kind == "cfl":
+            return CFLMatchEngine(graph, budget_ms=budget_ms,
+                                  wall_budget_s=wall_budget_s)
+        if kind == "ullmann":
+            return UllmannEngine(graph, budget_ms=budget_ms,
+                                 wall_budget_s=wall_budget_s)
+        if kind == "turbo":
+            return TurboISOEngine(graph, budget_ms=budget_ms,
+                                  wall_budget_s=wall_budget_s)
+        if kind == "gpsm":
+            return GpSMEngine(graph, budget_ms=budget_ms,
+                              max_intermediate_rows=max_rows)
+        if kind == "gunrock":
+            return GunrockSMEngine(graph, budget_ms=budget_ms,
+                                   max_intermediate_rows=max_rows)
+        raise ValueError(f"unknown engine kind {kind!r}")
+
+    return make
+
+
+def run_workload(factory: EngineFactory, workload: Workload,
+                 engine_label: str = "") -> WorkloadSummary:
+    """Run every query of ``workload`` on a fresh engine, average metrics."""
+    engine = factory(workload.graph)
+    label = engine_label or getattr(engine, "name", "engine")
+    summary = WorkloadSummary(engine=label, dataset=workload.name)
+    total_ms = total_gld = total_gst = total_minc = 0.0
+    for query in workload.queries:
+        result: MatchResult = engine.match(query)
+        summary.results.append(result)
+        summary.queries += 1
+        if result.timed_out:
+            summary.timeouts += 1
+            continue
+        total_ms += result.elapsed_ms
+        total_gld += result.counters.join_gld
+        total_gst += result.counters.gst
+        summary.total_matches += result.num_matches
+        if result.min_candidate_size is not None:
+            total_minc += result.min_candidate_size
+    done = max(1, summary.queries - summary.timeouts)
+    summary.avg_ms = total_ms / done
+    summary.avg_join_gld = total_gld / done
+    summary.avg_gst = total_gst / done
+    summary.avg_min_candidates = total_minc / done
+    return summary
+
+
+def run_matrix(factories: Dict[str, EngineFactory],
+               workloads: Dict[str, Workload]) -> List[WorkloadSummary]:
+    """Cartesian product of engines x workloads (Figure 12 style)."""
+    out: List[WorkloadSummary] = []
+    for wname, workload in workloads.items():
+        for ename, factory in factories.items():
+            out.append(run_workload(factory, workload, engine_label=ename))
+    return out

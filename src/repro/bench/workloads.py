@@ -1,0 +1,64 @@
+"""Benchmark workload definitions (Section VII-A's methodology).
+
+The paper generates 100 random-walk queries per configuration and reports
+the average query time; default query size is ``|V(Q)| = 12``.  At our
+reduced graph scale we default to fewer queries per point (configurable)
+but keep the generation procedure identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.graph.datasets import LOADERS
+from repro.graph.generators import query_workload
+from repro.graph.labeled_graph import LabeledGraph
+
+DEFAULT_QUERY_VERTICES = 12
+DEFAULT_NUM_QUERIES = 5
+DEFAULT_WORKLOAD_SEED = 42
+
+
+@dataclass
+class Workload:
+    """A data graph plus its query set."""
+
+    name: str
+    graph: LabeledGraph
+    queries: List[LabeledGraph] = field(default_factory=list)
+
+    @classmethod
+    def for_dataset(cls, name: str, scale: float = 1.0,
+                    num_queries: int = DEFAULT_NUM_QUERIES,
+                    query_vertices: int = DEFAULT_QUERY_VERTICES,
+                    seed: int = DEFAULT_WORKLOAD_SEED,
+                    extra_edges: int = 0) -> "Workload":
+        """Standard workload for one of the named datasets."""
+        graph = LOADERS[name](scale=scale)
+        queries = query_workload(graph, num_queries, query_vertices,
+                                 seed=seed, extra_edges=extra_edges)
+        return cls(name=name, graph=graph, queries=queries)
+
+    @classmethod
+    def for_graph(cls, name: str, graph: LabeledGraph,
+                  num_queries: int = DEFAULT_NUM_QUERIES,
+                  query_vertices: int = DEFAULT_QUERY_VERTICES,
+                  seed: int = DEFAULT_WORKLOAD_SEED,
+                  extra_edges: int = 0) -> "Workload":
+        """Workload over an explicitly provided graph."""
+        queries = query_workload(graph, num_queries, query_vertices,
+                                 seed=seed, extra_edges=extra_edges)
+        return cls(name=name, graph=graph, queries=queries)
+
+
+def standard_workloads(num_queries: int = DEFAULT_NUM_QUERIES,
+                       query_vertices: int = DEFAULT_QUERY_VERTICES,
+                       scale: float = 1.0) -> Dict[str, Workload]:
+    """One workload per paper dataset, in table order."""
+    return {
+        name: Workload.for_dataset(
+            name, scale=scale, num_queries=num_queries,
+            query_vertices=query_vertices)
+        for name in ("enron", "gowalla", "road", "watdiv", "dbpedia")
+    }

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+
+``datasets``
+    List the built-in dataset stand-ins with their Table III statistics.
+``match``
+    Run one engine on one dataset workload and print per-query results.
+``shootout``
+    Run several engines on the same workload (a mini Figure 12 row).
+
+Examples::
+
+    python -m repro.cli datasets
+    python -m repro.cli match --dataset watdiv --engine gsi-opt --queries 3
+    python -m repro.cli shootout --dataset gowalla --queries 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.reporting import render_table
+from repro.bench.runner import baseline_factory, gsi_factory, run_workload
+from repro.bench.workloads import Workload
+from repro.core.config import GSIConfig
+from repro.graph import datasets
+from repro.graph.stats import graph_stats
+
+ENGINE_CHOICES = ["gsi", "gsi-opt", "gsi-baseline", "vf3", "cfl",
+                  "ullmann", "turbo", "gpsm", "gunrock"]
+
+
+def _engine_factory(name: str):
+    if name == "gsi":
+        return gsi_factory(GSIConfig.gsi())
+    if name == "gsi-opt":
+        return gsi_factory(GSIConfig.gsi_opt())
+    if name == "gsi-baseline":
+        return gsi_factory(GSIConfig.baseline())
+    return baseline_factory(name)
+
+
+def cmd_datasets(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in datasets.all_names():
+        spec = datasets.SPECS[name]
+        s = graph_stats(datasets.load(name))
+        rows.append([name, spec.graph_type, s.num_vertices, s.num_edges,
+                     s.num_vertex_labels, s.num_edge_labels,
+                     s.max_degree, f"{s.mean_degree:.1f}"])
+    print(render_table(
+        "dataset stand-ins (Table III analogs)",
+        ["name", "type", "|V|", "|E|", "|LV|", "|LE|", "MD", "avg deg"],
+        rows,
+        note="paper originals: enron 69K/274K, gowalla 196K/1.9M, "
+             "road 14M/16M, WatDiv 10M/109M, DBpedia 22M/170M"))
+    return 0
+
+
+def cmd_match(args: argparse.Namespace) -> int:
+    wl = Workload.for_dataset(args.dataset, num_queries=args.queries,
+                              query_vertices=args.query_vertices,
+                              seed=args.seed)
+    factory = _engine_factory(args.engine)
+    summary = run_workload(factory, wl, engine_label=args.engine)
+    rows = []
+    for i, r in enumerate(summary.results):
+        rows.append([i, r.num_matches,
+                     "timeout" if r.timed_out else f"{r.elapsed_ms:.3f}",
+                     r.counters.join_gld, r.counters.gst,
+                     r.min_candidate_size])
+    print(render_table(
+        f"{args.engine} on {args.dataset} "
+        f"({args.query_vertices}-vertex queries)",
+        ["query", "matches", "ms", "join GLD", "GST", "min |C(u)|"],
+        rows,
+        note=f"avg {summary.avg_ms:.3f} ms over "
+             f"{summary.queries - summary.timeouts} completed queries"))
+    return 0
+
+
+def cmd_shootout(args: argparse.Namespace) -> int:
+    wl = Workload.for_dataset(args.dataset, num_queries=args.queries,
+                              query_vertices=args.query_vertices,
+                              seed=args.seed)
+    rows = []
+    reference: Optional[int] = None
+    agree = True
+    for engine in args.engines:
+        summary = run_workload(_engine_factory(engine), wl,
+                               engine_label=engine)
+        if summary.timed_out:
+            rows.append([engine, "-", "-", "timeout"])
+            continue
+        if reference is None:
+            reference = summary.total_matches
+        elif summary.total_matches != reference:
+            agree = False
+        rows.append([engine, f"{summary.avg_ms:.3f}",
+                     summary.total_matches,
+                     f"{summary.timeouts}/{summary.queries} timeouts"])
+    print(render_table(
+        f"engine shoot-out on {args.dataset}",
+        ["engine", "avg ms", "matches", "status"],
+        rows,
+        note="all completing engines found the same matches"
+             if agree else "WARNING: match counts disagree!"))
+    return 0 if agree else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="GSI reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list dataset stand-ins")
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", default="gowalla",
+                       choices=datasets.all_names())
+        p.add_argument("--queries", type=int, default=3)
+        p.add_argument("--query-vertices", type=int, default=12)
+        p.add_argument("--seed", type=int, default=42)
+
+    m = sub.add_parser("match", help="run one engine on one workload")
+    add_workload_args(m)
+    m.add_argument("--engine", default="gsi-opt", choices=ENGINE_CHOICES)
+
+    s = sub.add_parser("shootout", help="compare engines on one workload")
+    add_workload_args(s)
+    s.add_argument("--engines", nargs="+", default=["vf3", "gpsm",
+                                                    "gunrock", "gsi-opt"],
+                   choices=ENGINE_CHOICES)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": cmd_datasets,
+        "match": cmd_match,
+        "shootout": cmd_shootout,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

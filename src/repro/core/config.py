@@ -1,0 +1,127 @@
+"""GSI engine configuration: every knob the paper tunes or ablates.
+
+The evaluation section toggles techniques one by one (Tables VI-XI); this
+config makes each toggle explicit so a benchmark is a config sweep:
+
+========================  =======================================
+``use_pcsr``              "+DS"  (PCSR vs traditional CSR, Table VI)
+``use_prealloc_combine``  "+PC"  (vs two-step output scheme, Table VI)
+``use_gpu_set_ops``       "+SO"  (vs one kernel per set op, Table VI)
+``use_write_cache``       write cache ablation (Table VII)
+``use_load_balance``      "+LB"  (4-layer scheme, Tables VIII-X)
+``use_duplicate_removal`` "+DR"  (Alg. 5, Tables VIII and XI)
+``signature_bits``        N      (Table V tunes 64..512)
+``label_bits``            K      (fixed to 32 in the paper)
+``gpn``                   group size of PCSR (16 -> 128 B groups)
+``w1, w3``                load-balance thresholds (Tables IX-X)
+========================  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.gpusim.scheduler import LoadBalanceConfig
+
+
+@dataclass(frozen=True)
+class GSIConfig:
+    """Immutable GSI configuration; see module docstring for the mapping
+    from fields to paper experiments."""
+
+    # --- filtering phase (Section III-A) ---
+    signature_bits: int = 512
+    label_bits: int = 32
+    column_first_signatures: bool = True
+
+    # --- storage structure (Section IV) ---
+    use_pcsr: bool = True
+    gpn: int = 16
+
+    # --- joining phase (Section V) ---
+    use_prealloc_combine: bool = True
+    use_gpu_set_ops: bool = True
+    use_write_cache: bool = True
+
+    # --- optimizations (Section VI) ---
+    use_load_balance: bool = False
+    use_duplicate_removal: bool = False
+    w1: int = 4096
+    w2: int = 1024
+    w3: int = 256
+
+    # --- resource limits ---
+    budget_ms: Optional[float] = None
+    max_intermediate_rows: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        n, k = self.signature_bits, self.label_bits
+        if n % 32 != 0 or not 32 < n <= 512:
+            raise ConfigError(
+                f"signature_bits must be a multiple of 32 in (32, 512], got {n}")
+        if k != 32:
+            raise ConfigError("label_bits is fixed to 32 (Section VII-B)")
+        if (n - k) % 2 != 0:
+            raise ConfigError("signature_bits - label_bits must be even")
+        if not 2 <= self.gpn <= 16:
+            raise ConfigError(f"gpn must be in [2, 16], got {self.gpn}")
+        if self.use_load_balance and not (self.w1 > self.w2 > self.w3 > 32):
+            raise ConfigError(
+                f"need W1 > W2 > W3 > 32, got {self.w1}/{self.w2}/{self.w3}")
+
+    # ------------------------------------------------------------------
+    # Named presets from the paper
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def baseline() -> "GSIConfig":
+        """"GSI-": traditional CSR, two-step output, naive set ops."""
+        return GSIConfig(use_pcsr=False, use_prealloc_combine=False,
+                         use_gpu_set_ops=False, use_write_cache=False)
+
+    @staticmethod
+    def with_ds() -> "GSIConfig":
+        """"+DS": GSI- plus the PCSR structure."""
+        return replace(GSIConfig.baseline(), use_pcsr=True)
+
+    @staticmethod
+    def with_pc() -> "GSIConfig":
+        """"+PC": +DS plus Prealloc-Combine."""
+        return replace(GSIConfig.with_ds(), use_prealloc_combine=True)
+
+    @staticmethod
+    def with_so() -> "GSIConfig":
+        """"+SO" == GSI: +PC plus GPU-friendly set operations."""
+        return replace(GSIConfig.with_pc(), use_gpu_set_ops=True,
+                       use_write_cache=True)
+
+    @staticmethod
+    def gsi() -> "GSIConfig":
+        """GSI without Section VI optimizations (the Table VI endpoint)."""
+        return GSIConfig()
+
+    @staticmethod
+    def with_lb() -> "GSIConfig":
+        """"+LB": GSI plus the 4-layer load balance scheme."""
+        return replace(GSIConfig.gsi(), use_load_balance=True)
+
+    @staticmethod
+    def gsi_opt() -> "GSIConfig":
+        """GSI-opt: GSI plus load balance plus duplicate removal."""
+        return replace(GSIConfig.gsi(), use_load_balance=True,
+                       use_duplicate_removal=True)
+
+    # ------------------------------------------------------------------
+
+    def load_balance_config(self) -> Optional[LoadBalanceConfig]:
+        """The scheduler's LB config, or None when disabled."""
+        if not self.use_load_balance:
+            return None
+        return LoadBalanceConfig(w1=self.w1, w2=self.w2, w3=self.w3)
+
+    @property
+    def storage_kind(self) -> str:
+        """Which neighbor store the join phase uses."""
+        return "pcsr" if self.use_pcsr else "csr"

@@ -1,0 +1,136 @@
+"""The GSI engine: filtering phase + joining phase (Figure 7).
+
+Construct once per data graph (signature table and storage structure are
+built offline, as in the paper), then call :meth:`GSIEngine.match` per
+query.  Every call simulates a fresh device, so results carry independent
+time and transaction measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.config import GSIConfig
+from repro.core.filtering import filter_candidates
+from repro.core.join import JoinContext, run_join_phase
+from repro.core.plan import plan_join_order
+from repro.core.result import MatchResult, PhaseBreakdown
+from repro.core.set_ops import SetOpEngine
+from repro.core.signature_table import SignatureTable
+from repro.errors import BudgetExceeded, GraphError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.gpusim.constants import CLOCK_GHZ
+from repro.gpusim.device import Device
+from repro.storage.factory import build_storage
+
+
+class GSIEngine:
+    """GPU-friendly subgraph isomorphism over one data graph.
+
+    Parameters
+    ----------
+    graph:
+        The data graph ``G``.
+    config:
+        Feature toggles and tuning parameters; defaults to plain GSI
+        (PCSR + Prealloc-Combine + GPU set ops, no Section VI extras).
+        Use :meth:`GSIConfig.gsi_opt` for the fully optimized variant.
+    """
+
+    name = "GSI"
+
+    def __init__(self, graph: LabeledGraph,
+                 config: Optional[GSIConfig] = None) -> None:
+        self.graph = graph
+        self.config = config if config is not None else GSIConfig()
+        # Offline precomputation (not part of query response time).
+        self.signature_table = SignatureTable.build(
+            graph, self.config.signature_bits, self.config.label_bits,
+            column_first=self.config.column_first_signatures)
+        storage_kwargs = (
+            {"gpn": self.config.gpn} if self.config.use_pcsr else {})
+        self.store = build_storage(self.config.storage_kind, graph,
+                                   **storage_kwargs)
+
+    # ------------------------------------------------------------------
+
+    def _make_device(self) -> Device:
+        budget_cycles = None
+        if self.config.budget_ms is not None:
+            budget_cycles = self.config.budget_ms * CLOCK_GHZ * 1e6
+        return Device(budget_cycles=budget_cycles)
+
+    def filter_only(self, query: LabeledGraph) -> MatchResult:
+        """Run just the filtering phase (Table IV's measurement)."""
+        device = self._make_device()
+        candidates = filter_candidates(
+            query, self.signature_table, device,
+            self.config.signature_bits, self.config.label_bits)
+        result = MatchResult(engine=self.name)
+        result.candidate_sizes = {u: len(c) for u, c in candidates.items()}
+        result.elapsed_ms = device.elapsed_ms
+        result.phases = PhaseBreakdown(filter_ms=device.elapsed_ms)
+        result.counters = device.meter.snapshot()
+        return result
+
+    def match(self, query: LabeledGraph) -> MatchResult:
+        """Find all subgraph-isomorphism embeddings of ``query``.
+
+        Returns a :class:`~repro.core.result.MatchResult`; if the
+        configured simulated budget is exhausted, ``timed_out`` is set
+        and partial state is discarded.
+        """
+        if query.num_vertices == 0:
+            raise GraphError("empty query")
+        device = self._make_device()
+        result = MatchResult(engine=self.name)
+        try:
+            candidates = filter_candidates(
+                query, self.signature_table, device,
+                self.config.signature_bits, self.config.label_bits)
+            result.candidate_sizes = {
+                u: len(c) for u, c in candidates.items()}
+            filter_ms = device.elapsed_ms
+
+            if any(len(c) == 0 for c in candidates.values()):
+                result.elapsed_ms = device.elapsed_ms
+                result.phases = PhaseBreakdown(filter_ms=filter_ms)
+                result.counters = device.meter.snapshot()
+                return result
+
+            plan = plan_join_order(query, self.graph,
+                                   result.candidate_sizes)
+            result.join_order = plan.order
+            ctx = JoinContext(
+                graph=self.graph, store=self.store, device=device,
+                config=self.config,
+                set_engine=SetOpEngine(
+                    friendly=self.config.use_gpu_set_ops,
+                    write_cache=self.config.use_write_cache))
+            rows = run_join_phase(ctx, plan, candidates)
+
+            # Reorder row positions (join order) into query-vertex order.
+            perm = np.argsort(np.asarray(plan.order))
+            result.matches = [tuple(int(row[j]) for j in perm)
+                              for row in rows]
+            result.elapsed_ms = device.elapsed_ms
+            result.phases = PhaseBreakdown(
+                filter_ms=filter_ms,
+                join_ms=device.elapsed_ms - filter_ms)
+        except BudgetExceeded:
+            result.matches = []
+            result.timed_out = True
+            result.elapsed_ms = device.elapsed_ms
+        result.counters = device.meter.snapshot()
+        return result
+
+    # ------------------------------------------------------------------
+
+    def candidate_sets(self, query: LabeledGraph) -> Dict[int, np.ndarray]:
+        """Candidate sets only, without any cost accounting (testing aid)."""
+        device = Device()
+        return filter_candidates(query, self.signature_table, device,
+                                 self.config.signature_bits,
+                                 self.config.label_bits)

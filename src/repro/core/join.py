@@ -1,0 +1,287 @@
+"""The parallel vertex-oriented join (Algorithms 3 and 4, Section V).
+
+Each iteration joins the intermediate table ``M`` (all partial matches of
+the joined subquery ``Q'``) with the candidate set ``C(u)`` of the next
+query vertex.  Per row, one simulated warp:
+
+1. (Prealloc-Combine, Alg. 4) bounds its output by ``|N(v', l0)|`` for the
+   rarest-labeled linking edge, contributing to the combined GBA buffer;
+2. computes ``buf_i = (N(v', l0) \\ m_i) ∩ C(u)`` and intersects with the
+   remaining linking edges' neighbor lists;
+3. links surviving vertices to ``m_i``, producing rows of ``M'``.
+
+Without Prealloc-Combine the *two-step output scheme* is simulated
+instead: the whole per-edge join work runs twice (count pass + write
+pass), exactly the doubling GSI eliminates.
+
+Duplicate removal (Alg. 5) and the 4-layer load balance (Section VI) hook
+in here as well: the former shares staged neighbor lists between warps of
+one block, the latter reshapes kernel task lists before scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import GSIConfig
+from repro.core.dup_removal import sharing_assignment
+from repro.core.plan import JoinPlan, JoinStep, select_first_edge
+from repro.core.set_ops import CandidateSet, RowCost, SetOpEngine
+from repro.errors import BudgetExceeded
+from repro.graph.labeled_graph import LabeledGraph
+from repro.gpusim.constants import CYCLES_PER_GLD, WARPS_PER_BLOCK
+from repro.gpusim.device import Device
+from repro.gpusim.transactions import batched_write, contiguous_read
+from repro.storage.base import NeighborStore
+
+Row = Tuple[int, ...]
+
+
+@dataclass
+class JoinContext:
+    """Everything one join step needs; created once per query."""
+
+    graph: LabeledGraph
+    store: NeighborStore
+    device: Device
+    config: GSIConfig
+    set_engine: SetOpEngine
+    neighbor_cache: Dict[Tuple[int, int], Tuple[np.ndarray, int]] = field(
+        default_factory=dict)
+
+    def neighbors(self, v: int, label: int
+                  ) -> Tuple[np.ndarray, int, int, int]:
+        """Memoized ``(N(v, l), locate_tx, read_tx, streamed)``.
+
+        The memo avoids re-running Python-side probes; counted costs are
+        still charged per use (unless duplicate removal applies).
+        ``read_tx`` and ``streamed`` reflect the storage structure: plain
+        CSR streams the entire unfiltered neighborhood.
+        """
+        key = (v, label)
+        hit = self.neighbor_cache.get(key)
+        if hit is None:
+            arr = np.sort(self.store.neighbors(v, label))
+            locate = self.store.locate_transactions(v, label)
+            read_tx = self.store.read_transactions(v, label)
+            streamed = self.store.streamed_elements(v, label)
+            hit = (arr, locate, read_tx, streamed)
+            self.neighbor_cache[key] = hit
+        return hit
+
+
+def _run_edge_kernel(ctx: JoinContext, costs: List[RowCost],
+                     name: str) -> None:
+    """Meter and schedule one per-edge kernel from its row costs."""
+    device = ctx.device
+    total_launches = 0
+    cycles: List[float] = []
+    units: List[float] = []
+    for c in costs:
+        device.meter.add_gld(c.gld, label="join")
+        device.meter.add_gst(c.gst)
+        device.meter.add_shared(c.shared)
+        device.meter.add_ops(c.ops)
+        total_launches += c.launches
+        cycles.append(c.cycles())
+        units.append(c.units)
+    if total_launches:
+        device.launch_overhead(total_launches)
+    device.run_kernel(cycles, name=name,
+                      lb=ctx.config.load_balance_config(),
+                      task_units=units)
+
+
+def _edge_pass(ctx: JoinContext, rows_np: np.ndarray, col_of: Dict[int, int],
+               edges: List[Tuple[int, int]], cand: CandidateSet,
+               bufs: Optional[List[np.ndarray]], count_only: bool,
+               step_name: str) -> List[np.ndarray]:
+    """Run all linking-edge kernels over the intermediate table.
+
+    ``bufs`` non-None means results were computed by a previous (count)
+    pass; the functional work is reused but costs are charged again —
+    that is precisely the two-step scheme's doubled work.
+    """
+    num_rows = rows_np.shape[0]
+    engine = ctx.set_engine
+    dr = ctx.config.use_duplicate_removal
+    out: List[np.ndarray] = (
+        [None] * num_rows if bufs is None else list(bufs))  # type: ignore
+
+    for edge_idx, (u_prime, label) in enumerate(edges):
+        col = col_of[u_prime]
+        costs: List[RowCost] = []
+        for block_start in range(0, num_rows, WARPS_PER_BLOCK):
+            block_end = min(block_start + WARPS_PER_BLOCK, num_rows)
+            block_vertices = [int(rows_np[i, col])
+                              for i in range(block_start, block_end)]
+            addr = (sharing_assignment(block_vertices) if dr else None)
+            for offset, i in enumerate(range(block_start, block_end)):
+                v = block_vertices[offset]
+                nbrs, locate, read_tx, streamed = ctx.neighbors(v, label)
+                shared_hit = addr is not None and addr[offset] != offset
+                if edge_idx == 0:
+                    buf, cost = engine.first_edge(
+                        rows_np[i], nbrs, locate, cand,
+                        read_tx=read_tx, streamed=streamed,
+                        nbrs_from_shared=shared_hit)
+                else:
+                    buf, cost = engine.refine_edge(
+                        out[i], nbrs, locate,
+                        read_tx=read_tx, streamed=streamed,
+                        nbrs_from_shared=shared_hit)
+                if dr:
+                    cost.ops += 4  # Alg. 5 synchronization overhead
+                if count_only:
+                    cost = engine.count_only_discount(cost)
+                out[i] = buf
+                costs.append(cost)
+        _run_edge_kernel(ctx, costs, name=f"{step_name}_e{edge_idx}")
+    return out
+
+
+def _prealloc_gba(ctx: JoinContext, rows_np: np.ndarray,
+                  col0: int, label0: int, step_name: str) -> np.ndarray:
+    """Algorithm 4: per-row capacity bounds and the GBA offset array.
+
+    The per-row ``|N(v', l0)|`` reads are fused into the scan kernel —
+    one launch covers both the upper-bound lookup and the prefix sum.
+    """
+    num_rows = rows_np.shape[0]
+    caps = np.empty(num_rows, dtype=np.int64)
+    tasks: List[float] = []
+    for i in range(num_rows):
+        v = int(rows_np[i, col0])
+        nbrs, locate, _, _ = ctx.neighbors(v, label0)
+        caps[i] = len(nbrs)
+        ctx.device.meter.add_gld(locate, label="join")
+        tasks.append(locate * CYCLES_PER_GLD)
+    return ctx.device.exclusive_prefix_sum(
+        caps, name=f"{step_name}_prealloc_scan", fused_tasks=tasks)
+
+
+def _link_kernel(ctx: JoinContext, rows: List[Row], rows_np: np.ndarray,
+                 bufs: List[np.ndarray], step_name: str) -> List[Row]:
+    """Alg. 3 lines 14-21: prefix-sum the buffer counts, then copy each
+    ``m_i (+) z`` into the new table ``M'``."""
+    counts = [len(b) for b in bufs]
+    ctx.device.exclusive_prefix_sum(counts, name=f"{step_name}_offsets")
+
+    width = rows_np.shape[1]
+    new_rows: List[Row] = []
+    cycles: List[float] = []
+    units: List[float] = []
+    use_cache = ctx.config.use_write_cache and ctx.config.use_gpu_set_ops
+    for i, buf in enumerate(bufs):
+        cnt = len(buf)
+        cost = RowCost(units=float(cnt))
+        if cnt:
+            cost.gld += contiguous_read(width)       # read m_i (shared stage)
+            cost.gld += contiguous_read(cnt)         # read buf_i from GBA
+            written = (width + 1) * cnt
+            cost.gst += (batched_write(written) if use_cache else written)
+            base = rows[i]
+            for z in buf:
+                new_rows.append(base + (int(z),))
+        ctx.device.meter.add_gld(cost.gld, label="join")
+        ctx.device.meter.add_gst(cost.gst)
+        cycles.append(cost.cycles())
+        units.append(cost.units)
+    ctx.device.run_kernel(cycles, name=f"{step_name}_link",
+                          lb=ctx.config.load_balance_config(),
+                          task_units=units)
+    return new_rows
+
+
+def _two_step_materialize(ctx: JoinContext, rows: List[Row],
+                          rows_np: np.ndarray, bufs: List[np.ndarray],
+                          step_name: str) -> List[Row]:
+    """Second half of the two-step scheme: writes of M' happen inside the
+    repeated join pass; only the result assembly is shared here."""
+    counts = [len(b) for b in bufs]
+    ctx.device.exclusive_prefix_sum(counts, name=f"{step_name}_offsets")
+    width = rows_np.shape[1]
+    new_rows: List[Row] = []
+    gst = 0
+    for i, buf in enumerate(bufs):
+        cnt = len(buf)
+        if cnt:
+            gst += batched_write((width + 1) * cnt)
+            base = rows[i]
+            for z in buf:
+                new_rows.append(base + (int(z),))
+    ctx.device.meter.add_gst(gst)
+    return new_rows
+
+
+def execute_join_step(ctx: JoinContext, rows: List[Row],
+                      columns: List[int], step: JoinStep,
+                      cand: CandidateSet) -> List[Row]:
+    """One iteration of Algorithm 2's loop (i.e. one Alg. 3 invocation).
+
+    ``columns[j]`` names the query vertex of row position ``j``; the new
+    vertex's matches are appended as the last position.
+    """
+    if not rows or len(cand) == 0:
+        return []
+    if ctx.config.max_intermediate_rows is not None and \
+            len(rows) > ctx.config.max_intermediate_rows:
+        raise BudgetExceeded(
+            f"intermediate table exceeded {ctx.config.max_intermediate_rows} rows")
+
+    rows_np = np.asarray(rows, dtype=np.int64)
+    col_of = {qv: j for j, qv in enumerate(columns)}
+    step_name = f"join_u{step.vertex}"
+
+    # Order linking edges so the rarest-label edge comes first (Alg. 4
+    # line 1); this is also the edge whose neighbor lists bound the GBA.
+    first = select_first_edge(step, ctx.graph)
+    edges = [first] + [e for e in step.linking_edges if e != first]
+
+    if ctx.config.use_gpu_set_ops:
+        # C(u) is materialized as a bitset for O(1)-transaction probes
+        # (Section V): one bit per data vertex, zeroed then set.
+        bitset_words = (ctx.graph.num_vertices + 31) // 32
+        ctx.device.memset_cycles(bitset_words)
+
+    if ctx.config.use_prealloc_combine:
+        _prealloc_gba(ctx, rows_np, col_of[first[0]], first[1], step_name)
+        bufs = _edge_pass(ctx, rows_np, col_of, edges, cand,
+                          bufs=None, count_only=False, step_name=step_name)
+        return _link_kernel(ctx, rows, rows_np, bufs, step_name)
+
+    # Two-step output scheme: identical join work performed twice.
+    bufs = _edge_pass(ctx, rows_np, col_of, edges, cand,
+                      bufs=None, count_only=True,
+                      step_name=step_name + "_count")
+    bufs = _edge_pass(ctx, rows_np, col_of, edges, cand,
+                      bufs=bufs, count_only=False,
+                      step_name=step_name + "_write")
+    return _two_step_materialize(ctx, rows, rows_np, bufs, step_name)
+
+
+def run_join_phase(ctx: JoinContext, plan: JoinPlan,
+                   candidates: Dict[int, np.ndarray]) -> List[Row]:
+    """Execute the full join loop; returns rows aligned with
+    ``plan.order`` (caller reorders to query-vertex order)."""
+    start = plan.start_vertex
+    start_cands = candidates[start]
+    # Materializing M = C(u_start): one coalesced copy.
+    tx = contiguous_read(len(start_cands))
+    ctx.device.meter.add_gld(tx, label="join")
+    ctx.device.meter.add_gst(tx)
+    ctx.device.run_kernel([float(tx * CYCLES_PER_GLD)], name="init_m")
+
+    rows: List[Row] = [(int(c),) for c in start_cands]
+    columns = [start]
+    for step in plan.steps:
+        cand = CandidateSet(np.asarray(candidates[step.vertex],
+                                       dtype=np.int64))
+        rows = execute_join_step(ctx, rows, columns, step, cand)
+        columns.append(step.vertex)
+        if not rows:
+            break
+    return rows

@@ -1,0 +1,54 @@
+"""Load-balance analysis helpers for the 4-layer scheme (Section VI-A).
+
+The scheme itself lives in :func:`repro.gpusim.scheduler.split_tasks_4layer`
+(it reshapes kernel task lists); this module provides the measurement side
+used by tests and the Table VIII-X benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.gpusim.constants import WARP_SLOTS
+from repro.gpusim.scheduler import (
+    LoadBalanceConfig,
+    makespan,
+    split_tasks_4layer,
+)
+
+
+def imbalance_ratio(task_costs: Sequence[float],
+                    slots: int = WARP_SLOTS) -> float:
+    """Makespan divided by the ideal (perfectly balanced) time.
+
+    1.0 means perfect balance; skewed scale-free workloads typically show
+    large ratios, which is what the 4-layer scheme attacks.
+    """
+    if not task_costs:
+        return 1.0
+    total = float(sum(task_costs))
+    ideal = max(total / slots, max(task_costs) / 1e12)
+    if total == 0:
+        return 1.0
+    span = makespan(task_costs, slots)
+    return span / max(ideal, 1e-12)
+
+
+def balanced_makespan(task_units: Sequence[float],
+                      cfg: LoadBalanceConfig,
+                      slots: int = WARP_SLOTS) -> float:
+    """Makespan (cycles) after applying the 4-layer splitting."""
+    split_units, extra_cycles, _ = split_tasks_4layer(task_units, cfg)
+    cycles = [u * cfg.cycles_per_unit for u in split_units]
+    return makespan(cycles, slots) + extra_cycles
+
+
+def speedup_from_lb(task_units: Sequence[float],
+                    cfg: LoadBalanceConfig,
+                    slots: int = WARP_SLOTS) -> float:
+    """Unbalanced / balanced makespan for one task bag."""
+    baseline = makespan([u * cfg.cycles_per_unit for u in task_units], slots)
+    balanced = balanced_makespan(task_units, cfg, slots)
+    if balanced <= 0:
+        return 1.0
+    return baseline / balanced

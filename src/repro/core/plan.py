@@ -1,0 +1,112 @@
+"""Join-order planning (Algorithm 2, Lines 2-13).
+
+The first query vertex minimizes ``score(u) = |C(u)| / deg(u)``; every
+subsequent vertex is the connected, not-yet-joined vertex with minimum
+score, where scores are re-weighted by the frequency of adjacent edge
+labels as vertices join (``score(u') *= freq(L(uc u'))``) — infrequent
+linking labels thus pull their endpoints earlier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One iteration of the join phase.
+
+    Attributes
+    ----------
+    vertex:
+        The query vertex ``u`` joined at this step.
+    linking_edges:
+        ``(u', edge_label)`` pairs for every edge between ``u`` and the
+        already-joined partial query ``Q'`` (the ``ES`` of Alg. 3).
+    """
+
+    vertex: int
+    linking_edges: Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """Complete join order: the start vertex plus one step per other."""
+
+    start_vertex: int
+    steps: Tuple[JoinStep, ...]
+
+    @property
+    def order(self) -> List[int]:
+        """All query vertices in join order."""
+        return [self.start_vertex] + [s.vertex for s in self.steps]
+
+
+def plan_join_order(query: LabeledGraph, graph: LabeledGraph,
+                    candidate_sizes: Dict[int, int]) -> JoinPlan:
+    """Run Algorithm 2's ordering heuristic.
+
+    ``candidate_sizes`` maps each query vertex to ``|C(u)|`` from the
+    filtering phase.  Ties break on vertex id for determinism.
+    """
+    nq = query.num_vertices
+    if nq == 0:
+        raise PlanError("query has no vertices")
+    if not query.is_connected():
+        raise PlanError("query must be connected (split components first)")
+
+    score = {
+        u: candidate_sizes.get(u, 0) / max(1, query.degree(u))
+        for u in range(nq)
+    }
+
+    start = min(range(nq), key=lambda u: (score[u], u))
+    joined = {start}
+
+    def reweight(uc: int) -> None:
+        # Lines 12-13: adjacent scores scale by the linking label's
+        # frequency in G.
+        for u2, lab in zip(query.neighbors(uc), query.incident_labels(uc)):
+            u2 = int(u2)
+            score[u2] *= max(1, graph.edge_label_frequency(int(lab)))
+
+    reweight(start)
+    steps: List[JoinStep] = []
+    while len(joined) < nq:
+        frontier = [
+            u for u in range(nq) if u not in joined
+            and any(int(w) in joined for w in query.neighbors(u))
+        ]
+        if not frontier:
+            raise PlanError("query disconnected mid-plan (bug)")
+        u = min(frontier, key=lambda x: (score[x], x))
+        linking = tuple(
+            (int(w), int(lab))
+            for w, lab in zip(query.neighbors(u), query.incident_labels(u))
+            if int(w) in joined
+        )
+        steps.append(JoinStep(vertex=u, linking_edges=linking))
+        joined.add(u)
+        reweight(u)
+    return JoinPlan(start_vertex=start, steps=tuple(steps))
+
+
+def select_first_edge(step: JoinStep, graph: LabeledGraph
+                      ) -> Tuple[int, int]:
+    """Algorithm 4, Line 1: the linking edge with the rarest label in G.
+
+    The first edge bounds the GBA buffer size per row, so picking the
+    globally rarest label minimizes pre-allocated memory.
+    """
+    if not step.linking_edges:
+        raise PlanError(f"step for vertex {step.vertex} has no linking edge")
+    return min(
+        step.linking_edges,
+        key=lambda e: (graph.edge_label_frequency(e[1]), e[0]),
+    )

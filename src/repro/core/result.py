@@ -1,0 +1,71 @@
+"""Result types shared by GSI and every baseline engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.gpusim.meter import MeterSnapshot
+
+Match = Tuple[int, ...]
+
+
+@dataclass
+class PhaseBreakdown:
+    """Simulated milliseconds split by phase."""
+
+    filter_ms: float = 0.0
+    join_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return self.filter_ms + self.join_ms
+
+
+@dataclass
+class MatchResult:
+    """Outcome of one subgraph-isomorphism query.
+
+    Attributes
+    ----------
+    matches:
+        Embeddings as tuples indexed by *query vertex id*: ``match[u]`` is
+        the data vertex matched to query vertex ``u``.
+    elapsed_ms:
+        Simulated query response time (the paper's reported metric).
+    timed_out:
+        True when the simulated budget was exhausted; ``matches`` is then
+        incomplete and should not be used.
+    counters:
+        GLD / GST / launches etc. accumulated during the run.
+    candidate_sizes:
+        ``|C(u)|`` per query vertex after filtering (Table IV's metric is
+        ``min`` over these).
+    join_order:
+        The vertex order chosen by the planner (Alg. 2).
+    """
+
+    matches: List[Match] = field(default_factory=list)
+    elapsed_ms: float = 0.0
+    timed_out: bool = False
+    counters: MeterSnapshot = field(default_factory=MeterSnapshot)
+    phases: PhaseBreakdown = field(default_factory=PhaseBreakdown)
+    candidate_sizes: Dict[int, int] = field(default_factory=dict)
+    join_order: List[int] = field(default_factory=list)
+    engine: str = ""
+
+    @property
+    def num_matches(self) -> int:
+        """Number of embeddings found."""
+        return len(self.matches)
+
+    @property
+    def min_candidate_size(self) -> Optional[int]:
+        """``min |C(u)|`` — the filtering-power metric of Table IV."""
+        if not self.candidate_sizes:
+            return None
+        return min(self.candidate_sizes.values())
+
+    def match_set(self) -> set:
+        """Matches as a set, for cross-engine equality checks."""
+        return set(self.matches)

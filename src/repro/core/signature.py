@@ -1,0 +1,104 @@
+"""Vertex signatures: the filtering-phase encoding (Section III-A, Fig. 8).
+
+A signature ``S(v)`` is an N-bit vector in two parts:
+
+* the first ``K = 32`` bits store the vertex label *directly* (the paper's
+  Section VII-B refinement: exact label comparison instead of hashing);
+* the remaining ``N - K`` bits form ``(N - K) / 2`` two-bit groups.  Every
+  adjacent ``(edge label, neighbor vertex label)`` pair of ``v`` is hashed
+  to a group, whose state encodes how many pairs landed there:
+  ``00`` none, ``01`` exactly one, ``11`` more than one.
+
+Filtering rule: ``v`` can only match query vertex ``u`` if the labels are
+equal and ``S(v) & S(u) == S(u)`` — i.e. wherever ``u`` has one pair, ``v``
+has at least one; wherever ``u`` has several, ``v`` has several.  This is a
+*necessary* condition, proved sound in tests (a true match is never
+pruned).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.labeled_graph import LabeledGraph
+
+_PAIR_MIX = 1_000_003
+_HASH_MULT = 2654435761
+_WORD_BITS = 32
+
+
+def num_words(signature_bits: int) -> int:
+    """32-bit words per signature."""
+    return signature_bits // _WORD_BITS
+
+
+def num_groups(signature_bits: int, label_bits: int = 32) -> int:
+    """Two-bit groups available for edge-neighbor pairs."""
+    return (signature_bits - label_bits) // 2
+
+
+def _group_of(edge_label: int, neighbor_label: int, groups: int) -> int:
+    """Hash an (edge label, neighbor vertex label) pair to a group id."""
+    key = (edge_label * _PAIR_MIX + neighbor_label) & 0xFFFFFFFF
+    return ((key * _HASH_MULT) & 0xFFFFFFFF) % groups
+
+
+def encode_vertex(graph: LabeledGraph, v: int, signature_bits: int,
+                  label_bits: int = 32) -> np.ndarray:
+    """Compute ``S(v)`` as a uint32 word array of length ``N / 32``.
+
+    Word 0 holds the vertex label; subsequent words hold the packed
+    two-bit groups (group ``i`` occupies bits ``2i`` and ``2i+1`` of the
+    tail region).
+    """
+    words = np.zeros(num_words(signature_bits), dtype=np.uint32)
+    words[0] = np.uint32(graph.vertex_label(v) & 0xFFFFFFFF)
+    groups = num_groups(signature_bits, label_bits)
+    if groups == 0:
+        return words
+
+    counts: dict = {}
+    nbrs = graph.neighbors(v)
+    labs = graph.incident_labels(v)
+    for w, el in zip(nbrs, labs):
+        g = _group_of(int(el), graph.vertex_label(int(w)), groups)
+        counts[g] = counts.get(g, 0) + 1
+
+    for g, cnt in counts.items():
+        bit = 2 * g
+        word_idx = 1 + bit // _WORD_BITS
+        offset = bit % _WORD_BITS
+        # "01" for a single pair, "11" for more than one.
+        state = 0b01 if cnt == 1 else 0b11
+        words[word_idx] |= np.uint32(state << offset)
+    return words
+
+
+def encode_all(graph: LabeledGraph, signature_bits: int,
+               label_bits: int = 32) -> np.ndarray:
+    """Signature table: one row per data vertex (computed offline)."""
+    table = np.zeros((graph.num_vertices, num_words(signature_bits)),
+                     dtype=np.uint32)
+    for v in range(graph.num_vertices):
+        table[v] = encode_vertex(graph, v, signature_bits, label_bits)
+    return table
+
+
+def is_candidate(sig_v: np.ndarray, sig_u: np.ndarray) -> bool:
+    """Whether data signature ``sig_v`` passes query signature ``sig_u``."""
+    if sig_v[0] != sig_u[0]:
+        return False
+    tail_u = sig_u[1:]
+    return bool(np.all((sig_v[1:] & tail_u) == tail_u))
+
+
+def candidate_mask(table: np.ndarray, sig_u: np.ndarray) -> np.ndarray:
+    """Vectorized filter of a whole signature table against ``sig_u``.
+
+    Returns a boolean mask over data vertices; this is the functional
+    equivalent of the massively parallel scan in Section III-A.
+    """
+    label_ok = table[:, 0] == sig_u[0]
+    tail_u = sig_u[1:]
+    structure_ok = np.all((table[:, 1:] & tail_u) == tail_u, axis=1)
+    return label_ok & structure_ok

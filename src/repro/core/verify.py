@@ -1,0 +1,120 @@
+"""Embedding verification and post-processing utilities.
+
+Engines are cross-checked in the test suite, but downstream users also
+want to *prove* a result is correct (e.g. after changing configs) and to
+post-process embeddings — deduplicate automorphic images, or restrict the
+non-induced semantics (Definition 3) to induced occurrences.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph
+
+Match = Tuple[int, ...]
+
+
+def is_valid_embedding(query: LabeledGraph, graph: LabeledGraph,
+                       match: Sequence[int]) -> bool:
+    """Check one embedding against Definition 3.
+
+    ``match[u]`` is the data vertex assigned to query vertex ``u``.  The
+    mapping must be injective, preserve vertex labels, and realize every
+    query edge with the right edge label.
+    """
+    if len(match) != query.num_vertices:
+        return False
+    if len(set(match)) != len(match):
+        return False
+    for u in range(query.num_vertices):
+        v = match[u]
+        if not 0 <= v < graph.num_vertices:
+            return False
+        if graph.vertex_label(v) != query.vertex_label(u):
+            return False
+    for u1, u2, lab in query.edges():
+        a, b = match[u1], match[u2]
+        if not graph.has_edge(a, b) or graph.edge_label(a, b) != lab:
+            return False
+    return True
+
+
+def verify_all(query: LabeledGraph, graph: LabeledGraph,
+               matches: Iterable[Match]) -> List[Match]:
+    """Return the invalid embeddings among ``matches`` (empty == proof)."""
+    return [tuple(m) for m in matches
+            if not is_valid_embedding(query, graph, m)]
+
+
+def is_induced_embedding(query: LabeledGraph, graph: LabeledGraph,
+                         match: Sequence[int]) -> bool:
+    """Whether an embedding is *induced*: non-adjacent query vertices
+    must map to non-adjacent data vertices.
+
+    GSI (like GpSM/GunrockSM/VF3 in all-matches mode) enumerates
+    non-induced embeddings; this restricts them when induced semantics
+    are needed (e.g. network-motif census conventions).
+    """
+    if not is_valid_embedding(query, graph, match):
+        return False
+    n = query.num_vertices
+    for u1 in range(n):
+        for u2 in range(u1 + 1, n):
+            if not query.has_edge(u1, u2):
+                if graph.has_edge(match[u1], match[u2]):
+                    return False
+    return True
+
+
+def filter_induced(query: LabeledGraph, graph: LabeledGraph,
+                   matches: Iterable[Match]) -> List[Match]:
+    """Keep only induced embeddings."""
+    return [tuple(m) for m in matches
+            if is_induced_embedding(query, graph, m)]
+
+
+def query_automorphisms(query: LabeledGraph) -> List[Tuple[int, ...]]:
+    """All label- and edge-preserving permutations of the query's own
+    vertices (brute force; queries are small by construction)."""
+    n = query.num_vertices
+    autos = []
+    for perm in permutations(range(n)):
+        ok = all(query.vertex_label(perm[u]) == query.vertex_label(u)
+                 for u in range(n))
+        if not ok:
+            continue
+        # Since perm is a bijection and edge counts are equal, mapping
+        # every edge onto an equally-labeled edge makes perm an edge-set
+        # automorphism (the image of E(Q) is exactly E(Q)).
+        for u1, u2, lab in query.edges():
+            a, b = perm[u1], perm[u2]
+            if not query.has_edge(a, b) or query.edge_label(a, b) != lab:
+                ok = False
+                break
+        if ok:
+            autos.append(perm)
+    return autos
+
+
+def deduplicate_automorphic(query: LabeledGraph,
+                            matches: Iterable[Match]) -> List[Match]:
+    """Collapse embeddings that are automorphic images of each other.
+
+    Each group of embeddings related by a query automorphism maps to the
+    same *subgraph occurrence*; motif counting wants one representative
+    per occurrence (e.g. an unlabeled triangle appears 6 times as an
+    embedding but once as a motif).
+    """
+    autos = query_automorphisms(query)
+    seen: Set[Match] = set()
+    out: List[Match] = []
+    for m in matches:
+        m = tuple(m)
+        if m in seen:
+            continue
+        out.append(m)
+        for perm in autos:
+            seen.add(tuple(m[perm[u]] for u in range(len(m))))
+    return out

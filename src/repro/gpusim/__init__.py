@@ -1,0 +1,47 @@
+"""Deterministic GPU cost-model simulator (the paper's Titan XP stand-in).
+
+Functional work runs in Python/NumPy; this package counts the events the
+paper measures (memory transactions, kernel launches) and schedules
+per-warp task costs over simulated warp slots to produce elapsed time.
+"""
+
+from repro.gpusim import constants
+from repro.gpusim.constants import cpu_ops_to_ms, cycles_to_ms
+from repro.gpusim.device import Device, KernelRecord
+from repro.gpusim.meter import MemoryMeter, MeterSnapshot
+from repro.gpusim.scheduler import (
+    LoadBalanceConfig,
+    ScheduleResult,
+    makespan,
+    schedule_kernel,
+    split_tasks_4layer,
+)
+from repro.gpusim.transactions import (
+    batched_write,
+    coalesced_segments,
+    contiguous_read,
+    scattered_read,
+    strided_read,
+    unbatched_write,
+)
+
+__all__ = [
+    "constants",
+    "cycles_to_ms",
+    "cpu_ops_to_ms",
+    "Device",
+    "KernelRecord",
+    "MemoryMeter",
+    "MeterSnapshot",
+    "LoadBalanceConfig",
+    "ScheduleResult",
+    "makespan",
+    "schedule_kernel",
+    "split_tasks_4layer",
+    "batched_write",
+    "coalesced_segments",
+    "contiguous_read",
+    "scattered_read",
+    "strided_read",
+    "unbatched_write",
+]

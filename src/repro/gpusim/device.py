@@ -1,0 +1,154 @@
+"""The simulated GPU device: clock, kernel launches, and parallel primitives.
+
+A :class:`Device` owns a :class:`~repro.gpusim.meter.MemoryMeter` and a
+cycle clock.  Engines run their functional work in Python and report the
+per-task costs of each kernel; the device schedules them over its warp
+slots and advances the clock.  ``elapsed_ms`` is the simulated query time
+that stands in for the paper's wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import BudgetExceeded
+from repro.gpusim.constants import (
+    CYCLES_PER_GLD,
+    CYCLES_PER_GST,
+    CYCLES_PER_OP,
+    ELEMENTS_PER_TRANSACTION,
+    KERNEL_LAUNCH_CYCLES,
+    KERNEL_QUEUE_CYCLES,
+    WARP_SLOTS,
+    cycles_to_ms,
+)
+from repro.gpusim.meter import MemoryMeter
+from repro.gpusim.scheduler import LoadBalanceConfig, schedule_kernel
+from repro.gpusim.transactions import contiguous_read
+
+
+@dataclass
+class KernelRecord:
+    """Bookkeeping for one launched kernel (inspectable in tests)."""
+
+    name: str
+    num_tasks: int
+    elapsed_cycles: float
+
+
+class Device:
+    """Simulated GPU: accumulates cycles across kernel launches.
+
+    Parameters
+    ----------
+    meter:
+        Shared event meter; a fresh one is created if omitted.
+    slots:
+        Concurrent warp contexts (default: 30 SMs x 32 warps).
+    budget_cycles:
+        Optional hard cap; exceeding it raises
+        :class:`~repro.errors.BudgetExceeded`, which engines convert to a
+        timed-out result.  This reproduces the paper's "100 second
+        threshold" deterministically.
+    """
+
+    def __init__(self, meter: Optional[MemoryMeter] = None,
+                 slots: int = WARP_SLOTS,
+                 budget_cycles: Optional[float] = None) -> None:
+        self.meter = meter if meter is not None else MemoryMeter()
+        self.slots = slots
+        self.budget_cycles = budget_cycles
+        self.clock_cycles = 0.0
+        self.kernels: List[KernelRecord] = []
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Simulated elapsed time in milliseconds."""
+        return cycles_to_ms(self.clock_cycles)
+
+    def advance(self, cycles: float) -> None:
+        """Advance the clock, enforcing the budget if one is set."""
+        self.clock_cycles += cycles
+        if (self.budget_cycles is not None
+                and self.clock_cycles > self.budget_cycles):
+            raise BudgetExceeded(
+                f"simulated budget exhausted at {self.elapsed_ms:.1f} ms")
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+
+    def run_kernel(self, task_cycles: Sequence[float], name: str = "kernel",
+                   lb: Optional[LoadBalanceConfig] = None,
+                   task_units: Optional[Sequence[float]] = None) -> float:
+        """Launch one kernel with the given per-task costs.
+
+        Returns the kernel's elapsed cycles after scheduling (and load
+        balancing when ``lb`` is given), and advances the device clock.
+        """
+        result = schedule_kernel(task_cycles, slots=self.slots, lb=lb,
+                                 task_units=task_units)
+        self.meter.add_kernel_launch(result.kernel_launches)
+        self.kernels.append(
+            KernelRecord(name, len(task_cycles), result.elapsed_cycles))
+        self.advance(result.elapsed_cycles)
+        return result.elapsed_cycles
+
+    def launch_overhead(self, count: int = 1) -> None:
+        """Charge the queue cost of ``count`` back-to-back tiny kernel
+        launches (the naive one-kernel-per-set-operation mode); the
+        launches pipeline through the driver rather than paying the full
+        per-kernel latency each."""
+        self.meter.add_kernel_launch(count)
+        self.advance(KERNEL_QUEUE_CYCLES * count)
+
+    # ------------------------------------------------------------------
+    # Parallel primitives
+    # ------------------------------------------------------------------
+
+    def exclusive_prefix_sum(self, counts: Sequence[int],
+                             name: str = "prefix_sum",
+                             fused_tasks: Optional[Sequence[float]] = None
+                             ) -> np.ndarray:
+        """Exclusive scan (GBA offsets, M' offsets — Alg. 3 line 14, Alg. 4).
+
+        Functionally ``offsets[i] = sum(counts[:i])`` with the total
+        appended; cost-wise a work-efficient parallel scan: each element is
+        read and written O(1) times through coalesced transactions, over
+        ``log2(n)`` dependent steps.
+
+        ``fused_tasks`` lets a caller fold per-element producer work into
+        the same kernel (e.g. Alg. 4 reads each row's ``|N(v', l0)|``
+        upper bound right before scanning it), saving a launch.
+        """
+        arr = np.asarray(counts, dtype=np.int64)
+        n = int(arr.shape[0])
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        if n:
+            np.cumsum(arr, out=offsets[1:])
+        # Cost: 2 coalesced passes (read + write) plus log-depth latency.
+        transactions = 2 * contiguous_read(n)
+        self.meter.add_gld(transactions // 2 + transactions % 2)
+        self.meter.add_gst(transactions // 2)
+        self.meter.add_ops(2 * n)
+        depth = max(1, int(np.ceil(np.log2(n))) if n > 1 else 1)
+        per_slot = (transactions * CYCLES_PER_GLD) / max(1, self.slots)
+        tasks = [per_slot + depth * CYCLES_PER_OP]
+        if fused_tasks is not None:
+            tasks.extend(fused_tasks)
+        self.run_kernel(tasks, name=name)
+        return offsets
+
+    def memset_cycles(self, num_elements: int) -> None:
+        """Charge a device-wide memset (e.g. zeroing a candidate bitset)."""
+        transactions = contiguous_read(num_elements)
+        self.meter.add_gst(transactions)
+        per_slot = (transactions * CYCLES_PER_GST) / max(1, self.slots)
+        self.run_kernel([per_slot], name="memset")

@@ -1,0 +1,238 @@
+"""Graph and query generators used throughout the evaluation.
+
+The paper's datasets come from SNAP / DBpedia / WatDiv but, lacking labels,
+the authors *assign vertex and edge labels following a power-law
+distribution* (Section VII-A).  We therefore generate topology classes
+(scale-free and mesh-like, the two types in Table III) and reuse the same
+power-law labeling procedure, plus the paper's random-walk query generator.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
+
+
+def power_law_labels(count: int, num_labels: int, rng: np.random.Generator,
+                     exponent: float = 1.5) -> np.ndarray:
+    """Draw ``count`` labels from ``{0..num_labels-1}`` with power-law mass.
+
+    Label ``i`` gets probability proportional to ``(i + 1) ** -exponent``,
+    mirroring the skewed label frequencies of real RDF predicates.
+    """
+    if num_labels <= 0:
+        raise GraphError("num_labels must be positive")
+    ranks = np.arange(1, num_labels + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    weights /= weights.sum()
+    return rng.choice(num_labels, size=count, p=weights).astype(np.int64)
+
+
+def scale_free_graph(num_vertices: int, edges_per_vertex: int,
+                     num_vertex_labels: int, num_edge_labels: int,
+                     seed: int = 0, label_exponent: float = 1.5
+                     ) -> LabeledGraph:
+    """A Barabási–Albert-style scale-free graph with power-law labels.
+
+    Matches the "scale-free" type of enron / gowalla / WatDiv / DBpedia in
+    Table III: heavy-tailed degrees with a few hub vertices.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices.
+    edges_per_vertex:
+        Edges attached from each newly arriving vertex (BA ``m``).
+    """
+    if num_vertices < 2:
+        raise GraphError("need at least two vertices")
+    m = max(1, min(edges_per_vertex, num_vertices - 1))
+    rng = np.random.default_rng(seed)
+
+    # Preferential attachment via the repeated-endpoints trick: every edge
+    # endpoint is appended to `targets`, so sampling uniformly from it is
+    # degree-proportional.
+    edges: Set[Tuple[int, int]] = set()
+    targets: List[int] = list(range(m))
+    for v in range(m, num_vertices):
+        chosen: Set[int] = set()
+        while len(chosen) < m:
+            pick = targets[int(rng.integers(len(targets)))]
+            if pick != v:
+                chosen.add(pick)
+        for w in chosen:
+            edges.add((min(v, w), max(v, w)))
+            targets.append(w)
+            targets.append(v)
+
+    vlabels = power_law_labels(num_vertices, num_vertex_labels, rng,
+                               label_exponent)
+    elabels = power_law_labels(len(edges), num_edge_labels, rng,
+                               label_exponent)
+    triples = [(u, v, int(lab)) for (u, v), lab in
+               zip(sorted(edges), elabels)]
+    return LabeledGraph(vlabels, triples)
+
+
+def mesh_graph(rows: int, cols: int, num_vertex_labels: int,
+               num_edge_labels: int, seed: int = 0,
+               label_exponent: float = 1.5) -> LabeledGraph:
+    """A 2-D grid graph with power-law labels.
+
+    Matches the "mesh-like" type of the road_central dataset in Table III:
+    tiny, nearly uniform degrees (max degree 4) and huge diameter.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError("mesh dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    n = rows * cols
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+
+    vlabels = power_law_labels(n, num_vertex_labels, rng, label_exponent)
+    elabels = power_law_labels(len(edges), num_edge_labels, rng,
+                               label_exponent)
+    triples = [(u, v, int(lab)) for (u, v), lab in zip(edges, elabels)]
+    return LabeledGraph(vlabels, triples)
+
+
+def rdf_like_graph(num_vertices: int, num_edges: int, num_vertex_labels: int,
+                   num_edge_labels: int, seed: int = 0,
+                   label_exponent: float = 1.5, hub_fraction: float = 0.01
+                   ) -> LabeledGraph:
+    """An RDF-shaped graph: a small hub set (classes / popular entities)
+    attracting a large share of edges, the rest scale-free-ish.
+
+    This is the stand-in for WatDiv / DBpedia, whose defining features for
+    GSI are (a) very many distinct edge labels and (b) extreme degree skew
+    (Table III reports max degree 2.2M for DBpedia).
+    """
+    if num_vertices < 2:
+        raise GraphError("need at least two vertices")
+    rng = np.random.default_rng(seed)
+    num_hubs = max(1, int(num_vertices * hub_fraction))
+
+    edges: Set[Tuple[int, int]] = set()
+    # Ensure connectivity with a random spanning tree first.
+    perm = rng.permutation(num_vertices)
+    for i in range(1, num_vertices):
+        child = int(perm[i])
+        parent = int(perm[int(rng.integers(i))])
+        edges.add((min(child, parent), max(child, parent)))
+
+    attempts = 0
+    max_attempts = num_edges * 20
+    while len(edges) < num_edges and attempts < max_attempts:
+        attempts += 1
+        u = int(rng.integers(num_vertices))
+        # Half of the remaining edges point at hubs, producing the skew.
+        if rng.random() < 0.5:
+            v = int(rng.integers(num_hubs))
+        else:
+            v = int(rng.integers(num_vertices))
+        if u == v:
+            continue
+        edges.add((min(u, v), max(u, v)))
+
+    vlabels = power_law_labels(num_vertices, num_vertex_labels, rng,
+                               label_exponent)
+    elabels = power_law_labels(len(edges), num_edge_labels, rng,
+                               label_exponent)
+    triples = [(u, v, int(lab)) for (u, v), lab in
+               zip(sorted(edges), elabels)]
+    return LabeledGraph(vlabels, triples)
+
+
+def random_walk_query(graph: LabeledGraph, num_vertices: int,
+                      seed: int = 0, extra_edges: int = 0,
+                      max_restarts: int = 200) -> LabeledGraph:
+    """Generate a query graph by random walk over ``graph`` (Section VII-A).
+
+    Starting from a random vertex, walk until ``num_vertices`` distinct
+    vertices are visited; the visited vertices plus all edges *among them
+    traversed by the walk* (with their labels) form the query.  With
+    ``extra_edges > 0``, additional data-graph edges among the visited
+    vertices are added, which is how Figure 15 varies ``|E(Q)|``
+    independently of ``|V(Q)|``.
+
+    Returns a :class:`LabeledGraph` whose vertex ids are ``0..k-1`` (the
+    order of first visit); it is connected by construction.
+    """
+    if num_vertices < 1:
+        raise GraphError("query must have at least one vertex")
+    if num_vertices > graph.num_vertices:
+        raise GraphError("query larger than the data graph")
+    rng = np.random.default_rng(seed)
+
+    for _ in range(max_restarts):
+        start = int(rng.integers(graph.num_vertices))
+        visited: List[int] = [start]
+        index = {start: 0}
+        walk_edges: Set[Tuple[int, int]] = set()
+        current = start
+        steps = 0
+        step_budget = 50 * num_vertices + 100
+        while len(visited) < num_vertices and steps < step_budget:
+            steps += 1
+            nbrs = graph.neighbors(current)
+            if len(nbrs) == 0:
+                break
+            nxt = int(nbrs[int(rng.integers(len(nbrs)))])
+            if nxt not in index:
+                index[nxt] = len(visited)
+                visited.append(nxt)
+            walk_edges.add((min(current, nxt), max(current, nxt)))
+            current = nxt
+        if len(visited) < num_vertices:
+            continue
+
+        if extra_edges > 0:
+            candidates = []
+            for i, u in enumerate(visited):
+                for v in visited[i + 1:]:
+                    key = (min(u, v), max(u, v))
+                    if key not in walk_edges and graph.has_edge(u, v):
+                        candidates.append(key)
+            rng.shuffle(candidates)
+            for key in candidates[:extra_edges]:
+                walk_edges.add(key)
+
+        vlabels = [graph.vertex_label(v) for v in visited]
+        triples = [
+            (index[u], index[v], graph.edge_label(u, v))
+            for u, v in sorted(walk_edges)
+        ]
+        return LabeledGraph(vlabels, triples)
+
+    raise GraphError(
+        f"could not grow a {num_vertices}-vertex connected query in "
+        f"{max_restarts} restarts (graph too fragmented)"
+    )
+
+
+def query_workload(graph: LabeledGraph, num_queries: int,
+                   query_vertices: int, seed: int = 0,
+                   extra_edges: int = 0) -> List[LabeledGraph]:
+    """A list of random-walk queries with distinct derived seeds."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(num_queries):
+        out.append(random_walk_query(
+            graph, query_vertices, seed=int(rng.integers(2 ** 31)),
+            extra_edges=extra_edges))
+    return out

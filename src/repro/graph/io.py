@@ -1,0 +1,70 @@
+"""Plain-text serialization for labeled graphs.
+
+Format (one record per line, ``#`` comments allowed)::
+
+    t <num_vertices> <num_edges>
+    v <vertex_id> <label>
+    e <u> <v> <label>
+
+This is the same family of format used by common subgraph-matching code
+releases, so externally produced graphs drop in directly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.errors import GraphError
+from repro.graph.labeled_graph import LabeledGraph
+
+PathLike = Union[str, Path]
+
+
+def save_graph(graph: LabeledGraph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` in the text format above."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as f:
+        f.write(f"t {graph.num_vertices} {graph.num_edges}\n")
+        for v in range(graph.num_vertices):
+            f.write(f"v {v} {graph.vertex_label(v)}\n")
+        for u, v, lab in graph.edges():
+            f.write(f"e {u} {v} {lab}\n")
+
+
+def load_graph(path: PathLike) -> LabeledGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    path = Path(path)
+    num_vertices = -1
+    labels: List[int] = []
+    edges: List[Tuple[int, int, int]] = []
+    with path.open("r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            kind = parts[0]
+            if kind == "t":
+                if len(parts) != 3:
+                    raise GraphError(f"{path}:{lineno}: bad header")
+                num_vertices = int(parts[1])
+                labels = [0] * num_vertices
+            elif kind == "v":
+                if len(parts) != 3:
+                    raise GraphError(f"{path}:{lineno}: bad vertex line")
+                vid, lab = int(parts[1]), int(parts[2])
+                if not 0 <= vid < num_vertices:
+                    raise GraphError(
+                        f"{path}:{lineno}: vertex id {vid} out of range")
+                labels[vid] = lab
+            elif kind == "e":
+                if len(parts) != 4:
+                    raise GraphError(f"{path}:{lineno}: bad edge line")
+                edges.append((int(parts[1]), int(parts[2]), int(parts[3])))
+            else:
+                raise GraphError(
+                    f"{path}:{lineno}: unknown record type {kind!r}")
+    if num_vertices < 0:
+        raise GraphError(f"{path}: missing 't' header line")
+    return LabeledGraph(labels, edges)

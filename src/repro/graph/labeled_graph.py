@@ -1,0 +1,264 @@
+"""Undirected labeled graphs: the substrate both GSI and all baselines share.
+
+A :class:`LabeledGraph` is immutable once built.  Vertices are dense integer
+ids ``0..n-1``; every vertex carries an integer label and every edge carries
+an integer label (Definition 1 of the paper).  Internally adjacency is kept
+in a CSR-like layout where each vertex's incidence segment is sorted by
+``(edge_label, neighbor)`` so that ``N(v, l)`` — the primitive the whole
+paper revolves around — is a binary search plus one contiguous slice.
+
+Use :class:`GraphBuilder` to construct graphs incrementally::
+
+    b = GraphBuilder()
+    a_vertex = b.add_vertex(label=3)
+    other = b.add_vertex(label=5)
+    b.add_edge(a_vertex, other, label=1)
+    g = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+
+Edge = Tuple[int, int, int]  # (u, v, edge_label) with u < v
+
+
+class LabeledGraph:
+    """An immutable undirected graph with vertex and edge labels.
+
+    Parameters
+    ----------
+    vertex_labels:
+        Sequence of integer labels, one per vertex; its length defines the
+        number of vertices.
+    edges:
+        Iterable of ``(u, v, label)`` triples.  Edges are undirected; at
+        most one edge may exist between a vertex pair, and self loops are
+        rejected (subgraph isomorphism is defined on simple graphs).
+    """
+
+    def __init__(self, vertex_labels: Sequence[int], edges: Iterable[Edge]):
+        self._vlabels = np.asarray(vertex_labels, dtype=np.int64)
+        if self._vlabels.ndim != 1:
+            raise GraphError("vertex_labels must be one-dimensional")
+        n = int(self._vlabels.shape[0])
+
+        edge_map: Dict[Tuple[int, int], int] = {}
+        for u, v, lab in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) references a missing vertex")
+            if u == v:
+                raise GraphError(f"self loop at vertex {u} is not allowed")
+            key = (u, v) if u < v else (v, u)
+            prev = edge_map.get(key)
+            if prev is not None and prev != lab:
+                raise GraphError(
+                    f"conflicting labels {prev} and {lab} for edge {key}"
+                )
+            edge_map[key] = lab
+        self._edge_map = edge_map
+
+        # Build the CSR-like incidence layout, each segment sorted by
+        # (edge_label, neighbor) so N(v, l) is a searchsorted + slice.
+        m = len(edge_map)
+        src = np.empty(2 * m, dtype=np.int64)
+        dst = np.empty(2 * m, dtype=np.int64)
+        lab_arr = np.empty(2 * m, dtype=np.int64)
+        for i, ((u, v), lab) in enumerate(edge_map.items()):
+            src[2 * i], dst[2 * i], lab_arr[2 * i] = u, v, lab
+            src[2 * i + 1], dst[2 * i + 1], lab_arr[2 * i + 1] = v, u, lab
+        order = np.lexsort((dst, lab_arr, src))
+        src, dst, lab_arr = src[order], dst[order], lab_arr[order]
+
+        self._offsets = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(self._offsets, src + 1, 1)
+        np.cumsum(self._offsets, out=self._offsets)
+        self._nbr = dst
+        self._elab = lab_arr
+
+        counts: Dict[int, int] = {}
+        for lab in edge_map.values():
+            counts[lab] = counts.get(lab, 0) + 1
+        self._edge_label_freq = counts
+
+    # ------------------------------------------------------------------
+    # Basic size / label accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices, ``|V(G)|``."""
+        return int(self._vlabels.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges, ``|E(G)|``."""
+        return len(self._edge_map)
+
+    @property
+    def vertex_labels(self) -> np.ndarray:
+        """Read-only array of vertex labels indexed by vertex id."""
+        return self._vlabels
+
+    def vertex_label(self, v: int) -> int:
+        """Label of vertex ``v``."""
+        return int(self._vlabels[v])
+
+    def distinct_vertex_labels(self) -> List[int]:
+        """Sorted list of vertex labels present in the graph."""
+        return sorted(int(x) for x in np.unique(self._vlabels))
+
+    def distinct_edge_labels(self) -> List[int]:
+        """Sorted list of edge labels present in the graph."""
+        return sorted(self._edge_label_freq)
+
+    def edge_label_frequency(self, label: int) -> int:
+        """``freq(l)``: how many edges of ``G`` carry ``label``."""
+        return self._edge_label_freq.get(label, 0)
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+
+    def degree(self, v: int) -> int:
+        """Number of neighbors of ``v``."""
+        return int(self._offsets[v + 1] - self._offsets[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """``N(v)``: all neighbors of ``v`` (unsorted by id, grouped by label)."""
+        return self._nbr[self._offsets[v]:self._offsets[v + 1]]
+
+    def incident_labels(self, v: int) -> np.ndarray:
+        """Edge labels aligned with :meth:`neighbors`."""
+        return self._elab[self._offsets[v]:self._offsets[v + 1]]
+
+    def neighbors_by_label(self, v: int, label: int) -> np.ndarray:
+        """``N(v, l)``: neighbors of ``v`` over edges labeled ``label``, sorted.
+
+        This is the primitive whose memory cost PCSR optimizes; here it is
+        the *functional* version used by every engine for correctness.
+        """
+        lo, hi = self._offsets[v], self._offsets[v + 1]
+        seg = self._elab[lo:hi]
+        left = lo + np.searchsorted(seg, label, side="left")
+        right = lo + np.searchsorted(seg, label, side="right")
+        return self._nbr[left:right]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether an edge exists between ``u`` and ``v``."""
+        key = (u, v) if u < v else (v, u)
+        return key in self._edge_map
+
+    def edge_label(self, u: int, v: int) -> int:
+        """Label of the edge between ``u`` and ``v``.
+
+        Raises :class:`~repro.errors.GraphError` if no such edge exists.
+        """
+        key = (u, v) if u < v else (v, u)
+        try:
+            return self._edge_map[key]
+        except KeyError:
+            raise GraphError(f"no edge between {u} and {v}") from None
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate ``(u, v, label)`` with ``u < v`` in insertion order."""
+        for (u, v), lab in self._edge_map.items():
+            yield (u, v, lab)
+
+    def max_degree(self) -> int:
+        """Maximum degree over all vertices (``MD`` in Table III)."""
+        if self.num_vertices == 0:
+            return 0
+        return int(np.max(self._offsets[1:] - self._offsets[:-1]))
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (BFS from vertex 0)."""
+        n = self.num_vertices
+        if n == 0:
+            return True
+        seen = np.zeros(n, dtype=bool)
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            v = stack.pop()
+            for w in self.neighbors(v):
+                w = int(w)
+                if not seen[w]:
+                    seen[w] = True
+                    count += 1
+                    stack.append(w)
+        return count == n
+
+    def subgraph_of_edges(self, keep: Iterable[Edge]) -> "LabeledGraph":
+        """New graph with the same vertex set but only ``keep`` edges."""
+        return LabeledGraph(self._vlabels.copy(), keep)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LabeledGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"|LV|={len(set(self._vlabels.tolist()))}, "
+            f"|LE|={len(self._edge_label_freq)})"
+        )
+
+
+class GraphBuilder:
+    """Mutable accumulator that produces a :class:`LabeledGraph`."""
+
+    def __init__(self) -> None:
+        self._vlabels: List[int] = []
+        self._edges: List[Edge] = []
+
+    def add_vertex(self, label: int) -> int:
+        """Add one vertex with ``label``; returns its id."""
+        self._vlabels.append(int(label))
+        return len(self._vlabels) - 1
+
+    def add_vertices(self, labels: Iterable[int]) -> List[int]:
+        """Add several vertices; returns their ids in order."""
+        return [self.add_vertex(lab) for lab in labels]
+
+    def add_edge(self, u: int, v: int, label: int) -> None:
+        """Add one undirected labeled edge."""
+        self._edges.append((int(u), int(v), int(label)))
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vlabels)
+
+    def build(self) -> LabeledGraph:
+        """Freeze into an immutable :class:`LabeledGraph`."""
+        return LabeledGraph(self._vlabels, self._edges)
+
+
+def triangle_query(vlabels: Tuple[int, int, int] = (0, 0, 0),
+                   elabels: Tuple[int, int, int] = (0, 0, 0)) -> LabeledGraph:
+    """A labeled triangle, the smallest cyclic query; handy in tests."""
+    b = GraphBuilder()
+    ids = b.add_vertices(vlabels)
+    b.add_edge(ids[0], ids[1], elabels[0])
+    b.add_edge(ids[1], ids[2], elabels[1])
+    b.add_edge(ids[0], ids[2], elabels[2])
+    return b.build()
+
+
+def path_query(vlabels: Sequence[int], elabels: Optional[Sequence[int]] = None
+               ) -> LabeledGraph:
+    """A labeled path ``v0 - v1 - ... - vk``; handy in tests and examples."""
+    if elabels is None:
+        elabels = [0] * (len(vlabels) - 1)
+    if len(elabels) != len(vlabels) - 1:
+        raise GraphError("need exactly len(vlabels) - 1 edge labels")
+    b = GraphBuilder()
+    ids = b.add_vertices(vlabels)
+    for i, lab in enumerate(elabels):
+        b.add_edge(ids[i], ids[i + 1], lab)
+    return b.build()

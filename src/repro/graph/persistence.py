@@ -1,0 +1,67 @@
+"""Binary persistence for graphs and precomputed engine structures.
+
+Building signature tables and PCSR partitions is the "offline" phase of
+the paper; real deployments persist them.  NumPy ``.npz`` archives keep
+everything dependency-free and fast to reload.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.signature_table import SignatureTable
+from repro.errors import GraphError
+from repro.graph.labeled_graph import LabeledGraph
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_graph_npz(graph: LabeledGraph, path: PathLike) -> None:
+    """Write a graph to a compressed ``.npz`` archive."""
+    edges = list(graph.edges())
+    arr = (np.array(edges, dtype=np.int64) if edges
+           else np.empty((0, 3), dtype=np.int64))
+    np.savez_compressed(
+        Path(path),
+        version=np.int64(_FORMAT_VERSION),
+        vertex_labels=np.asarray(graph.vertex_labels, dtype=np.int64),
+        edges=arr,
+    )
+
+
+def load_graph_npz(path: PathLike) -> LabeledGraph:
+    """Load a graph written by :func:`save_graph_npz`."""
+    with np.load(Path(path)) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise GraphError(
+                f"unsupported graph archive version {version}")
+        vlabels = data["vertex_labels"]
+        edges = [tuple(int(x) for x in row) for row in data["edges"]]
+    return LabeledGraph(vlabels, edges)
+
+
+def save_signature_table(table: SignatureTable, path: PathLike) -> None:
+    """Persist a precomputed signature table."""
+    np.savez_compressed(
+        Path(path),
+        version=np.int64(_FORMAT_VERSION),
+        table=table.table,
+        column_first=np.bool_(table.column_first),
+    )
+
+
+def load_signature_table(path: PathLike) -> SignatureTable:
+    """Reload a signature table written by :func:`save_signature_table`."""
+    with np.load(Path(path)) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise GraphError(
+                f"unsupported signature archive version {version}")
+        return SignatureTable(data["table"].astype(np.uint32),
+                              column_first=bool(data["column_first"]))

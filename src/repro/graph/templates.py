@@ -1,0 +1,163 @@
+"""Query-template generators: the classic subgraph-matching shapes.
+
+Besides the paper's random-walk queries, the subgraph-matching
+literature evaluates on structured templates — paths, stars, cycles,
+cliques, and "flower" combinations.  These helpers instantiate a
+template against a data graph by *sampling an actual occurrence*, so
+every generated query is guaranteed to have at least one match.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
+
+
+def _labels_of(graph: LabeledGraph, vertices: Sequence[int]) -> List[int]:
+    return [graph.vertex_label(int(v)) for v in vertices]
+
+
+def sample_path(graph: LabeledGraph, length: int, seed: int = 0,
+                max_tries: int = 500) -> LabeledGraph:
+    """A path template with ``length`` edges sampled from ``graph``.
+
+    Vertices along the sample are distinct, so the template embeds.
+    """
+    if length < 1:
+        raise GraphError("path needs at least one edge")
+    rng = np.random.default_rng(seed)
+    for _ in range(max_tries):
+        v = int(rng.integers(graph.num_vertices))
+        walk = [v]
+        ok = True
+        for _ in range(length):
+            nbrs = [int(x) for x in graph.neighbors(walk[-1])
+                    if int(x) not in walk]
+            if not nbrs:
+                ok = False
+                break
+            walk.append(nbrs[int(rng.integers(len(nbrs)))])
+        if not ok:
+            continue
+        b = GraphBuilder()
+        ids = b.add_vertices(_labels_of(graph, walk))
+        for i in range(length):
+            b.add_edge(ids[i], ids[i + 1],
+                       graph.edge_label(walk[i], walk[i + 1]))
+        return b.build()
+    raise GraphError(f"no simple path of length {length} found")
+
+
+def sample_star(graph: LabeledGraph, leaves: int, seed: int = 0,
+                max_tries: int = 500) -> LabeledGraph:
+    """A star template: one center with ``leaves`` sampled neighbors."""
+    if leaves < 1:
+        raise GraphError("star needs at least one leaf")
+    rng = np.random.default_rng(seed)
+    for _ in range(max_tries):
+        center = int(rng.integers(graph.num_vertices))
+        nbrs = graph.neighbors(center)
+        if len(nbrs) < leaves:
+            continue
+        chosen = rng.choice(len(nbrs), size=leaves, replace=False)
+        picked = [int(nbrs[i]) for i in chosen]
+        b = GraphBuilder()
+        c = b.add_vertex(graph.vertex_label(center))
+        for w in picked:
+            leaf = b.add_vertex(graph.vertex_label(w))
+            b.add_edge(c, leaf, graph.edge_label(center, w))
+        return b.build()
+    raise GraphError(f"no vertex with {leaves} neighbors found")
+
+
+def sample_cycle(graph: LabeledGraph, length: int, seed: int = 0,
+                 max_tries: int = 2000) -> LabeledGraph:
+    """A cycle template of ``length`` edges sampled from ``graph``.
+
+    Found by sampling simple paths of ``length - 1`` edges whose
+    endpoints are adjacent.
+    """
+    if length < 3:
+        raise GraphError("cycle needs at least three edges")
+    rng = np.random.default_rng(seed)
+    for _ in range(max_tries):
+        v = int(rng.integers(graph.num_vertices))
+        walk = [v]
+        ok = True
+        for _ in range(length - 1):
+            nbrs = [int(x) for x in graph.neighbors(walk[-1])
+                    if int(x) not in walk]
+            if not nbrs:
+                ok = False
+                break
+            walk.append(nbrs[int(rng.integers(len(nbrs)))])
+        if not ok or not graph.has_edge(walk[-1], walk[0]):
+            continue
+        b = GraphBuilder()
+        ids = b.add_vertices(_labels_of(graph, walk))
+        for i in range(length - 1):
+            b.add_edge(ids[i], ids[i + 1],
+                       graph.edge_label(walk[i], walk[i + 1]))
+        b.add_edge(ids[-1], ids[0],
+                   graph.edge_label(walk[-1], walk[0]))
+        return b.build()
+    raise GraphError(f"no {length}-cycle found in {max_tries} tries")
+
+
+def sample_clique(graph: LabeledGraph, size: int, seed: int = 0,
+                  max_tries: int = 5000) -> LabeledGraph:
+    """A clique template of ``size`` vertices sampled from ``graph``."""
+    if size < 2:
+        raise GraphError("clique needs at least two vertices")
+    rng = np.random.default_rng(seed)
+    for _ in range(max_tries):
+        v = int(rng.integers(graph.num_vertices))
+        members = [v]
+        candidates = set(int(x) for x in graph.neighbors(v))
+        while len(members) < size and candidates:
+            w = sorted(candidates)[int(rng.integers(len(candidates)))]
+            members.append(w)
+            candidates &= set(int(x) for x in graph.neighbors(w))
+            candidates.discard(w)
+        if len(members) < size:
+            continue
+        b = GraphBuilder()
+        ids = b.add_vertices(_labels_of(graph, members))
+        for i in range(size):
+            for j in range(i + 1, size):
+                b.add_edge(ids[i], ids[j],
+                           graph.edge_label(members[i], members[j]))
+        return b.build()
+    raise GraphError(f"no {size}-clique found in {max_tries} tries")
+
+
+TEMPLATE_SAMPLERS = {
+    "path": sample_path,
+    "star": sample_star,
+    "cycle": sample_cycle,
+    "clique": sample_clique,
+}
+
+
+def template_workload(graph: LabeledGraph, template: str, size: int,
+                      count: int, seed: int = 0) -> List[LabeledGraph]:
+    """``count`` instances of one template family.
+
+    ``size`` means edges for paths/cycles, leaves for stars, vertices
+    for cliques (each sampler's natural parameter).
+    """
+    try:
+        sampler = TEMPLATE_SAMPLERS[template]
+    except KeyError:
+        raise GraphError(
+            f"unknown template {template!r}; choose from "
+            f"{sorted(TEMPLATE_SAMPLERS)}") from None
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        out.append(sampler(graph, size, seed=int(rng.integers(2 ** 31))))
+    return out

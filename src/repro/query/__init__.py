@@ -1,0 +1,18 @@
+"""SPARQL-style pattern layer over GSI (the knowledge-graph use case)."""
+
+from repro.query.executor import PatternExecutor, PatternResult, run_pattern
+from repro.query.labels import LabelDictionary
+from repro.query.pattern import EdgeClause, GraphPattern, is_variable, parse_pattern
+from repro.query.triples import TripleStore
+
+__all__ = [
+    "PatternExecutor",
+    "PatternResult",
+    "run_pattern",
+    "LabelDictionary",
+    "EdgeClause",
+    "GraphPattern",
+    "is_variable",
+    "parse_pattern",
+    "TripleStore",
+]

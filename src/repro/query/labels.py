@@ -1,0 +1,63 @@
+"""Bidirectional dictionaries between user-facing labels and dense ids.
+
+The engines work on integer labels; real applications (the paper's
+knowledge-graph motivation, Section I) have IRIs and strings.  A
+:class:`LabelDictionary` interns arbitrary hashable labels into dense
+integer ids and back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional
+
+
+class LabelDictionary:
+    """Dense interning of hashable labels.
+
+    >>> d = LabelDictionary()
+    >>> d.intern("Person")
+    0
+    >>> d.intern("City")
+    1
+    >>> d.intern("Person")
+    0
+    >>> d.label_of(1)
+    'City'
+    """
+
+    def __init__(self) -> None:
+        self._by_label: Dict[Hashable, int] = {}
+        self._by_id: List[Hashable] = []
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._by_label
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._by_id)
+
+    def intern(self, label: Hashable) -> int:
+        """Id of ``label``, assigning the next dense id if new."""
+        existing = self._by_label.get(label)
+        if existing is not None:
+            return existing
+        new_id = len(self._by_id)
+        self._by_label[label] = new_id
+        self._by_id.append(label)
+        return new_id
+
+    def id_of(self, label: Hashable) -> int:
+        """Id of a known label; raises ``KeyError`` if absent."""
+        return self._by_label[label]
+
+    def get(self, label: Hashable) -> Optional[int]:
+        """Id of ``label`` or None."""
+        return self._by_label.get(label)
+
+    def label_of(self, label_id: int) -> Hashable:
+        """Label of a known id; raises ``IndexError`` if out of range."""
+        if label_id < 0:
+            raise IndexError(f"negative label id {label_id}")
+        return self._by_id[label_id]

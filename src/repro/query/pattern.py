@@ -1,0 +1,116 @@
+"""Basic graph patterns: the SPARQL-shaped query syntax.
+
+Grammar (one clause per line; ``#`` comments; trailing ``.`` optional)::
+
+    ?var a TypeName          # type declaration for a variable
+    ?x predicate ?y          # edge between two variables
+    ?x predicate entity      # edge between a variable and a constant
+
+Example::
+
+    ?p1 a Person
+    ?p2 a Person
+    ?c  a City
+    ?p1 knows    ?p2
+    ?p1 lives_in ?c
+    ?p2 lives_in ?c
+
+Every variable must carry exactly one type declaration (the engines
+match on vertex labels).  Constants are entity names from the triple
+store; their type is looked up automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True)
+class EdgeClause:
+    """One triple pattern ``subject predicate object``."""
+
+    subject: str
+    predicate: str
+    obj: str
+
+    def terms(self) -> Tuple[str, str]:
+        return (self.subject, self.obj)
+
+
+@dataclass
+class GraphPattern:
+    """A parsed basic graph pattern."""
+
+    var_types: Dict[str, str] = field(default_factory=dict)
+    edges: List[EdgeClause] = field(default_factory=list)
+
+    @property
+    def variables(self) -> List[str]:
+        """Variables in declaration order."""
+        return list(self.var_types)
+
+    def constants(self) -> List[str]:
+        """Constant entity names referenced by edge clauses."""
+        out = []
+        for clause in self.edges:
+            for term in clause.terms():
+                if not is_variable(term) and term not in out:
+                    out.append(term)
+        return out
+
+
+def is_variable(term: str) -> bool:
+    """SPARQL-style variables start with ``?``."""
+    return term.startswith("?")
+
+
+def parse_pattern(text: str) -> GraphPattern:
+    """Parse the pattern syntax above into a :class:`GraphPattern`.
+
+    Raises :class:`~repro.errors.GraphError` on malformed clauses,
+    duplicate or missing type declarations, or patterns without edges.
+    """
+    pattern = GraphPattern()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.endswith("."):
+            line = line[:-1].rstrip()
+        parts = line.split()
+        if len(parts) != 3:
+            raise GraphError(
+                f"pattern line {lineno}: expected 3 terms, got {parts!r}")
+        subject, predicate, obj = parts
+        if predicate == "a":
+            if not is_variable(subject):
+                raise GraphError(
+                    f"pattern line {lineno}: type declaration needs a "
+                    f"variable subject, got {subject!r}")
+            if subject in pattern.var_types:
+                raise GraphError(
+                    f"pattern line {lineno}: duplicate type for {subject}")
+            pattern.var_types[subject] = obj
+            continue
+        if is_variable(predicate):
+            raise GraphError(
+                f"pattern line {lineno}: variable predicates are not "
+                f"supported")
+        if subject == obj:
+            raise GraphError(
+                f"pattern line {lineno}: self-loop clause")
+        pattern.edges.append(EdgeClause(subject, predicate, obj))
+
+    if not pattern.edges and len(pattern.var_types) != 1:
+        raise GraphError("pattern needs at least one edge clause "
+                         "(or exactly one typed variable)")
+    for clause in pattern.edges:
+        for term in clause.terms():
+            if is_variable(term) and term not in pattern.var_types:
+                raise GraphError(
+                    f"variable {term} has no type declaration "
+                    f"('{term} a SomeType')")
+    return pattern

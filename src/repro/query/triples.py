@@ -1,0 +1,101 @@
+"""A tiny triple store: string triples in, a labeled graph out.
+
+This is the application substrate of the paper's knowledge-graph
+motivation (gStore answers SPARQL via subgraph matching, [4] in the
+paper).  Entities, types and predicates are strings; internally they
+become dense ids over a :class:`~repro.graph.labeled_graph.LabeledGraph`.
+
+Simplifications relative to full RDF, documented for users:
+
+* edges are **undirected** (the paper's Definition 1 graphs are
+  undirected) — a triple ``(s, p, o)`` and its inverse coincide;
+* one edge per entity pair (conflicting predicates between the same
+  pair are rejected);
+* every entity must be typed via :meth:`TripleStore.add_type` before
+  :meth:`TripleStore.freeze`, because the engines match on vertex labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.query.labels import LabelDictionary
+
+
+class TripleStore:
+    """Accumulates typed entities and predicate edges, then freezes."""
+
+    def __init__(self) -> None:
+        self.entities = LabelDictionary()
+        self.types = LabelDictionary()
+        self.predicates = LabelDictionary()
+        self._entity_type: Dict[int, int] = {}
+        self._edges: List[Tuple[int, int, int]] = []
+        self._graph: Optional[LabeledGraph] = None
+
+    # ------------------------------------------------------------------
+
+    def add_type(self, entity: str, entity_type: str) -> int:
+        """Declare ``entity`` to be of ``entity_type``; returns its id."""
+        self._mutable()
+        eid = self.entities.intern(entity)
+        tid = self.types.intern(entity_type)
+        prev = self._entity_type.get(eid)
+        if prev is not None and prev != tid:
+            raise GraphError(
+                f"entity {entity!r} retyped from "
+                f"{self.types.label_of(prev)!r} to {entity_type!r}")
+        self._entity_type[eid] = tid
+        return eid
+
+    def add_triple(self, subject: str, predicate: str, obj: str) -> None:
+        """Add the (undirected) edge ``subject -predicate- obj``."""
+        self._mutable()
+        s = self.entities.intern(subject)
+        o = self.entities.intern(obj)
+        if s == o:
+            raise GraphError(f"self-referential triple on {subject!r}")
+        p = self.predicates.intern(predicate)
+        self._edges.append((s, o, p))
+
+    def freeze(self) -> LabeledGraph:
+        """Validate typing and build the immutable labeled graph."""
+        untyped = [self.entities.label_of(eid)
+                   for eid in range(len(self.entities))
+                   if eid not in self._entity_type]
+        if untyped:
+            raise GraphError(
+                f"entities missing a type declaration: {untyped[:5]}"
+                + ("..." if len(untyped) > 5 else ""))
+        labels = [self._entity_type[eid]
+                  for eid in range(len(self.entities))]
+        self._graph = LabeledGraph(labels, self._edges)
+        return self._graph
+
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> LabeledGraph:
+        """The frozen graph; raises if :meth:`freeze` was not called."""
+        if self._graph is None:
+            raise GraphError("TripleStore not frozen yet")
+        return self._graph
+
+    def entity_name(self, vertex_id: int) -> str:
+        """Entity string of a data-graph vertex id."""
+        return str(self.entities.label_of(vertex_id))
+
+    def type_of(self, entity: str) -> str:
+        """Declared type of an entity."""
+        eid = self.entities.id_of(entity)
+        return str(self.types.label_of(self._entity_type[eid]))
+
+    def num_triples(self) -> int:
+        """Number of stored predicate edges."""
+        return len(self._edges)
+
+    def _mutable(self) -> None:
+        if self._graph is not None:
+            raise GraphError("TripleStore already frozen")

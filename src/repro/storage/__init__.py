@@ -1,0 +1,20 @@
+"""Graph storage structures with memory-transaction accounting (Sec. IV)."""
+
+from repro.storage.base import NeighborStore
+from repro.storage.basic import BasicRepresentation
+from repro.storage.compressed import CompressedRepresentation
+from repro.storage.csr import CSRStorage
+from repro.storage.factory import build_storage, storage_kinds
+from repro.storage.pcsr import PCSRPartition, PCSRStorage, default_hash
+
+__all__ = [
+    "NeighborStore",
+    "BasicRepresentation",
+    "CompressedRepresentation",
+    "CSRStorage",
+    "build_storage",
+    "storage_kinds",
+    "PCSRPartition",
+    "PCSRStorage",
+    "default_hash",
+]

@@ -1,0 +1,54 @@
+"""Traditional 3-layer CSR (Figure 10): the baseline storage structure.
+
+One row-offset array over all vertices, one column-index array holding all
+neighbor lists, and one edge-value array with the labels.  Extracting
+``N(v, l)`` must scan *every* neighbor of ``v`` and check its edge label,
+so the cost is O(|N(v)|) transactions-wise and suffers thread
+underutilization (threads holding wrong-label neighbors are wasted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.gpusim.transactions import contiguous_read
+from repro.storage.base import EMPTY, NeighborStore
+
+
+class CSRStorage(NeighborStore):
+    """Whole-graph CSR with an edge-label layer."""
+
+    kind = "csr"
+
+    def __init__(self, graph: LabeledGraph) -> None:
+        self._graph = graph
+        n = graph.num_vertices
+        self._offsets = np.zeros(n + 1, dtype=np.int64)
+        for v in range(n):
+            self._offsets[v + 1] = self._offsets[v] + graph.degree(v)
+
+    def neighbors(self, v: int, label: int) -> np.ndarray:
+        arr = self._graph.neighbors_by_label(v, label)
+        if len(arr) == 0:
+            return EMPTY
+        return np.sort(arr)
+
+    def locate_transactions(self, v: int, label: int) -> int:
+        # One transaction fetches the (begin, end) offset pair.
+        return 1
+
+    def read_transactions(self, v: int, label: int) -> int:
+        # Must stream the full neighborhood *and* the parallel edge-label
+        # array, then discard non-matching entries.
+        deg = self._graph.degree(v)
+        return contiguous_read(deg) * 2
+
+    def streamed_elements(self, v: int, label: int) -> int:
+        # Every neighbor is inspected; wrong-label lanes are wasted.
+        return self._graph.degree(v)
+
+    def space_words(self) -> int:
+        n = self._graph.num_vertices
+        m2 = 2 * self._graph.num_edges
+        return (n + 1) + m2 + m2  # offsets + column index + edge values

@@ -1,0 +1,39 @@
+"""Factory for neighbor stores, used by engine configs and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.errors import StorageError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.storage.base import NeighborStore
+from repro.storage.basic import BasicRepresentation
+from repro.storage.compressed import CompressedRepresentation
+from repro.storage.csr import CSRStorage
+from repro.storage.pcsr import PCSRStorage
+
+_KINDS: Dict[str, Type[NeighborStore]] = {
+    "csr": CSRStorage,
+    "basic": BasicRepresentation,
+    "compressed": CompressedRepresentation,
+    "pcsr": PCSRStorage,
+}
+
+
+def storage_kinds() -> list:
+    """All registered storage kinds, Table II order."""
+    return ["csr", "basic", "compressed", "pcsr"]
+
+
+def build_storage(kind: str, graph: LabeledGraph, **kwargs) -> NeighborStore:
+    """Build a neighbor store of the given ``kind`` over ``graph``.
+
+    ``kwargs`` are forwarded (e.g. ``gpn=`` for PCSR).
+    """
+    try:
+        cls = _KINDS[kind]
+    except KeyError:
+        raise StorageError(
+            f"unknown storage kind {kind!r}; choose from {sorted(_KINDS)}"
+        ) from None
+    return cls(graph, **kwargs)

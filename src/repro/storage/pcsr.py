@@ -1,0 +1,279 @@
+"""PCSR: the paper's GPU-friendly storage structure (Definition 4, Alg. 1).
+
+For each edge-label partition ``P(G, l)``, the row-offset layer becomes an
+array of hash *groups*.  Each group holds up to ``GPN - 1`` key pairs
+``(vertex, offset)`` plus one trailing ``(GID, END)`` pair: ``GID`` chains
+to the group holding this group's overflow keys (-1 if none) and ``END``
+closes the last key's neighbor extent.  With ``GPN = 16`` a group is
+exactly 128 bytes, so one warp reads a whole group in a single memory
+transaction — which is how PCSR achieves O(1)-transaction ``N(v, l)``.
+
+The number of groups equals the number of vertices in the partition (a
+one-to-one hash), and Claim 1 guarantees overflowing groups always find
+enough empty groups to chain into.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.partition import EdgeLabelPartition, partition_by_edge_label
+from repro.gpusim.transactions import contiguous_read
+from repro.storage.base import EMPTY, NeighborStore
+
+_EMPTY_SLOT = -1
+_NO_OVERFLOW = -1
+
+#: multiplicative (Knuth) hash constant for spreading vertex ids
+_HASH_MULT = 2654435761
+
+
+def default_hash(v: int, num_groups: int) -> int:
+    """The one-to-one hash mapping vertex ids to group ids."""
+    return ((v * _HASH_MULT) & 0xFFFFFFFF) % num_groups
+
+
+class PCSRPartition:
+    """PCSR structure for a single edge-label partition (Definition 4).
+
+    Attributes
+    ----------
+    groups:
+        int64 array of shape ``(num_groups, GPN, 2)``; slot ``[g, j]`` is
+        the pair ``(v, ov)`` for ``j < GPN-1`` (``v == -1`` marks unused)
+        and ``(GID, END)`` for ``j == GPN-1``.
+    ci:
+        Column-index layer holding all neighbor lists back to back.
+    """
+
+    def __init__(self, partition: EdgeLabelPartition, gpn: int = 16) -> None:
+        if not 2 <= gpn <= 16:
+            raise StorageError(f"GPN must be in [2, 16], got {gpn}")
+        self.gpn = gpn
+        self.label = partition.label
+        items = partition.items()
+        self.num_groups = max(1, len(items))
+        self.groups = np.full((self.num_groups, gpn, 2), _EMPTY_SLOT,
+                              dtype=np.int64)
+        self.groups[:, gpn - 1, 0] = _NO_OVERFLOW
+
+        # --- Algorithm 1, lines 3-4: hash every key to a home group. ---
+        keyed: List[List[int]] = [[] for _ in range(self.num_groups)]
+        for v, _ in items:
+            keyed[default_hash(v, self.num_groups)].append(v)
+
+        capacity = gpn - 1
+        # --- Lines 5-8: resolve overflow through empty groups. ---
+        placed: List[List[int]] = [ks[:capacity] for ks in keyed]
+        overflow: List[Tuple[int, List[int]]] = [
+            (gid, ks[capacity:]) for gid, ks in enumerate(keyed)
+            if len(ks) > capacity
+        ]
+        empty_pool = [gid for gid, ks in enumerate(keyed) if not ks]
+        chain_next: Dict[int, int] = {}
+        for origin, spill in overflow:
+            current = origin
+            while spill:
+                if not empty_pool:
+                    raise StorageError(
+                        "ran out of empty groups resolving overflow; "
+                        "Claim 1 violated (this is a bug)")
+                target = empty_pool.pop()
+                chain_next[current] = target
+                placed[target] = spill[:capacity]
+                spill = spill[capacity:]
+                current = target
+
+        # --- Lines 9-13: lay out ci and record offsets. ---
+        adjacency = {v: nbrs for v, nbrs in items}
+        chunks: List[np.ndarray] = []
+        pos = 0
+        for gid in range(self.num_groups):
+            for j, v in enumerate(placed[gid]):
+                nbrs = adjacency[v]
+                self.groups[gid, j, 0] = v
+                self.groups[gid, j, 1] = pos
+                chunks.append(nbrs)
+                pos += len(nbrs)
+            self.groups[gid, gpn - 1, 1] = pos  # END flag
+            self.groups[gid, gpn - 1, 0] = chain_next.get(gid, _NO_OVERFLOW)
+        self.ci = (np.concatenate(chunks) if chunks
+                   else np.empty(0, dtype=np.int64))
+        self._keys_per_group = [len(p) for p in placed]
+
+    # ------------------------------------------------------------------
+    # Lookup (the 4-step procedure under Figure 11c)
+    # ------------------------------------------------------------------
+
+    def _probe(self, v: int) -> Tuple[int, int, int]:
+        """Walk the group chain for ``v``.
+
+        Returns ``(groups_read, begin, end)`` with ``begin == end == -1``
+        if ``v`` is not in this partition.
+        """
+        gid = default_hash(v, self.num_groups)
+        reads = 0
+        while gid != _NO_OVERFLOW:
+            reads += 1
+            group = self.groups[gid]
+            for j in range(self.gpn - 1):
+                if group[j, 0] == v:
+                    begin = int(group[j, 1])
+                    if j + 1 < self.gpn - 1 and group[j + 1, 0] != _EMPTY_SLOT:
+                        end = int(group[j + 1, 1])
+                    else:
+                        end = int(group[self.gpn - 1, 1])
+                    return reads, begin, end
+            gid = int(group[self.gpn - 1, 0])
+        return reads, -1, -1
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """``N(v, l)`` from the PCSR layout (not the source graph)."""
+        _, begin, end = self._probe(v)
+        if begin < 0:
+            return EMPTY
+        return self.ci[begin:end]
+
+    def probe_transactions(self, v: int) -> int:
+        """Groups read to locate ``v`` — each is one 128 B transaction
+        when ``GPN = 16`` (one warp, one transaction per group)."""
+        reads, _, _ = self._probe(v)
+        return max(1, reads)
+
+    def max_chain_length(self) -> int:
+        """Longest overflow chain (paper: expected <= 1 + 5log|V|/loglog|V|)."""
+        longest = 1
+        for gid in range(self.num_groups):
+            length = 1
+            cur = int(self.groups[gid, self.gpn - 1, 0])
+            while cur != _NO_OVERFLOW:
+                length += 1
+                cur = int(self.groups[cur, self.gpn - 1, 0])
+            longest = max(longest, length)
+        return longest
+
+    def validate(self) -> List[str]:
+        """Structural invariant check; returns human-readable violations.
+
+        Invariants of Definition 4: key slots fill contiguously from
+        slot 0; offsets are non-decreasing in layout order and bounded
+        by ``len(ci)``; every GID points at a real group (or -1); chains
+        are acyclic; every key hashes (transitively) to the group chain
+        that holds it.
+        """
+        problems: List[str] = []
+        gpn = self.gpn
+        for gid in range(self.num_groups):
+            group = self.groups[gid]
+            seen_empty = False
+            prev_offset = -1
+            for j in range(gpn - 1):
+                v, ov = int(group[j, 0]), int(group[j, 1])
+                if v == _EMPTY_SLOT:
+                    seen_empty = True
+                    continue
+                if seen_empty:
+                    problems.append(f"group {gid}: key after empty slot")
+                if not 0 <= ov <= len(self.ci):
+                    problems.append(f"group {gid} slot {j}: offset {ov} "
+                                    f"out of range")
+                if ov < prev_offset:
+                    problems.append(f"group {gid} slot {j}: offsets "
+                                    f"decrease")
+                prev_offset = ov
+            end = int(group[gpn - 1, 1])
+            if not 0 <= end <= len(self.ci):
+                problems.append(f"group {gid}: END {end} out of range")
+            if prev_offset > end:
+                problems.append(f"group {gid}: last offset beyond END")
+            next_gid = int(group[gpn - 1, 0])
+            if next_gid != _NO_OVERFLOW and \
+                    not 0 <= next_gid < self.num_groups:
+                problems.append(f"group {gid}: bad GID {next_gid}")
+
+        # Chain acyclicity + key reachability (skipping broken GIDs,
+        # which were already reported above).
+        def walk_chain(start: int) -> set:
+            chain: set = set()
+            cur = start
+            while cur != _NO_OVERFLOW and cur not in chain:
+                if not 0 <= cur < self.num_groups:
+                    break
+                chain.add(cur)
+                cur = int(self.groups[cur, self.gpn - 1, 0])
+            return chain
+
+        for gid in range(self.num_groups):
+            visited: set = set()
+            cur = gid
+            while cur != _NO_OVERFLOW and 0 <= cur < self.num_groups:
+                if cur in visited:
+                    problems.append(
+                        f"group {gid}: cyclic overflow chain")
+                    break
+                visited.add(cur)
+                cur = int(self.groups[cur, self.gpn - 1, 0])
+        for gid in range(self.num_groups):
+            for j in range(gpn - 1):
+                v = int(self.groups[gid, j, 0])
+                if v == _EMPTY_SLOT:
+                    break
+                home = default_hash(v, self.num_groups)
+                if gid not in walk_chain(home):
+                    problems.append(
+                        f"key {v} stored in group {gid}, unreachable "
+                        f"from home group {home}")
+        return problems
+
+    def load_factor(self) -> float:
+        """Fraction of key slots occupied."""
+        total_slots = self.num_groups * (self.gpn - 1)
+        return sum(self._keys_per_group) / total_slots if total_slots else 0.0
+
+    def space_words(self) -> int:
+        """Words occupied: 2 per slot in the group layer, plus ci."""
+        return self.groups.size + len(self.ci)
+
+
+class PCSRStorage(NeighborStore):
+    """All edge-label partitions stored as PCSR (the "+DS" technique)."""
+
+    kind = "pcsr"
+
+    def __init__(self, graph: LabeledGraph, gpn: int = 16) -> None:
+        self.gpn = gpn
+        self._parts: Dict[int, PCSRPartition] = {}
+        for lab, part in partition_by_edge_label(graph).items():
+            self._parts[lab] = PCSRPartition(part, gpn=gpn)
+
+    def partition(self, label: int) -> Optional[PCSRPartition]:
+        """The PCSR of one edge label, if any edges carry it."""
+        return self._parts.get(label)
+
+    def neighbors(self, v: int, label: int) -> np.ndarray:
+        part = self._parts.get(label)
+        if part is None:
+            return EMPTY
+        return part.neighbors(v)
+
+    def locate_transactions(self, v: int, label: int) -> int:
+        part = self._parts.get(label)
+        if part is None:
+            return 0
+        return part.probe_transactions(v)
+
+    def read_transactions(self, v: int, label: int) -> int:
+        return contiguous_read(len(self.neighbors(v, label)))
+
+    def space_words(self) -> int:
+        return sum(p.space_words() for p in self._parts.values())
+
+    def max_chain_length(self) -> int:
+        """Longest overflow chain across all partitions."""
+        if not self._parts:
+            return 0
+        return max(p.max_chain_length() for p in self._parts.values())

@@ -1,0 +1,97 @@
+"""Direction tests for every paper ablation: the cost model must move the
+way the paper's tables say it moves (Tables IV-XI shapes, in miniature)."""
+
+import pytest
+
+from repro import GSIConfig, GSIEngine
+from repro.bench.runner import gsi_factory, run_workload
+from repro.bench.workloads import Workload
+from repro.graph.generators import rdf_like_graph
+
+
+@pytest.fixture(scope="module")
+def heavy_workload():
+    """A hub-skewed workload whose joins carry real weight."""
+    g = rdf_like_graph(1200, 8400, 15, 25, seed=17)
+    return Workload.for_graph("heavy", g, num_queries=3, query_vertices=10)
+
+
+@pytest.fixture(scope="module")
+def chain(heavy_workload):
+    """Summaries of the Table VI ablation chain on the heavy workload."""
+    out = {}
+    for name, cfg in [("base", GSIConfig.baseline()),
+                      ("ds", GSIConfig.with_ds()),
+                      ("pc", GSIConfig.with_pc()),
+                      ("so", GSIConfig.gsi()),
+                      ("lb", GSIConfig.with_lb()),
+                      ("opt", GSIConfig.gsi_opt())]:
+        out[name] = run_workload(gsi_factory(cfg), heavy_workload)
+    return out
+
+
+class TestTable6Directions:
+    def test_all_configs_same_matches(self, chain):
+        counts = {s.total_matches for s in chain.values()}
+        assert len(counts) == 1
+
+    def test_ds_drops_join_gld(self, chain):
+        assert chain["ds"].avg_join_gld < chain["base"].avg_join_gld
+
+    def test_pc_drops_join_gld(self, chain):
+        assert chain["pc"].avg_join_gld < chain["ds"].avg_join_gld
+
+    def test_pc_speedup_bounded_by_two(self, chain):
+        # "PC can reduce the amount of work by at most half."
+        assert chain["ds"].avg_ms / chain["pc"].avg_ms < 2.2
+
+    def test_so_drops_join_gld_and_time(self, chain):
+        assert chain["so"].avg_join_gld < chain["pc"].avg_join_gld
+        assert chain["so"].avg_ms < chain["pc"].avg_ms
+
+    def test_full_chain_monotone_gld(self, chain):
+        seq = [chain[k].avg_join_gld for k in ("base", "ds", "pc", "so")]
+        assert seq == sorted(seq, reverse=True)
+
+
+class TestTable7WriteCache:
+    def test_write_cache_cuts_gst(self, heavy_workload):
+        from dataclasses import replace
+        with_cache = run_workload(gsi_factory(GSIConfig.gsi()),
+                                  heavy_workload)
+        without = run_workload(
+            gsi_factory(replace(GSIConfig.gsi(), use_write_cache=False)),
+            heavy_workload)
+        assert with_cache.avg_gst < without.avg_gst
+        assert with_cache.total_matches == without.total_matches
+
+
+class TestTable8Optimizations:
+    def test_lb_never_slower(self, chain):
+        assert chain["lb"].avg_ms <= chain["so"].avg_ms * 1.05
+
+    def test_dr_drops_gld(self, chain):
+        assert chain["opt"].avg_join_gld <= chain["lb"].avg_join_gld
+
+
+class TestTable4Filtering:
+    def test_signature_filter_tighter_than_label_degree(self,
+                                                        heavy_workload):
+        from repro.baselines import GpSMEngine, GunrockSMEngine
+        g = heavy_workload.graph
+        gsi = GSIEngine(g, GSIConfig.gsi())
+        for q in heavy_workload.queries:
+            mc_gsi = gsi.filter_only(q).min_candidate_size
+            mc_gun = GunrockSMEngine(g).match(q).min_candidate_size
+            assert mc_gsi <= mc_gun
+
+
+class TestTable5SignatureLength:
+    def test_longer_signatures_never_weaker(self, heavy_workload):
+        g = heavy_workload.graph
+        q = heavy_workload.queries[0]
+        minc = []
+        for bits in (64, 192, 512):
+            engine = GSIEngine(g, GSIConfig(signature_bits=bits))
+            minc.append(engine.filter_only(q).min_candidate_size)
+        assert minc[0] >= minc[1] >= minc[2]

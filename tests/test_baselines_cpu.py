@@ -1,0 +1,129 @@
+"""Tests for the CPU baseline engines (Ullmann, VF3-style, CFL-style)."""
+
+import pytest
+
+from repro.baselines import CFLMatchEngine, UllmannEngine, VF2Engine
+from repro.baselines.cfl import cfl_decompose, two_core
+from repro.baselines.cpu_base import OpCounter
+from repro.errors import BudgetExceeded
+from repro.graph.generators import random_walk_query
+from repro.graph.labeled_graph import GraphBuilder, LabeledGraph, path_query, triangle_query
+
+from conftest import brute_force_matches
+
+
+class TestOpCounter:
+    def test_counts(self):
+        c = OpCounter()
+        c.add(5)
+        c.add()
+        assert c.ops == 6
+        assert c.elapsed_ms > 0
+
+    def test_budget_raises(self):
+        c = OpCounter(budget_ms=0.000001)
+        with pytest.raises(BudgetExceeded):
+            c.add(10_000_000)
+
+    def test_no_budget_never_raises(self):
+        c = OpCounter()
+        c.add(10_000_000)  # fine
+
+
+@pytest.mark.parametrize("engine_cls", [UllmannEngine, VF2Engine,
+                                        CFLMatchEngine])
+class TestCorrectness:
+    def test_agrees_with_brute_force(self, engine_cls, small_graph,
+                                     small_queries):
+        engine = engine_cls(small_graph)
+        for q in small_queries:
+            r = engine.match(q)
+            assert not r.timed_out
+            assert r.match_set() == brute_force_matches(q, small_graph)
+
+    def test_triangle_query(self, engine_cls, small_graph):
+        q = triangle_query((0, 0, 0), (0, 0, 0))
+        r = engine_cls(small_graph).match(q)
+        assert r.match_set() == brute_force_matches(q, small_graph)
+
+    def test_no_matches_for_unknown_label(self, engine_cls, small_graph):
+        q = LabeledGraph([12345], [])
+        r = engine_cls(small_graph).match(q)
+        assert r.num_matches == 0
+
+    def test_elapsed_positive(self, engine_cls, small_graph):
+        q = random_walk_query(small_graph, 4, seed=0)
+        r = engine_cls(small_graph).match(q)
+        assert r.elapsed_ms > 0
+
+    def test_budget_timeout(self, engine_cls, small_graph):
+        q = random_walk_query(small_graph, 5, seed=0)
+        r = engine_cls(small_graph, budget_ms=1e-7).match(q)
+        assert r.timed_out
+
+
+class TestCFLDecomposition:
+    def test_triangle_is_all_core(self):
+        q = triangle_query()
+        core, forest, leaves = cfl_decompose(q)
+        assert core == {0, 1, 2}
+        assert not forest and not leaves
+
+    def test_path_has_no_core(self):
+        q = path_query([0, 0, 0, 0])
+        core, forest, leaves = cfl_decompose(q)
+        assert core == set()
+        assert leaves == {0, 3}
+        assert forest == {1, 2}
+
+    def test_lollipop(self):
+        # triangle 0-1-2 with a tail 2-3-4
+        b = GraphBuilder()
+        ids = b.add_vertices([0] * 5)
+        b.add_edge(0, 1, 0)
+        b.add_edge(1, 2, 0)
+        b.add_edge(0, 2, 0)
+        b.add_edge(2, 3, 0)
+        b.add_edge(3, 4, 0)
+        q = b.build()
+        core, forest, leaves = cfl_decompose(q)
+        assert core == {0, 1, 2}
+        assert forest == {3}
+        assert leaves == {4}
+
+    def test_two_core_of_cycle(self):
+        b = GraphBuilder()
+        ids = b.add_vertices([0] * 4)
+        for i in range(4):
+            b.add_edge(i, (i + 1) % 4, 0)
+        assert two_core(b.build()) == {0, 1, 2, 3}
+
+    def test_leaves_matched_last(self, small_graph):
+        """CFL's matching order must place degree-1 leaves at the end."""
+        b = GraphBuilder()
+        ids = b.add_vertices([small_graph.vertex_label(v)
+                              for v in range(3)])
+        engine = CFLMatchEngine(small_graph)
+        for seed in range(5):
+            q = random_walk_query(small_graph, 5, seed=seed)
+            core, forest, leaves = cfl_decompose(q)
+            if not core or not leaves:
+                continue
+            r = engine.match(q)
+            if not r.join_order:
+                continue
+            positions = {u: i for i, u in enumerate(r.join_order)}
+            assert max(positions[u] for u in core) \
+                < min(positions[u] for u in leaves)
+
+
+class TestVF2Order:
+    def test_order_connected(self, small_graph):
+        engine = VF2Engine(small_graph)
+        q = random_walk_query(small_graph, 6, seed=2)
+        r = engine.match(q)
+        order = r.join_order
+        seen = {order[0]}
+        for u in order[1:]:
+            assert any(int(w) in seen for w in q.neighbors(u))
+            seen.add(u)

@@ -1,0 +1,73 @@
+"""Tests for the GPU baseline engines (GpSM / GunrockSM)."""
+
+import pytest
+
+from repro.baselines import GpSMEngine, GunrockSMEngine
+from repro.graph.generators import random_walk_query
+from repro.graph.labeled_graph import LabeledGraph
+
+from conftest import brute_force_matches
+
+
+@pytest.mark.parametrize("engine_cls", [GpSMEngine, GunrockSMEngine])
+class TestCorrectness:
+    def test_agrees_with_brute_force(self, engine_cls, small_graph,
+                                     small_queries):
+        engine = engine_cls(small_graph)
+        for q in small_queries:
+            r = engine.match(q)
+            assert not r.timed_out
+            assert r.match_set() == brute_force_matches(q, small_graph)
+
+    def test_match_columns_ordered_by_query_vertex(self, engine_cls,
+                                                   small_graph):
+        q = random_walk_query(small_graph, 4, seed=1)
+        r = engine_cls(small_graph).match(q)
+        for m in r.matches:
+            for u, v in enumerate(m):
+                assert small_graph.vertex_label(v) == q.vertex_label(u)
+
+    def test_budget_timeout(self, engine_cls, small_graph):
+        q = random_walk_query(small_graph, 5, seed=0)
+        r = engine_cls(small_graph, budget_ms=1e-9).match(q)
+        assert r.timed_out
+
+    def test_row_cap(self, engine_cls, small_graph):
+        q = random_walk_query(small_graph, 5, seed=0)
+        r = engine_cls(small_graph, max_intermediate_rows=1).match(q)
+        assert r.timed_out or r.num_matches <= 1
+
+    def test_no_candidates_early_exit(self, engine_cls, small_graph):
+        q = LabeledGraph([991, 992], [(0, 1, 0)])
+        r = engine_cls(small_graph).match(q)
+        assert r.num_matches == 0
+        assert not r.timed_out
+
+
+class TestTwoStepCost:
+    def test_counters_populated(self, small_graph):
+        q = random_walk_query(small_graph, 4, seed=2)
+        r = GpSMEngine(small_graph).match(q)
+        assert r.counters.gld > 0
+        assert r.counters.kernel_launches > 0
+        assert r.elapsed_ms > 0
+
+    def test_phases_recorded(self, small_graph):
+        q = random_walk_query(small_graph, 4, seed=2)
+        r = GpSMEngine(small_graph).match(q)
+        assert r.phases.filter_ms > 0
+        assert r.phases.total_ms == pytest.approx(r.elapsed_ms)
+
+    def test_gpsm_filter_tighter_than_gunrock(self, medium_graph):
+        """GpSM's refinement yields candidate sets no larger than
+        GunrockSM's label+degree filter (Table IV relationship)."""
+        for seed in range(3):
+            q = random_walk_query(medium_graph, 5, seed=seed)
+            rp = GpSMEngine(medium_graph).match(q)
+            rg = GunrockSMEngine(medium_graph).match(q)
+            assert rp.min_candidate_size <= rg.min_candidate_size
+
+    def test_engine_names(self, small_graph):
+        q = random_walk_query(small_graph, 3, seed=1)
+        assert GpSMEngine(small_graph).match(q).engine == "GpSM"
+        assert GunrockSMEngine(small_graph).match(q).engine == "GunrockSM"

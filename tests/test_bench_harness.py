@@ -1,0 +1,100 @@
+"""Tests for the benchmark harness (workloads, runner, reporting)."""
+
+import pytest
+
+from repro.bench.reporting import drop_pct, render_series, render_table, speedup
+from repro.bench.runner import (
+    baseline_factory,
+    gsi_factory,
+    run_matrix,
+    run_workload,
+)
+from repro.bench.workloads import Workload, standard_workloads
+from repro.core.config import GSIConfig
+from repro.graph.generators import scale_free_graph
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    g = scale_free_graph(150, 3, 5, 5, seed=3)
+    return Workload.for_graph("tiny", g, num_queries=2, query_vertices=4)
+
+
+class TestWorkloads:
+    def test_for_graph(self, tiny_workload):
+        assert tiny_workload.name == "tiny"
+        assert len(tiny_workload.queries) == 2
+        assert all(q.num_vertices == 4 for q in tiny_workload.queries)
+
+    def test_for_dataset(self):
+        wl = Workload.for_dataset("enron", num_queries=1, query_vertices=5)
+        assert wl.name == "enron"
+        assert len(wl.queries) == 1
+
+    def test_standard_workloads_cover_datasets(self):
+        wls = standard_workloads(num_queries=1, query_vertices=4)
+        assert list(wls) == ["enron", "gowalla", "road", "watdiv",
+                             "dbpedia"]
+
+
+class TestRunner:
+    def test_run_workload_gsi(self, tiny_workload):
+        s = run_workload(gsi_factory(GSIConfig.gsi()), tiny_workload)
+        assert s.queries == 2
+        assert s.timeouts == 0
+        assert s.avg_ms > 0
+        assert s.engine == "GSI"
+        assert len(s.results) == 2
+
+    @pytest.mark.parametrize("kind", ["vf3", "cfl", "ullmann", "turbo",
+                                      "gpsm", "gunrock"])
+    def test_baseline_factories(self, tiny_workload, kind):
+        s = run_workload(baseline_factory(kind), tiny_workload)
+        assert s.queries == 2
+        assert s.avg_ms >= 0
+
+    def test_unknown_baseline(self):
+        with pytest.raises(ValueError):
+            baseline_factory("magic")(None)
+
+    def test_engines_agree_through_harness(self, tiny_workload):
+        a = run_workload(gsi_factory(GSIConfig.gsi()), tiny_workload)
+        b = run_workload(baseline_factory("vf3"), tiny_workload)
+        assert a.total_matches == b.total_matches
+
+    def test_run_matrix(self, tiny_workload):
+        out = run_matrix(
+            {"GSI": gsi_factory(GSIConfig.gsi()),
+             "VF3": baseline_factory("vf3")},
+            {"tiny": tiny_workload})
+        assert len(out) == 2
+        assert {s.engine for s in out} == {"GSI", "VF3"}
+
+    def test_timed_out_flag(self, tiny_workload):
+        s = run_workload(gsi_factory(GSIConfig.gsi(), budget_ms=1e-6),
+                         tiny_workload)
+        assert s.timeouts == 2
+        assert s.timed_out
+
+
+class TestReporting:
+    def test_render_table_contains_data(self):
+        out = render_table("T", ["a", "b"], [[1, 2.5], ["x", 10_000.0]],
+                           note="hello")
+        assert "== T ==" in out
+        assert "2.500" in out
+        assert "10,000" in out
+        assert "hello" in out
+
+    def test_render_series(self):
+        out = render_series("F", "x", [1, 2],
+                            {"gsi": [1.0, None], "vf3": [2.0, 3.0]})
+        assert "gsi" in out and "-" in out
+
+    def test_drop_pct(self):
+        assert drop_pct(100, 70) == "30%"
+        assert drop_pct(0, 5) == "0%"
+
+    def test_speedup(self):
+        assert speedup(10, 5) == "2.0x"
+        assert speedup(1, 0) == "inf"

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_match_defaults(self):
+        args = build_parser().parse_args(["match"])
+        assert args.dataset == "gowalla"
+        assert args.engine == "gsi-opt"
+        assert args.queries == 3
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["match", "--engine", "magic"])
+
+    def test_bad_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["match", "--dataset", "nope"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("enron", "gowalla", "road", "watdiv", "dbpedia"):
+            assert name in out
+
+    def test_match(self, capsys):
+        rc = main(["match", "--dataset", "enron", "--engine", "gsi",
+                   "--queries", "1", "--query-vertices", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gsi on enron" in out
+        assert "avg" in out
+
+    def test_shootout_agreement(self, capsys):
+        rc = main(["shootout", "--dataset", "enron", "--queries", "1",
+                   "--query-vertices", "4",
+                   "--engines", "vf3", "gsi-opt"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "same matches" in out

@@ -1,0 +1,98 @@
+"""Cross-engine equivalence: all six engines return the same match sets.
+
+Also checks GSI against NetworkX's subgraph monomorphism oracle, pinning
+down the semantics: non-induced, label-preserving, injective embeddings.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import GSIConfig, GSIEngine, random_walk_query
+from repro.baselines import (
+    CFLMatchEngine,
+    GpSMEngine,
+    GunrockSMEngine,
+    TurboISOEngine,
+    UllmannEngine,
+    VF2Engine,
+)
+from repro.graph.generators import scale_free_graph
+
+from conftest import brute_force_matches
+
+ALL_ENGINES = [
+    lambda g: GSIEngine(g, GSIConfig.gsi()),
+    lambda g: GSIEngine(g, GSIConfig.gsi_opt()),
+    lambda g: GSIEngine(g, GSIConfig.baseline()),
+    UllmannEngine,
+    VF2Engine,
+    CFLMatchEngine,
+    TurboISOEngine,
+    GpSMEngine,
+    GunrockSMEngine,
+]
+
+
+class TestAllEnginesAgree:
+    @pytest.mark.parametrize("qseed", range(6))
+    def test_same_match_sets(self, small_graph, qseed):
+        q = random_walk_query(small_graph, 4, seed=qseed)
+        ref = brute_force_matches(q, small_graph)
+        for factory in ALL_ENGINES:
+            engine = factory(small_graph)
+            got = engine.match(q).match_set()
+            assert got == ref, getattr(engine, "name", factory)
+
+    def test_medium_graph_bigger_queries(self, medium_graph):
+        q = random_walk_query(medium_graph, 7, seed=11)
+        results = {}
+        for factory in ALL_ENGINES:
+            engine = factory(medium_graph)
+            results[engine.name + str(id(engine))] = \
+                engine.match(q).match_set()
+        sets = list(results.values())
+        assert all(s == sets[0] for s in sets)
+
+
+class TestNetworkXOracle:
+    def test_gsi_matches_networkx_monomorphisms(self, small_graph):
+        nx = pytest.importorskip("networkx")
+        from networkx.algorithms import isomorphism
+
+        def to_nx(g):
+            G = nx.Graph()
+            for v in range(g.num_vertices):
+                G.add_node(v, label=g.vertex_label(v))
+            for u, v, lab in g.edges():
+                G.add_edge(u, v, label=lab)
+            return G
+
+        G = to_nx(small_graph)
+        engine = GSIEngine(small_graph)
+        for seed in range(5):
+            q = random_walk_query(small_graph, 4, seed=seed)
+            Q = to_nx(q)
+            gm = isomorphism.GraphMatcher(
+                G, Q,
+                node_match=lambda a, b: a["label"] == b["label"],
+                edge_match=lambda a, b: a["label"] == b["label"])
+            nx_matches = set()
+            for mapping in gm.subgraph_monomorphisms_iter():
+                inv = {qu: gv for gv, qu in mapping.items()}
+                nx_matches.add(tuple(inv[u]
+                                     for u in range(q.num_vertices)))
+            assert engine.match(q).match_set() == nx_matches
+
+
+@settings(max_examples=15, deadline=None)
+@given(gseed=st.integers(0, 5), qseed=st.integers(0, 200),
+       qsize=st.integers(2, 5))
+def test_property_random_graphs_engines_agree(gseed, qseed, qsize):
+    g = scale_free_graph(80, 2, 3, 2, seed=gseed)
+    q = random_walk_query(g, qsize, seed=qseed)
+    ref = brute_force_matches(q, g)
+    assert GSIEngine(g, GSIConfig.gsi()).match(q).match_set() == ref
+    assert VF2Engine(g).match(q).match_set() == ref
+    assert GpSMEngine(g).match(q).match_set() == ref

@@ -1,0 +1,71 @@
+"""Tests for the dataset stand-ins (Table III analogs)."""
+
+import pytest
+
+from repro.graph import datasets
+from repro.graph.stats import graph_stats
+
+
+class TestLoaders:
+    @pytest.mark.parametrize("name", datasets.all_names())
+    def test_loads_and_connected_enough(self, name):
+        g = datasets.load(name)
+        s = graph_stats(g)
+        assert s.num_vertices > 100
+        assert s.num_edges > s.num_vertices * 0.9
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            datasets.load("nope")
+
+    def test_road_is_mesh(self):
+        g = datasets.road_like()
+        assert g.max_degree() <= 4
+
+    def test_scale_free_have_hubs(self):
+        for name in ("enron", "gowalla", "watdiv", "dbpedia"):
+            g = datasets.load(name)
+            s = graph_stats(g)
+            assert s.max_degree > 4 * s.mean_degree, name
+
+    def test_dbpedia_has_largest_edge_vocabulary(self):
+        les = {name: graph_stats(datasets.load(name)).num_edge_labels
+               for name in datasets.all_names()}
+        assert les["dbpedia"] == max(les.values())
+
+    def test_scale_parameter_grows_graph(self):
+        small = datasets.enron_like(scale=0.5)
+        big = datasets.enron_like(scale=2.0)
+        assert big.num_vertices > small.num_vertices
+
+    def test_deterministic(self):
+        a = datasets.gowalla_like()
+        b = datasets.gowalla_like()
+        assert set(a.edges()) == set(b.edges())
+
+    def test_custom_seed(self):
+        a = datasets.load("enron", seed=1)
+        b = datasets.load("enron", seed=2)
+        assert set(a.edges()) != set(b.edges())
+
+
+class TestWatdivSeries:
+    def test_linear_growth(self):
+        series = datasets.watdiv_series(steps=4, base_vertices=150)
+        sizes = [g.num_vertices for g in series]
+        assert sizes == [150, 300, 450, 600]
+        edges = [g.num_edges for g in series]
+        assert all(e2 > e1 for e1, e2 in zip(edges, edges[1:]))
+
+    def test_default_is_ten_steps(self):
+        assert len(datasets.watdiv_series(steps=10, base_vertices=60)) == 10
+
+
+class TestSpecs:
+    def test_all_names_have_specs(self):
+        for name in datasets.all_names():
+            assert name in datasets.SPECS
+            assert datasets.SPECS[name].graph_type in ("scale-free", "mesh")
+
+    def test_loaders_cover_specs(self):
+        assert set(datasets.LOADERS) == set(datasets.SPECS)

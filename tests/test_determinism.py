@@ -1,0 +1,76 @@
+"""Determinism: everything in the cost path must be bit-for-bit
+repeatable — the substitution's whole value is deterministic measurement."""
+
+import pytest
+
+from repro import GSIConfig, GSIEngine, random_walk_query
+from repro.baselines import CFLMatchEngine, GpSMEngine, VF2Engine
+from repro.bench.runner import gsi_factory, run_workload
+from repro.bench.workloads import Workload
+from repro.graph.datasets import load, watdiv_series
+from repro.graph.generators import scale_free_graph
+
+
+class TestEngineDeterminism:
+    def test_gsi_identical_runs(self, medium_graph):
+        q = random_walk_query(medium_graph, 6, seed=4)
+        rs = [GSIEngine(medium_graph, GSIConfig.gsi_opt()).match(q)
+              for _ in range(2)]
+        assert rs[0].matches == rs[1].matches
+        assert rs[0].elapsed_ms == rs[1].elapsed_ms
+        assert rs[0].counters.gld == rs[1].counters.gld
+        assert rs[0].counters.gst == rs[1].counters.gst
+        assert rs[0].counters.kernel_launches \
+            == rs[1].counters.kernel_launches
+        assert rs[0].join_order == rs[1].join_order
+
+    @pytest.mark.parametrize("engine_cls", [VF2Engine, CFLMatchEngine,
+                                            GpSMEngine])
+    def test_baselines_identical_runs(self, medium_graph, engine_cls):
+        q = random_walk_query(medium_graph, 5, seed=4)
+        r1 = engine_cls(medium_graph).match(q)
+        r2 = engine_cls(medium_graph).match(q)
+        assert r1.matches == r2.matches
+        assert r1.elapsed_ms == r2.elapsed_ms
+
+    def test_match_order_is_stable(self, medium_graph):
+        """Not just the set — the emitted order must be reproducible."""
+        q = random_walk_query(medium_graph, 5, seed=9)
+        engine = GSIEngine(medium_graph)
+        assert engine.match(q).matches == engine.match(q).matches
+
+
+class TestWorkloadDeterminism:
+    def test_workload_summaries_repeat(self):
+        wl = Workload.for_dataset("enron", num_queries=2,
+                                  query_vertices=5)
+        s1 = run_workload(gsi_factory(GSIConfig.gsi()), wl)
+        s2 = run_workload(gsi_factory(GSIConfig.gsi()), wl)
+        assert s1.avg_ms == s2.avg_ms
+        assert s1.avg_join_gld == s2.avg_join_gld
+        assert s1.total_matches == s2.total_matches
+
+    def test_datasets_stable_across_loads(self):
+        for name in ("enron", "road"):
+            a, b = load(name), load(name)
+            assert list(a.vertex_labels) == list(b.vertex_labels)
+            assert set(a.edges()) == set(b.edges())
+
+    def test_watdiv_series_stable(self):
+        s1 = watdiv_series(steps=2, base_vertices=100)
+        s2 = watdiv_series(steps=2, base_vertices=100)
+        for g1, g2 in zip(s1, s2):
+            assert set(g1.edges()) == set(g2.edges())
+
+
+class TestSeedSensitivity:
+    def test_different_seeds_different_graphs(self):
+        a = scale_free_graph(100, 3, 4, 4, seed=0)
+        b = scale_free_graph(100, 3, 4, 4, seed=1)
+        assert set(a.edges()) != set(b.edges())
+
+    def test_query_seed_changes_query(self, medium_graph):
+        q1 = random_walk_query(medium_graph, 6, seed=1)
+        q2 = random_walk_query(medium_graph, 6, seed=2)
+        assert (list(q1.vertex_labels) != list(q2.vertex_labels)
+                or set(q1.edges()) != set(q2.edges()))

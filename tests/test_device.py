@@ -1,0 +1,85 @@
+"""Tests for the simulated device."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BudgetExceeded
+from repro.gpusim.constants import (
+    KERNEL_LAUNCH_CYCLES,
+    KERNEL_QUEUE_CYCLES,
+    cycles_to_ms,
+)
+from repro.gpusim.device import Device
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        d = Device()
+        assert d.clock_cycles == 0.0
+        assert d.elapsed_ms == 0.0
+
+    def test_kernel_advances_clock(self):
+        d = Device()
+        d.run_kernel([100.0, 50.0], name="k")
+        assert d.clock_cycles >= KERNEL_LAUNCH_CYCLES + 100
+        assert d.elapsed_ms == cycles_to_ms(d.clock_cycles)
+
+    def test_kernel_records(self):
+        d = Device()
+        d.run_kernel([1.0], name="mykernel")
+        assert d.kernels[0].name == "mykernel"
+        assert d.kernels[0].num_tasks == 1
+        assert d.meter.kernel_launches == 1
+
+    def test_launch_overhead_queue_cost(self):
+        d = Device()
+        d.launch_overhead(10)
+        assert d.clock_cycles == pytest.approx(10 * KERNEL_QUEUE_CYCLES)
+        assert d.meter.kernel_launches == 10
+
+
+class TestBudget:
+    def test_budget_raises(self):
+        d = Device(budget_cycles=10.0)
+        with pytest.raises(BudgetExceeded):
+            d.run_kernel([1e9])
+
+    def test_budget_not_hit(self):
+        d = Device(budget_cycles=1e12)
+        d.run_kernel([100.0])  # should not raise
+
+
+class TestPrefixSum:
+    def test_exclusive_scan_values(self):
+        d = Device()
+        out = d.exclusive_prefix_sum([3, 1, 2])
+        assert list(out) == [0, 3, 4, 6]
+
+    def test_empty(self):
+        d = Device()
+        out = d.exclusive_prefix_sum([])
+        assert list(out) == [0]
+
+    def test_charges_memory_traffic(self):
+        d = Device()
+        before = d.meter.snapshot()
+        d.exclusive_prefix_sum(list(range(1000)))
+        delta = d.meter.snapshot().diff(before)
+        assert delta.gld > 0
+        assert delta.gst > 0
+        assert delta.kernel_launches == 1
+
+    def test_large_scan_matches_numpy(self):
+        d = Device()
+        data = np.arange(500) % 7
+        out = d.exclusive_prefix_sum(data)
+        expect = np.concatenate([[0], np.cumsum(data)])
+        assert np.array_equal(out, expect)
+
+
+class TestMemset:
+    def test_charges_stores(self):
+        d = Device()
+        d.memset_cycles(1024)
+        assert d.meter.gst >= 32
+        assert d.clock_cycles > 0

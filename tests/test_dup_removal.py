@@ -1,0 +1,70 @@
+"""Tests for Algorithm 5 (duplicate removal within a block)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dup_removal import (
+    distinct_loads,
+    removable_fraction,
+    sharing_assignment,
+)
+
+
+class TestSharingAssignment:
+    def test_all_distinct(self):
+        assert sharing_assignment([5, 6, 7]) == [0, 1, 2]
+
+    def test_all_same(self):
+        assert sharing_assignment([9, 9, 9, 9]) == [0, 0, 0, 0]
+
+    def test_paper_figure9_pattern(self):
+        # Figure 9: every row starts with v0 -> one warp reads, all share.
+        addr = sharing_assignment([0, 0, 0, 0, 0])
+        assert addr == [0] * 5
+
+    def test_mixed(self):
+        assert sharing_assignment([3, 4, 3, 5, 4]) == [0, 1, 0, 3, 1]
+
+    def test_empty(self):
+        assert sharing_assignment([]) == []
+
+
+class TestDistinctLoads:
+    def test_counts_unique(self):
+        assert distinct_loads([1, 1, 2, 3, 3, 3]) == 3
+
+    def test_empty(self):
+        assert distinct_loads([]) == 0
+
+
+class TestRemovableFraction:
+    def test_no_duplicates_zero(self):
+        assert removable_fraction(list(range(64)), block_size=32) == 0.0
+
+    def test_all_duplicates_max(self):
+        frac = removable_fraction([7] * 64, block_size=32)
+        # two blocks, one load each: 62 of 64 loads removed
+        assert abs(frac - 62 / 64) < 1e-9
+
+    def test_block_boundary_limits_sharing(self):
+        # Same vertex in different blocks cannot share (the paper's
+        # noted bottleneck: DR only works within one block).
+        col = [1] * 32 + [1] * 32
+        frac_small = removable_fraction(col, block_size=32)
+        frac_large = removable_fraction(col, block_size=64)
+        assert frac_large > frac_small
+
+    def test_empty(self):
+        assert removable_fraction([]) == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 9), max_size=100))
+def test_property_first_occurrence_points_to_self(vertices):
+    addr = sharing_assignment(vertices)
+    for i, a in enumerate(addr):
+        assert 0 <= a <= i
+        assert vertices[a] == vertices[i]
+        if a == i:
+            # first occurrence: nothing before it holds this vertex
+            assert vertices[i] not in vertices[:i]

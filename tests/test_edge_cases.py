@@ -1,0 +1,122 @@
+"""Edge-case battery across the engine stack."""
+
+import pytest
+
+from repro import GSIConfig, GSIEngine
+from repro.baselines import GpSMEngine, TurboISOEngine, VF2Engine
+from repro.graph.labeled_graph import GraphBuilder, LabeledGraph, triangle_query
+
+from conftest import brute_force_matches
+
+
+class TestSelfMatch:
+    """A graph queried with itself must find at least its identity."""
+
+    def test_triangle_on_itself(self):
+        q = triangle_query((0, 1, 2), (3, 4, 5))
+        r = GSIEngine(q).match(q)
+        assert (0, 1, 2) in r.match_set()
+        assert r.num_matches == 1  # fully labeled: rigid
+
+    def test_symmetric_triangle_on_itself(self):
+        q = triangle_query((0, 0, 0), (1, 1, 1))
+        r = GSIEngine(q).match(q)
+        assert r.num_matches == 6  # all automorphisms
+
+
+class TestUnknownLabels:
+    def test_query_edge_label_absent_from_graph(self, small_graph):
+        lab = small_graph.vertex_label(0)
+        q = LabeledGraph([lab, lab], [(0, 1, 987_654)])
+        for engine in (GSIEngine(small_graph), VF2Engine(small_graph),
+                       GpSMEngine(small_graph),
+                       TurboISOEngine(small_graph)):
+            assert engine.match(q).num_matches == 0
+
+    def test_mixed_known_unknown_edge_labels(self, small_graph):
+        lab = small_graph.vertex_label(0)
+        known = small_graph.distinct_edge_labels()[0]
+        q = LabeledGraph([lab, lab, lab],
+                         [(0, 1, known), (1, 2, 987_654)])
+        assert GSIEngine(small_graph).match(q).num_matches == 0
+
+
+class TestDisconnectedDataGraph:
+    def test_matching_spans_components(self):
+        # Two identical components: a 3-path each.
+        b = GraphBuilder()
+        for base in (0, 3):
+            ids = [b.add_vertex(0), b.add_vertex(1), b.add_vertex(0)]
+            b.add_edge(ids[0], ids[1], 0)
+            b.add_edge(ids[1], ids[2], 0)
+        g = b.build()
+        q = LabeledGraph([0, 1, 0], [(0, 1, 0), (1, 2, 0)])
+        r = GSIEngine(g).match(q)
+        assert r.match_set() == brute_force_matches(q, g)
+        assert r.num_matches == 4  # 2 per component (reflection)
+
+
+class TestDenseQueries:
+    def test_query_larger_than_max_clique(self, small_graph):
+        lab = small_graph.vertex_label(0)
+        b = GraphBuilder()
+        ids = b.add_vertices([lab] * 6)
+        for i in range(6):
+            for j in range(i + 1, 6):
+                b.add_edge(ids[i], ids[j], 0)
+        q = b.build()
+        r = GSIEngine(small_graph).match(q)
+        assert r.match_set() == brute_force_matches(q, small_graph)
+
+    def test_multigraph_like_parallel_labels(self):
+        # Same vertex pair cannot carry two labels; the query planner
+        # must still handle two edges sharing endpoints via a middle
+        # vertex (theta shape).
+        b = GraphBuilder()
+        x, m1, m2, y = b.add_vertices([0, 1, 1, 0])
+        b.add_edge(x, m1, 0)
+        b.add_edge(m1, y, 0)
+        b.add_edge(x, m2, 0)
+        b.add_edge(m2, y, 0)
+        q = b.build()
+        gb = GraphBuilder()
+        gx, gm1, gm2, gm3, gy = gb.add_vertices([0, 1, 1, 1, 0])
+        for gm in (gm1, gm2, gm3):
+            gb.add_edge(gx, gm, 0)
+            gb.add_edge(gm, gy, 0)
+        g = gb.build()
+        r = GSIEngine(g).match(q)
+        assert r.match_set() == brute_force_matches(q, g)
+        assert r.num_matches == 2 * 3 * 2  # x/y swap x m1,m2 choices
+
+
+class TestLargeLabels:
+    def test_huge_label_values(self):
+        big = 2 ** 31 - 1
+        g = LabeledGraph([big, big], [(0, 1, big)])
+        q = LabeledGraph([big, big], [(0, 1, big)])
+        r = GSIEngine(g).match(q)
+        assert r.num_matches == 2
+
+    def test_label_zero(self):
+        g = LabeledGraph([0, 0], [(0, 1, 0)])
+        q = LabeledGraph([0, 0], [(0, 1, 0)])
+        assert GSIEngine(g).match(q).num_matches == 2
+
+
+class TestStarAndChainExtremes:
+    def test_long_chain_query(self, medium_graph):
+        from repro.graph.templates import sample_path
+
+        q = sample_path(medium_graph, 9, seed=4)
+        r = GSIEngine(medium_graph, GSIConfig.gsi_opt()).match(q)
+        assert r.num_matches >= 1
+        assert not r.timed_out
+
+    def test_high_degree_star(self, medium_graph):
+        from repro.graph.templates import sample_star
+
+        q = sample_star(medium_graph, 8, seed=4)
+        gsi = GSIEngine(medium_graph).match(q)
+        turbo = TurboISOEngine(medium_graph).match(q)
+        assert gsi.match_set() == turbo.match_set()

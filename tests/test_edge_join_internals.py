@@ -1,0 +1,118 @@
+"""Unit tests for the edge-oriented join internals (GpSM/GunrockSM)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.edge_join import EdgeJoinCostProfile, EdgeJoinEngine
+from repro.baselines.gpsm import GpSMEngine
+from repro.errors import GraphError
+from repro.graph.generators import random_walk_query, scale_free_graph
+from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
+from repro.gpusim.device import Device
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return scale_free_graph(150, 3, 4, 3, seed=5)
+
+
+class TestEdgeOrder:
+    def test_covers_all_query_edges(self, graph):
+        engine = GpSMEngine(graph)
+        q = random_walk_query(graph, 6, seed=1)
+        sizes = {u: 10 for u in range(6)}
+        order = engine._edge_order(q, sizes)
+        assert sorted((min(a, b), max(a, b), l) for a, b, l in order) \
+            == sorted((min(a, b), max(a, b), l) for a, b, l in q.edges())
+
+    def test_each_edge_touches_covered_prefix(self, graph):
+        engine = GpSMEngine(graph)
+        q = random_walk_query(graph, 7, seed=2)
+        order = engine._edge_order(q, {u: 5 for u in range(7)})
+        covered = {order[0][0], order[0][1]}
+        for a, b, _ in order[1:]:
+            assert a in covered or b in covered
+            covered.update((a, b))
+
+    def test_edgeless_query_rejected(self, graph):
+        engine = GpSMEngine(graph)
+        with pytest.raises(GraphError):
+            engine._edge_order(LabeledGraph([0], []), {0: 1})
+
+    def test_starts_from_rarest_endpoint(self, graph):
+        engine = GpSMEngine(graph)
+        q = random_walk_query(graph, 5, seed=3)
+        sizes = {u: 100 for u in range(5)}
+        sizes[2] = 1  # force edges at vertex 2 first
+        order = engine._edge_order(q, sizes)
+        if any(2 in (a, b) for a, b, _ in q.edges()):
+            assert 2 in (order[0][0], order[0][1])
+
+
+class TestCandidateEdges:
+    def test_pairs_are_real_edges(self, graph):
+        engine = GpSMEngine(graph)
+        q = random_walk_query(graph, 4, seed=1)
+        device = Device()
+        candidates = engine._filter(q, device)
+        u1, u2, lab = next(iter(q.edges()))
+        pairs = engine._collect_candidate_edges(u1, u2, lab, candidates,
+                                                device)
+        for v1, v2 in pairs:
+            assert graph.has_edge(v1, v2)
+            assert graph.edge_label(v1, v2) == lab
+
+    def test_two_step_doubles_gld(self, graph):
+        engine = GpSMEngine(graph)
+        q = random_walk_query(graph, 4, seed=1)
+        device = Device()
+        candidates = engine._filter(q, device)
+        before = device.meter.snapshot()
+        u1, u2, lab = next(iter(q.edges()))
+        engine._collect_candidate_edges(u1, u2, lab, candidates, device)
+        delta = device.meter.snapshot().diff(before)
+        # counted GLD is exactly twice the single-pass read work
+        assert delta.labeled_gld["join"] % 2 == 0
+        assert delta.kernel_launches >= 2  # count + write kernels
+
+
+class TestJoinFilter:
+    def test_semijoin_keeps_only_real_edges(self):
+        # Data: square 0-1-2-3 with labels; rows over (u0, u1) pairs.
+        b = GraphBuilder()
+        ids = b.add_vertices([0, 0, 0, 0])
+        b.add_edge(0, 1, 0)
+        b.add_edge(1, 2, 0)
+        b.add_edge(2, 3, 0)
+        g = b.build()
+        engine = GpSMEngine(g)
+        device = Device()
+        rows = [(0, 1), (0, 2), (1, 2), (3, 0)]
+        kept = engine._join_filter(rows, [10, 11], 10, 11, 0, device)
+        assert set(kept) == {(0, 1), (1, 2)}
+
+    def test_wrong_label_filtered(self):
+        g = LabeledGraph([0, 0], [(0, 1, 7)])
+        engine = GpSMEngine(g)
+        kept = engine._join_filter([(0, 1)], [5, 6], 5, 6, 8, Device())
+        assert kept == []
+
+
+class TestCostProfile:
+    def test_default_profile(self):
+        p = EdgeJoinCostProfile()
+        assert p.candidate_probe_gld == 2
+        assert p.batched_intermediate_writes
+
+    def test_base_class_filter_abstract(self, graph):
+        engine = EdgeJoinEngine(graph)
+        with pytest.raises(NotImplementedError):
+            engine._filter(LabeledGraph([0], []), Device())
+
+    def test_storage_kind_pcsr(self, graph):
+        engine = GpSMEngine(graph, storage_kind="pcsr")
+        assert engine.store.kind == "pcsr"
+        q = random_walk_query(graph, 4, seed=2)
+        csr_result = GpSMEngine(graph).match(q)
+        pcsr_result = engine.match(q)
+        assert csr_result.match_set() == pcsr_result.match_set()

@@ -1,0 +1,126 @@
+"""Failure-injection tests: corrupted structures must be detectable and
+budget exhaustion must degrade gracefully, never silently."""
+
+import numpy as np
+import pytest
+
+from repro import GSIConfig, GSIEngine, random_walk_query
+from repro.baselines import GpSMEngine, VF2Engine
+from repro.core.verify import verify_all
+from repro.errors import BudgetExceeded
+from repro.graph.generators import scale_free_graph
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.partition import partition_by_edge_label
+from repro.storage.pcsr import PCSRPartition
+
+
+@pytest.fixture()
+def pcsr():
+    g = scale_free_graph(120, 3, 3, 2, seed=3)
+    part = partition_by_edge_label(g)[0]
+    return PCSRPartition(part, gpn=4)
+
+
+class TestPCSRValidation:
+    def test_fresh_structure_valid(self, pcsr):
+        assert pcsr.validate() == []
+
+    def test_all_gpn_fresh_structures_valid(self):
+        g = scale_free_graph(150, 3, 3, 3, seed=9)
+        for gpn in (2, 3, 8, 16):
+            for part in partition_by_edge_label(g).values():
+                assert PCSRPartition(part, gpn=gpn).validate() == []
+
+    def test_detects_offset_corruption(self, pcsr):
+        # Find a populated key slot and wreck its offset.
+        for gid in range(pcsr.num_groups):
+            if pcsr.groups[gid, 0, 0] != -1:
+                pcsr.groups[gid, 0, 1] = len(pcsr.ci) + 99
+                break
+        assert any("out of range" in p for p in pcsr.validate())
+
+    def test_detects_bad_gid(self, pcsr):
+        pcsr.groups[0, pcsr.gpn - 1, 0] = 10_000
+        assert any("bad GID" in p for p in pcsr.validate())
+
+    def test_detects_cycle(self, pcsr):
+        # Self-loop chain.
+        pcsr.groups[0, pcsr.gpn - 1, 0] = 0
+        problems = pcsr.validate()
+        assert any("cyclic" in p for p in problems) or \
+            any("bad GID" in p for p in problems)
+
+    def test_detects_key_after_gap(self, pcsr):
+        # Force pattern [empty, key] in some group.
+        for gid in range(pcsr.num_groups):
+            if pcsr.groups[gid, 0, 0] != -1:
+                pcsr.groups[gid, 1, 0] = pcsr.groups[gid, 0, 0]
+                pcsr.groups[gid, 1, 1] = pcsr.groups[gid, 0, 1]
+                pcsr.groups[gid, 0, 0] = -1
+                break
+        assert any("after empty slot" in p for p in pcsr.validate())
+
+    def test_detects_misplaced_key(self, pcsr):
+        # Plant a vertex in a group its hash chain cannot reach.
+        from repro.storage.pcsr import default_hash
+        victim = None
+        for gid in range(pcsr.num_groups):
+            if pcsr.groups[gid, 0, 0] != -1:
+                victim = gid
+                break
+        foreign = 987_654_321
+        if default_hash(foreign, pcsr.num_groups) == victim:
+            foreign += 1
+        pcsr.groups[victim, 0, 0] = foreign
+        assert any("unreachable" in p for p in pcsr.validate())
+
+
+class TestBudgetDegradation:
+    def test_gsi_timeout_reports_no_partial_matches(self, small_graph):
+        q = random_walk_query(small_graph, 5, seed=2)
+        r = GSIEngine(small_graph, GSIConfig(budget_ms=1e-5)).match(q)
+        assert r.timed_out
+        assert r.matches == []
+
+    def test_vf2_timeout_flag(self, small_graph):
+        q = random_walk_query(small_graph, 5, seed=2)
+        r = VF2Engine(small_graph, budget_ms=1e-9).match(q)
+        assert r.timed_out
+
+    def test_gpsm_timeout_flag(self, small_graph):
+        q = random_walk_query(small_graph, 5, seed=2)
+        r = GpSMEngine(small_graph, budget_ms=1e-9).match(q)
+        assert r.timed_out
+
+    def test_budget_error_carries_context(self):
+        from repro.gpusim.device import Device
+        d = Device(budget_cycles=1.0)
+        with pytest.raises(BudgetExceeded) as exc:
+            d.advance(100.0)
+        assert "budget" in str(exc.value)
+
+
+class TestOutputIntegrity:
+    """Every engine's output must survive independent verification."""
+
+    def test_gsi_verified_on_adversarial_graph(self):
+        # A graph full of near-matches: same labels, one edge label off.
+        edges = []
+        for i in range(0, 60, 3):
+            edges.append((i, i + 1, 0))
+            edges.append((i + 1, i + 2, 1 if i % 6 else 0))
+        g = LabeledGraph([0] * 60, edges)
+        q = LabeledGraph([0, 0, 0], [(0, 1, 0), (1, 2, 0)])
+        r = GSIEngine(g).match(q)
+        assert verify_all(q, g, r.matches) == []
+        # Only the chains whose second edge kept label 0 match.
+        for m in r.matches:
+            for u1, u2, lab in q.edges():
+                assert g.edge_label(m[u1], m[u2]) == lab
+
+    def test_no_duplicate_rows_in_results(self, small_graph):
+        engine = GSIEngine(small_graph, GSIConfig.gsi_opt())
+        for seed in range(3):
+            q = random_walk_query(small_graph, 4, seed=seed)
+            r = engine.match(q)
+            assert len(r.matches) == len(set(r.matches))

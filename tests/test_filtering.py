@@ -1,0 +1,84 @@
+"""Tests for the filtering phase (candidate generation)."""
+
+import numpy as np
+
+from repro.core.filtering import filter_candidates, label_degree_candidates
+from repro.core.signature_table import SignatureTable
+from repro.graph.generators import random_walk_query, scale_free_graph
+from repro.gpusim.device import Device
+
+from conftest import brute_force_matches
+
+
+def setup(bits=256, seed=3):
+    g = scale_free_graph(150, 3, 4, 4, seed=seed)
+    q = random_walk_query(g, 4, seed=1)
+    table = SignatureTable.build(g, bits)
+    return g, q, table
+
+
+class TestSignatureFilter:
+    def test_candidates_contain_all_true_matches(self):
+        g, q, table = setup()
+        device = Device()
+        cands = filter_candidates(q, table, device, 256)
+        matches = brute_force_matches(q, g)
+        for match in matches:
+            for u, v in enumerate(match):
+                assert v in set(int(x) for x in cands[u])
+
+    def test_all_query_vertices_covered(self):
+        g, q, table = setup()
+        cands = filter_candidates(q, table, Device(), 256)
+        assert set(cands) == set(range(q.num_vertices))
+
+    def test_meter_and_clock_advance(self):
+        g, q, table = setup()
+        device = Device()
+        filter_candidates(q, table, device, 256)
+        assert device.meter.labeled_gld("filter") > 0
+        assert device.meter.kernel_launches == q.num_vertices
+        assert device.elapsed_ms > 0
+
+    def test_candidate_labels_match(self):
+        g, q, table = setup()
+        cands = filter_candidates(q, table, Device(), 256)
+        for u, arr in cands.items():
+            for v in arr:
+                assert g.vertex_label(int(v)) == q.vertex_label(u)
+
+
+class TestLabelDegreeFilter:
+    def test_weaker_than_signature_filter(self):
+        g, q, table = setup(bits=512)
+        sig_cands = filter_candidates(q, table, Device(), 512)
+        ld_cands = label_degree_candidates(q, g, Device())
+        for u in range(q.num_vertices):
+            # label+degree must be a superset of signature candidates
+            assert set(int(x) for x in sig_cands[u]) \
+                <= set(int(x) for x in ld_cands[u])
+
+    def test_refinement_shrinks_or_equal(self):
+        g, q, _ = setup()
+        plain = label_degree_candidates(q, g, Device(),
+                                        check_neighbor_labels=False)
+        refined = label_degree_candidates(q, g, Device(),
+                                          check_neighbor_labels=True)
+        for u in range(q.num_vertices):
+            assert set(int(x) for x in refined[u]) \
+                <= set(int(x) for x in plain[u])
+
+    def test_refined_still_sound(self):
+        g, q, _ = setup()
+        refined = label_degree_candidates(q, g, Device(),
+                                          check_neighbor_labels=True)
+        for match in brute_force_matches(q, g):
+            for u, v in enumerate(match):
+                assert v in set(int(x) for x in refined[u])
+
+    def test_degree_pruning_applied(self):
+        g, q, _ = setup()
+        cands = label_degree_candidates(q, g, Device())
+        for u, arr in cands.items():
+            for v in arr:
+                assert g.degree(int(v)) >= q.degree(u)

@@ -1,0 +1,183 @@
+"""Tests for graph and query generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    mesh_graph,
+    power_law_labels,
+    query_workload,
+    random_walk_query,
+    rdf_like_graph,
+    scale_free_graph,
+)
+
+
+class TestPowerLawLabels:
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        labs = power_law_labels(1000, 7, rng)
+        assert labs.min() >= 0 and labs.max() < 7
+
+    def test_skew(self):
+        rng = np.random.default_rng(0)
+        labs = power_law_labels(5000, 10, rng, exponent=1.5)
+        counts = np.bincount(labs, minlength=10)
+        assert counts[0] > counts[5] > 0
+
+    def test_single_label(self):
+        rng = np.random.default_rng(0)
+        labs = power_law_labels(10, 1, rng)
+        assert set(labs.tolist()) == {0}
+
+    def test_invalid_count(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(GraphError):
+            power_law_labels(10, 0, rng)
+
+    def test_deterministic(self):
+        a = power_law_labels(100, 5, np.random.default_rng(3))
+        b = power_law_labels(100, 5, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestScaleFree:
+    def test_sizes(self):
+        g = scale_free_graph(200, 3, 5, 5, seed=1)
+        assert g.num_vertices == 200
+        assert g.num_edges >= 3 * (200 - 3) * 0.9
+
+    def test_deterministic(self):
+        g1 = scale_free_graph(100, 2, 3, 3, seed=9)
+        g2 = scale_free_graph(100, 2, 3, 3, seed=9)
+        assert set(g1.edges()) == set(g2.edges())
+
+    def test_seed_changes_graph(self):
+        g1 = scale_free_graph(100, 2, 3, 3, seed=1)
+        g2 = scale_free_graph(100, 2, 3, 3, seed=2)
+        assert set(g1.edges()) != set(g2.edges())
+
+    def test_heavy_tail(self):
+        g = scale_free_graph(800, 3, 5, 5, seed=4)
+        degs = sorted(g.degree(v) for v in range(800))
+        assert degs[-1] > 5 * (2 * g.num_edges / 800)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            scale_free_graph(1, 1, 1, 1)
+
+    def test_connected(self):
+        g = scale_free_graph(300, 2, 4, 4, seed=2)
+        assert g.is_connected()
+
+
+class TestMesh:
+    def test_grid_structure(self):
+        g = mesh_graph(5, 7, 3, 3, seed=0)
+        assert g.num_vertices == 35
+        assert g.num_edges == 5 * 6 + 4 * 7  # horizontal + vertical
+        assert g.max_degree() <= 4
+
+    def test_invalid_dims(self):
+        with pytest.raises(GraphError):
+            mesh_graph(0, 5, 1, 1)
+
+    def test_connected(self):
+        assert mesh_graph(6, 6, 2, 2, seed=1).is_connected()
+
+
+class TestRdfLike:
+    def test_sizes(self):
+        g = rdf_like_graph(400, 2000, 10, 20, seed=3)
+        assert g.num_vertices == 400
+        assert g.num_edges >= 1800  # close to the target
+
+    def test_connected_by_spanning_tree(self):
+        g = rdf_like_graph(300, 900, 5, 5, seed=8)
+        assert g.is_connected()
+
+    def test_hub_skew(self):
+        g = rdf_like_graph(1000, 8000, 5, 5, seed=2, hub_fraction=0.01)
+        degs = sorted((g.degree(v) for v in range(1000)), reverse=True)
+        mean = 2 * g.num_edges / 1000
+        assert degs[0] > 5 * mean
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            rdf_like_graph(1, 5, 1, 1)
+
+
+class TestRandomWalkQuery:
+    def test_size_and_connectivity(self, medium_graph):
+        for seed in range(10):
+            q = random_walk_query(medium_graph, 6, seed=seed)
+            assert q.num_vertices == 6
+            assert q.is_connected()
+            assert q.num_edges >= 5  # at least a spanning tree
+
+    def test_labels_come_from_graph(self, medium_graph):
+        q = random_walk_query(medium_graph, 5, seed=1)
+        glabels = set(medium_graph.distinct_vertex_labels())
+        assert set(q.distinct_vertex_labels()) <= glabels
+
+    def test_query_embeds_in_source(self, small_graph):
+        """A random-walk query must have >= 1 match in its own graph."""
+        from repro import GSIEngine, GSIConfig
+        engine = GSIEngine(small_graph, GSIConfig.gsi())
+        for seed in range(5):
+            q = random_walk_query(small_graph, 4, seed=seed)
+            assert engine.match(q).num_matches >= 1
+
+    def test_single_vertex_query(self, small_graph):
+        q = random_walk_query(small_graph, 1, seed=0)
+        assert q.num_vertices == 1
+        assert q.num_edges == 0
+
+    def test_too_large_rejected(self, small_graph):
+        with pytest.raises(GraphError):
+            random_walk_query(small_graph, small_graph.num_vertices + 1)
+
+    def test_zero_rejected(self, small_graph):
+        with pytest.raises(GraphError):
+            random_walk_query(small_graph, 0)
+
+    def test_extra_edges_increase_edge_count(self, medium_graph):
+        base, extra = [], []
+        for seed in range(15):
+            q0 = random_walk_query(medium_graph, 8, seed=seed)
+            q1 = random_walk_query(medium_graph, 8, seed=seed,
+                                   extra_edges=4)
+            base.append(q0.num_edges)
+            extra.append(q1.num_edges)
+        assert sum(extra) >= sum(base)
+
+    def test_deterministic(self, medium_graph):
+        q1 = random_walk_query(medium_graph, 6, seed=5)
+        q2 = random_walk_query(medium_graph, 6, seed=5)
+        assert set(q1.edges()) == set(q2.edges())
+        assert list(q1.vertex_labels) == list(q2.vertex_labels)
+
+
+class TestWorkload:
+    def test_count_and_size(self, medium_graph):
+        qs = query_workload(medium_graph, 4, 5, seed=2)
+        assert len(qs) == 4
+        assert all(q.num_vertices == 5 for q in qs)
+
+    def test_workload_deterministic(self, medium_graph):
+        a = query_workload(medium_graph, 3, 5, seed=2)
+        b = query_workload(medium_graph, 3, 5, seed=2)
+        for qa, qb in zip(a, b):
+            assert set(qa.edges()) == set(qb.edges())
+
+
+@settings(max_examples=20, deadline=None)
+@given(size=st.integers(2, 10), seed=st.integers(0, 1000))
+def test_property_walk_queries_always_connected(size, seed):
+    g = scale_free_graph(120, 3, 4, 4, seed=17)
+    q = random_walk_query(g, size, seed=seed)
+    assert q.num_vertices == size
+    assert q.is_connected()

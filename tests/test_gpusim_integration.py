@@ -1,0 +1,88 @@
+"""Integration tests across the gpusim layer: device + scheduler +
+meter interplay, and the constants' documented relationships."""
+
+import pytest
+
+from repro.gpusim import constants
+from repro.gpusim.constants import cycles_to_ms, cpu_ops_to_ms
+from repro.gpusim.device import Device
+from repro.gpusim.scheduler import LoadBalanceConfig
+
+
+class TestConstants:
+    def test_group_is_exactly_one_transaction(self):
+        """GPN=16 pairs of two 4 B words == 128 B (the PCSR argument)."""
+        assert 16 * 2 * constants.ELEMENT_BYTES \
+            == constants.TRANSACTION_BYTES
+
+    def test_warp_matches_elements_per_transaction(self):
+        assert constants.WARP_SIZE == constants.ELEMENTS_PER_TRANSACTION
+
+    def test_block_geometry(self):
+        assert constants.BLOCK_THREADS \
+            == constants.WARPS_PER_BLOCK * constants.WARP_SIZE
+        assert constants.WARP_SLOTS \
+            == constants.NUM_SM * constants.WARPS_PER_SM
+
+    def test_conversions(self):
+        assert cycles_to_ms(constants.CLOCK_GHZ * 1e6) == pytest.approx(1.0)
+        assert cpu_ops_to_ms(0) == 0.0
+        assert cpu_ops_to_ms(1e6) > 0
+
+    def test_queue_cheaper_than_full_launch(self):
+        assert constants.KERNEL_QUEUE_CYCLES \
+            < constants.KERNEL_LAUNCH_CYCLES
+
+
+class TestDeviceSchedulerIntegration:
+    def test_lb_kernel_meters_extra_launches(self):
+        d = Device()
+        lb = LoadBalanceConfig()
+        d.run_kernel([1.0, 1.0], name="k", lb=lb,
+                     task_units=[10.0, 500_000.0])
+        assert d.meter.kernel_launches == 2  # main + dedicated
+
+    def test_clock_accumulates_across_kernels(self):
+        d = Device()
+        d.run_kernel([10.0])
+        t1 = d.clock_cycles
+        d.run_kernel([10.0])
+        assert d.clock_cycles == pytest.approx(2 * t1)
+
+    def test_kernel_records_grow(self):
+        d = Device()
+        for i in range(5):
+            d.run_kernel([float(i)], name=f"k{i}")
+        assert [k.name for k in d.kernels] == [f"k{i}" for i in range(5)]
+
+    def test_fused_scan_single_launch(self):
+        d = Device()
+        d.exclusive_prefix_sum([1, 2, 3], fused_tasks=[100.0, 200.0])
+        assert d.meter.kernel_launches == 1
+
+    def test_more_slots_never_slower(self):
+        tasks = [float(i % 37 + 1) for i in range(5000)]
+        narrow = Device(slots=64)
+        wide = Device(slots=2048)
+        narrow.run_kernel(tasks)
+        wide.run_kernel(tasks)
+        assert wide.clock_cycles <= narrow.clock_cycles
+
+
+class TestBudgetInteraction:
+    def test_budget_respected_mid_sequence(self):
+        from repro.errors import BudgetExceeded
+        d = Device(budget_cycles=100_000.0)
+        d.run_kernel([10.0])  # fine
+        with pytest.raises(BudgetExceeded):
+            for _ in range(100):
+                d.run_kernel([10.0])
+
+    def test_clock_state_preserved_after_budget(self):
+        from repro.errors import BudgetExceeded
+        d = Device(budget_cycles=10.0)
+        try:
+            d.run_kernel([1e9])
+        except BudgetExceeded:
+            pass
+        assert d.clock_cycles > 10.0  # the overrun is visible

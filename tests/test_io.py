@@ -1,0 +1,66 @@
+"""Tests for graph text I/O."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import scale_free_graph
+from repro.graph.io import load_graph, save_graph
+from repro.graph.labeled_graph import LabeledGraph
+
+
+class TestRoundTrip:
+    def test_small_graph(self, tmp_path):
+        g = LabeledGraph([3, 1, 2], [(0, 1, 5), (1, 2, 6)])
+        path = tmp_path / "g.txt"
+        save_graph(g, path)
+        h = load_graph(path)
+        assert h.num_vertices == 3
+        assert list(h.vertex_labels) == [3, 1, 2]
+        assert set(h.edges()) == set(g.edges())
+
+    def test_generated_graph(self, tmp_path):
+        g = scale_free_graph(80, 2, 4, 4, seed=1)
+        path = tmp_path / "g.txt"
+        save_graph(g, path)
+        h = load_graph(path)
+        assert set(h.edges()) == set(g.edges())
+        assert list(h.vertex_labels) == list(g.vertex_labels)
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "e.txt"
+        save_graph(LabeledGraph([], []), path)
+        h = load_graph(path)
+        assert h.num_vertices == 0
+
+
+class TestParsing:
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# comment\n\nt 2 1\nv 0 1\nv 1 2\ne 0 1 3\n")
+        g = load_graph(path)
+        assert g.num_edges == 1
+        assert g.edge_label(0, 1) == 3
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "m.txt"
+        path.write_text("v 0 1\n")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_bad_vertex_id(self, tmp_path):
+        path = tmp_path / "b.txt"
+        path.write_text("t 1 0\nv 5 1\n")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_unknown_record(self, tmp_path):
+        path = tmp_path / "u.txt"
+        path.write_text("t 1 0\nx what\n")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_malformed_edge(self, tmp_path):
+        path = tmp_path / "me.txt"
+        path.write_text("t 2 1\nv 0 1\nv 1 1\ne 0 1\n")
+        with pytest.raises(GraphError):
+            load_graph(path)

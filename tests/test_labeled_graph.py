@@ -1,0 +1,194 @@
+"""Unit tests for the LabeledGraph substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.labeled_graph import (
+    GraphBuilder,
+    LabeledGraph,
+    path_query,
+    triangle_query,
+)
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = LabeledGraph([], [])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.max_degree() == 0
+
+    def test_single_vertex(self):
+        g = LabeledGraph([7], [])
+        assert g.num_vertices == 1
+        assert g.vertex_label(0) == 7
+        assert g.degree(0) == 0
+
+    def test_basic_edges(self):
+        g = LabeledGraph([0, 1, 2], [(0, 1, 5), (1, 2, 6)])
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)  # undirected
+        assert not g.has_edge(0, 2)
+        assert g.edge_label(0, 1) == 5
+        assert g.edge_label(2, 1) == 6
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            LabeledGraph([0, 1], [(0, 0, 1)])
+
+    def test_bad_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            LabeledGraph([0, 1], [(0, 5, 1)])
+
+    def test_conflicting_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError):
+            LabeledGraph([0, 1], [(0, 1, 1), (1, 0, 2)])
+
+    def test_consistent_duplicate_edge_deduplicated(self):
+        g = LabeledGraph([0, 1], [(0, 1, 1), (1, 0, 1)])
+        assert g.num_edges == 1
+
+    def test_2d_labels_rejected(self):
+        with pytest.raises(GraphError):
+            LabeledGraph(np.zeros((2, 2)), [])
+
+
+class TestAdjacency:
+    def test_neighbors_sorted_within_label(self):
+        g = LabeledGraph([0] * 5, [(0, 3, 1), (0, 1, 1), (0, 2, 2),
+                                   (0, 4, 1)])
+        nbl = g.neighbors_by_label(0, 1)
+        assert list(nbl) == [1, 3, 4]
+        assert list(g.neighbors_by_label(0, 2)) == [2]
+        assert list(g.neighbors_by_label(0, 9)) == []
+
+    def test_degree_counts_all_labels(self):
+        g = LabeledGraph([0] * 4, [(0, 1, 1), (0, 2, 2), (0, 3, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_incident_labels_align_with_neighbors(self):
+        g = LabeledGraph([0] * 4, [(0, 1, 5), (0, 2, 3), (0, 3, 5)])
+        nbrs = g.neighbors(0)
+        labs = g.incident_labels(0)
+        got = {(int(n), int(l)) for n, l in zip(nbrs, labs)}
+        assert got == {(1, 5), (2, 3), (3, 5)}
+
+    def test_edge_label_missing_edge_raises(self):
+        g = LabeledGraph([0, 1, 2], [(0, 1, 1)])
+        with pytest.raises(GraphError):
+            g.edge_label(0, 2)
+
+    def test_edges_iteration_normalized(self):
+        g = LabeledGraph([0, 1, 2], [(2, 0, 4), (1, 2, 3)])
+        edges = set(g.edges())
+        assert edges == {(0, 2, 4), (1, 2, 3)}
+
+
+class TestLabels:
+    def test_edge_label_frequency(self):
+        g = LabeledGraph([0] * 4, [(0, 1, 1), (1, 2, 1), (2, 3, 2)])
+        assert g.edge_label_frequency(1) == 2
+        assert g.edge_label_frequency(2) == 1
+        assert g.edge_label_frequency(99) == 0
+
+    def test_distinct_labels(self):
+        g = LabeledGraph([3, 1, 3], [(0, 1, 9), (1, 2, 4)])
+        assert g.distinct_vertex_labels() == [1, 3]
+        assert g.distinct_edge_labels() == [4, 9]
+
+    def test_vertex_labels_array(self):
+        g = LabeledGraph([4, 5, 6], [])
+        assert list(g.vertex_labels) == [4, 5, 6]
+
+
+class TestConnectivity:
+    def test_connected_path(self):
+        assert path_query([0, 0, 0]).is_connected()
+
+    def test_disconnected(self):
+        g = LabeledGraph([0, 0, 0, 0], [(0, 1, 0)])
+        assert not g.is_connected()
+
+    def test_empty_is_connected(self):
+        assert LabeledGraph([], []).is_connected()
+
+    def test_max_degree(self):
+        g = LabeledGraph([0] * 5, [(0, i, 0) for i in range(1, 5)])
+        assert g.max_degree() == 4
+
+
+class TestHelpers:
+    def test_triangle_query(self):
+        t = triangle_query((1, 2, 3), (4, 5, 6))
+        assert t.num_vertices == 3
+        assert t.num_edges == 3
+        assert t.edge_label(0, 1) == 4
+        assert t.edge_label(1, 2) == 5
+        assert t.edge_label(0, 2) == 6
+
+    def test_path_query_labels(self):
+        p = path_query([1, 2, 3], [7, 8])
+        assert p.edge_label(0, 1) == 7
+        assert p.edge_label(1, 2) == 8
+
+    def test_path_query_bad_edge_labels(self):
+        with pytest.raises(GraphError):
+            path_query([1, 2, 3], [7])
+
+    def test_builder_roundtrip(self):
+        b = GraphBuilder()
+        ids = b.add_vertices([1, 2, 3])
+        b.add_edge(ids[0], ids[2], 9)
+        assert b.num_vertices == 3
+        g = b.build()
+        assert g.num_vertices == 3
+        assert g.edge_label(0, 2) == 9
+
+    def test_subgraph_of_edges(self):
+        g = LabeledGraph([0, 0, 0], [(0, 1, 1), (1, 2, 2)])
+        sub = g.subgraph_of_edges([(0, 1, 1)])
+        assert sub.num_edges == 1
+        assert sub.num_vertices == 3
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19),
+                          st.integers(0, 3)), max_size=60))
+def test_property_adjacency_is_symmetric(edge_list):
+    edges = [(u, v, l) for u, v, l in edge_list if u != v]
+    seen = {}
+    dedup = []
+    for u, v, l in edges:
+        key = (min(u, v), max(u, v))
+        if key not in seen:
+            seen[key] = l
+            dedup.append((u, v, l))
+    g = LabeledGraph([0] * 20, dedup)
+    for u, v, l in dedup:
+        assert g.has_edge(u, v) and g.has_edge(v, u)
+        assert v in set(int(x) for x in g.neighbors_by_label(u, l))
+        assert u in set(int(x) for x in g.neighbors_by_label(v, l))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14),
+                          st.integers(0, 2)), max_size=40))
+def test_property_degree_equals_neighbor_count(edge_list):
+    seen = set()
+    dedup = []
+    for u, v, l in edge_list:
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key not in seen:
+            seen.add(key)
+            dedup.append((u, v, l))
+    g = LabeledGraph([0] * 15, dedup)
+    assert sum(g.degree(v) for v in range(15)) == 2 * g.num_edges
+    for v in range(15):
+        assert g.degree(v) == len(g.neighbors(v))

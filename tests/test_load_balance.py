@@ -1,0 +1,64 @@
+"""Tests for load-balance analysis (Section VI-A)."""
+
+import pytest
+
+from repro.core.load_balance import (
+    balanced_makespan,
+    imbalance_ratio,
+    speedup_from_lb,
+)
+from repro.gpusim.scheduler import LoadBalanceConfig
+
+
+class TestImbalanceRatio:
+    def test_uniform_tasks_near_one(self):
+        ratio = imbalance_ratio([10.0] * 9600, slots=960)
+        assert ratio == pytest.approx(1.0, rel=0.05)
+
+    def test_skew_raises_ratio(self):
+        tasks = [1.0] * 959 + [10_000.0]
+        assert imbalance_ratio(tasks, slots=960) > 100
+
+    def test_empty(self):
+        assert imbalance_ratio([]) == 1.0
+
+
+class TestBalancedMakespan:
+    def test_lb_improves_skewed_bag(self):
+        cfg = LoadBalanceConfig()
+        units = [10.0] * 500 + [100_000.0]
+        plain = imbalance_ratio([u * cfg.cycles_per_unit for u in units])
+        assert speedup_from_lb(units, cfg) > 1.5
+        assert plain > 1.5
+
+    def test_lb_harmless_on_uniform_bag(self):
+        cfg = LoadBalanceConfig()
+        units = [50.0] * 2000
+        # nothing crosses W3, so LB is a no-op modulo overheads
+        s = speedup_from_lb(units, cfg)
+        assert s == pytest.approx(1.0, rel=0.01)
+
+    def test_makespan_positive(self):
+        cfg = LoadBalanceConfig()
+        assert balanced_makespan([10.0, 5000.0], cfg) > 0
+
+
+class TestThresholdTuning:
+    """The U-shapes behind Tables IX and X."""
+
+    def test_w1_tradeoff_exists(self):
+        units = [10.0] * 200 + [3000.0] * 30 + [40_000.0] * 3
+        times = {}
+        for w1 in (1100, 4096, 1_000_000):
+            cfg = LoadBalanceConfig(w1=w1)
+            times[w1] = balanced_makespan(units, cfg, slots=64)
+        # An intermediate W1 should beat the no-split extreme.
+        assert times[4096] <= times[1_000_000]
+
+    def test_w3_small_pays_merge_overhead(self):
+        units = [300.0] * 5000
+        t_small = balanced_makespan(units, LoadBalanceConfig(w3=33),
+                                    slots=960)
+        t_right = balanced_makespan(units, LoadBalanceConfig(w3=512),
+                                    slots=960)
+        assert t_small > t_right

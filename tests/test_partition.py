@@ -1,0 +1,68 @@
+"""Tests for edge-label partitioning P(G, l)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.partition import partition_by_edge_label
+
+
+class TestPartition:
+    def test_simple_split(self):
+        g = LabeledGraph([0] * 4, [(0, 1, 1), (1, 2, 1), (2, 3, 2)])
+        parts = partition_by_edge_label(g)
+        assert set(parts) == {1, 2}
+        p1 = parts[1]
+        assert list(p1.vertices) == [0, 1, 2]
+        assert list(p1.neighbors(1)) == [0, 2]
+        assert list(parts[2].neighbors(3)) == [2]
+
+    def test_missing_vertex_returns_empty(self):
+        g = LabeledGraph([0] * 3, [(0, 1, 1)])
+        parts = partition_by_edge_label(g)
+        assert len(parts[1].neighbors(2)) == 0
+        assert not parts[1].has_vertex(2)
+
+    def test_counts(self):
+        g = LabeledGraph([0] * 4, [(0, 1, 1), (1, 2, 1), (0, 2, 1)])
+        p = partition_by_edge_label(g)[1]
+        assert p.num_vertices == 3
+        assert p.num_directed_edges == 6
+
+    def test_items_sorted_by_vertex(self):
+        g = LabeledGraph([0] * 5, [(4, 1, 0), (3, 0, 0)])
+        items = partition_by_edge_label(g)[0].items()
+        assert [v for v, _ in items] == [0, 1, 3, 4]
+
+    def test_neighbors_sorted(self):
+        g = LabeledGraph([0] * 5, [(0, 4, 1), (0, 2, 1), (0, 3, 1)])
+        p = partition_by_edge_label(g)[1]
+        assert list(p.neighbors(0)) == [2, 3, 4]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 11), st.integers(0, 11),
+                          st.integers(0, 3)), max_size=50))
+def test_property_partitions_cover_graph_exactly(edge_list):
+    seen = set()
+    dedup = []
+    for u, v, l in edge_list:
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key not in seen:
+            seen.add(key)
+            dedup.append((u, v, l))
+    g = LabeledGraph([0] * 12, dedup)
+    parts = partition_by_edge_label(g)
+    # Union over partitions == full adjacency, per label.
+    for v in range(12):
+        for lab in g.distinct_edge_labels():
+            expect = sorted(int(x) for x in g.neighbors_by_label(v, lab))
+            part = parts.get(lab)
+            got = sorted(int(x) for x in part.neighbors(v)) if part else []
+            assert got == expect
+    # Total directed edges match.
+    assert sum(p.num_directed_edges for p in parts.values()) \
+        == 2 * g.num_edges

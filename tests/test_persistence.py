@@ -1,0 +1,86 @@
+"""Tests for .npz persistence of graphs and signature tables."""
+
+import numpy as np
+import pytest
+
+from repro import GSIConfig, GSIEngine, random_walk_query
+from repro.core.signature_table import SignatureTable
+from repro.errors import GraphError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.persistence import (
+    load_graph_npz,
+    load_signature_table,
+    save_graph_npz,
+    save_signature_table,
+)
+
+
+class TestGraphRoundTrip:
+    def test_round_trip(self, medium_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph_npz(medium_graph, path)
+        loaded = load_graph_npz(path)
+        assert loaded.num_vertices == medium_graph.num_vertices
+        assert set(loaded.edges()) == set(medium_graph.edges())
+        assert list(loaded.vertex_labels) \
+            == list(medium_graph.vertex_labels)
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "e.npz"
+        save_graph_npz(LabeledGraph([], []), path)
+        assert load_graph_npz(path).num_vertices == 0
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(path, version=np.int64(999),
+                            vertex_labels=np.zeros(1, dtype=np.int64),
+                            edges=np.empty((0, 3), dtype=np.int64))
+        with pytest.raises(GraphError):
+            load_graph_npz(path)
+
+    def test_loaded_graph_queryable(self, medium_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph_npz(medium_graph, path)
+        loaded = load_graph_npz(path)
+        q = random_walk_query(medium_graph, 4, seed=1)
+        a = GSIEngine(medium_graph).match(q).match_set()
+        b = GSIEngine(loaded).match(q).match_set()
+        assert a == b
+
+
+class TestSignatureTableRoundTrip:
+    def test_round_trip(self, medium_graph, tmp_path):
+        table = SignatureTable.build(medium_graph, 256)
+        path = tmp_path / "sig.npz"
+        save_signature_table(table, path)
+        loaded = load_signature_table(path)
+        assert np.array_equal(loaded.table, table.table)
+        assert loaded.column_first == table.column_first
+
+    def test_layout_preserved(self, medium_graph, tmp_path):
+        table = SignatureTable.build(medium_graph, 128,
+                                     column_first=False)
+        path = tmp_path / "sig.npz"
+        save_signature_table(table, path)
+        assert load_signature_table(path).column_first is False
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(path, version=np.int64(42),
+                            table=np.zeros((1, 4), dtype=np.uint32),
+                            column_first=np.bool_(True))
+        with pytest.raises(GraphError):
+            load_signature_table(path)
+
+    def test_loaded_table_filters_identically(self, medium_graph,
+                                              tmp_path):
+        from repro.core.signature import encode_vertex
+
+        table = SignatureTable.build(medium_graph, 256)
+        path = tmp_path / "sig.npz"
+        save_signature_table(table, path)
+        loaded = load_signature_table(path)
+        q = random_walk_query(medium_graph, 4, seed=2)
+        for u in range(4):
+            sig = encode_vertex(q, u, 256)
+            assert np.array_equal(table.filter(sig), loaded.filter(sig))

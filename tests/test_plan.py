@@ -1,0 +1,121 @@
+"""Tests for join-order planning (Algorithm 2) and first-edge selection
+(Algorithm 4, line 1)."""
+
+import pytest
+
+from repro.core.plan import JoinStep, plan_join_order, select_first_edge
+from repro.errors import PlanError
+from repro.graph.generators import random_walk_query, scale_free_graph
+from repro.graph.labeled_graph import GraphBuilder, LabeledGraph, path_query
+
+from conftest import paper_query, tiny_paper_graph
+
+
+class TestOrdering:
+    def test_order_covers_all_vertices(self):
+        g = scale_free_graph(100, 3, 4, 4, seed=2)
+        q = random_walk_query(g, 6, seed=1)
+        sizes = {u: 10 + u for u in range(6)}
+        plan = plan_join_order(q, g, sizes)
+        assert sorted(plan.order) == list(range(6))
+
+    def test_start_vertex_minimizes_score(self):
+        q = path_query([0, 1, 2])
+        g = LabeledGraph([0, 1, 2] * 5,
+                         [(0, 1, 0), (1, 2, 0), (3, 4, 0)])
+        # candidate sizes chosen so vertex 1 (degree 2) wins
+        sizes = {0: 10, 1: 10, 2: 10}
+        plan = plan_join_order(q, g, sizes)
+        assert plan.start_vertex == 1  # 10/2 < 10/1
+
+    def test_every_step_connects_to_prefix(self):
+        g = scale_free_graph(200, 3, 4, 4, seed=5)
+        for seed in range(5):
+            q = random_walk_query(g, 8, seed=seed)
+            sizes = {u: 5 for u in range(8)}
+            plan = plan_join_order(q, g, sizes)
+            seen = {plan.start_vertex}
+            for step in plan.steps:
+                assert step.linking_edges, "every step must link to Q'"
+                for u_prime, _ in step.linking_edges:
+                    assert u_prime in seen
+                seen.add(step.vertex)
+
+    def test_linking_edges_complete(self):
+        """Every query edge appears exactly once as a linking edge."""
+        g = scale_free_graph(200, 3, 4, 4, seed=5)
+        q = random_walk_query(g, 8, seed=2)
+        plan = plan_join_order(q, g, {u: 5 for u in range(8)})
+        linked = []
+        for step in plan.steps:
+            for u_prime, lab in step.linking_edges:
+                key = (min(step.vertex, u_prime),
+                       max(step.vertex, u_prime), lab)
+                linked.append(key)
+        expect = sorted((min(u, v), max(u, v), l) for u, v, l in q.edges())
+        assert sorted(linked) == expect
+
+    def test_disconnected_query_rejected(self):
+        q = LabeledGraph([0, 0, 0], [(0, 1, 0)])
+        g = LabeledGraph([0] * 4, [(0, 1, 0)])
+        with pytest.raises(PlanError):
+            plan_join_order(q, g, {0: 1, 1: 1, 2: 1})
+
+    def test_empty_query_rejected(self):
+        g = LabeledGraph([0], [])
+        with pytest.raises(PlanError):
+            plan_join_order(LabeledGraph([], []), g, {})
+
+    def test_single_vertex_plan(self):
+        g = LabeledGraph([0, 0], [(0, 1, 0)])
+        q = LabeledGraph([0], [])
+        plan = plan_join_order(q, g, {0: 2})
+        assert plan.order == [0]
+        assert plan.steps == ()
+
+    def test_frequency_reweighting_pulls_rare_labels(self):
+        # Query: center 0 linked to 1 (rare label) and 2 (common label).
+        b = GraphBuilder()
+        ids = b.add_vertices([0, 1, 1])
+        b.add_edge(ids[0], ids[1], 7)  # rare in G
+        b.add_edge(ids[0], ids[2], 8)  # common in G
+        q = b.build()
+        gb = GraphBuilder()
+        gids = gb.add_vertices([0] + [1] * 20)
+        gb.add_edge(gids[0], gids[1], 7)
+        for i in range(2, 20):
+            gb.add_edge(gids[0], gids[i], 8)
+        g = gb.build()
+        plan = plan_join_order(q, g, {0: 1, 1: 10, 2: 10})
+        # After joining 0, vertex 1's score scales by freq(7)=1 while
+        # vertex 2's scales by freq(8)=18: vertex 1 joins first.
+        assert plan.order == [0, 1, 2]
+
+    def test_paper_example(self):
+        g = tiny_paper_graph()
+        q = paper_query()
+        sizes = {0: 1, 1: 3, 2: 4}
+        plan = plan_join_order(q, g, sizes)
+        assert plan.start_vertex == 0  # |C|/deg = 1/2, the smallest
+
+
+class TestFirstEdge:
+    def test_rarest_label_selected(self):
+        g = GraphBuilder()
+        ids = g.add_vertices([0] * 6)
+        g.add_edge(ids[0], ids[1], 1)  # freq 1
+        g.add_edge(ids[2], ids[3], 2)
+        g.add_edge(ids[3], ids[4], 2)  # freq 2
+        graph = g.build()
+        step = JoinStep(vertex=9, linking_edges=((5, 2), (6, 1)))
+        assert select_first_edge(step, graph) == (6, 1)
+
+    def test_tie_breaks_on_vertex(self):
+        g = LabeledGraph([0, 0], [(0, 1, 3)])
+        step = JoinStep(vertex=9, linking_edges=((5, 3), (2, 3)))
+        assert select_first_edge(step, g) == (2, 3)
+
+    def test_no_linking_edges_raises(self):
+        g = LabeledGraph([0], [])
+        with pytest.raises(PlanError):
+            select_first_edge(JoinStep(vertex=1, linking_edges=()), g)

@@ -1,0 +1,93 @@
+"""Property-based end-to-end tests: GSI correctness under randomized
+graphs, queries, and configuration axes."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import GSIConfig, GSIEngine, random_walk_query
+from repro.graph.generators import mesh_graph, rdf_like_graph, scale_free_graph
+
+from conftest import brute_force_matches
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    gseed=st.integers(0, 4),
+    qseed=st.integers(0, 300),
+    qsize=st.integers(2, 5),
+    pcsr=st.booleans(),
+    pc=st.booleans(),
+    so=st.booleans(),
+    dr=st.booleans(),
+)
+def test_property_config_matrix_correct(gseed, qseed, qsize, pcsr, pc,
+                                        so, dr):
+    """Any combination of technique toggles yields the exact match set."""
+    g = scale_free_graph(70, 2, 3, 2, seed=gseed)
+    q = random_walk_query(g, qsize, seed=qseed)
+    cfg = GSIConfig(use_pcsr=pcsr, use_prealloc_combine=pc,
+                    use_gpu_set_ops=so, use_write_cache=so,
+                    use_duplicate_removal=dr)
+    assert GSIEngine(g, cfg).match(q).match_set() \
+        == brute_force_matches(q, g)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    rows=st.integers(3, 7),
+    cols=st.integers(3, 7),
+    qseed=st.integers(0, 100),
+)
+def test_property_mesh_graphs_correct(rows, cols, qseed):
+    """Mesh (road-like) topologies, the paper's second graph type."""
+    g = mesh_graph(rows, cols, 2, 2, seed=1)
+    q = random_walk_query(g, 3, seed=qseed)
+    assert GSIEngine(g).match(q).match_set() == brute_force_matches(q, g)
+
+
+@settings(max_examples=8, deadline=None)
+@given(qseed=st.integers(0, 100), bits=st.sampled_from([64, 256, 512]))
+def test_property_hub_graphs_correct(qseed, bits):
+    """Hub-skewed (RDF-like) topologies across signature widths."""
+    g = rdf_like_graph(80, 320, 3, 3, seed=2)
+    q = random_walk_query(g, 4, seed=qseed)
+    cfg = GSIConfig(signature_bits=bits)
+    assert GSIEngine(g, cfg).match(q).match_set() \
+        == brute_force_matches(q, g)
+
+
+@settings(max_examples=10, deadline=None)
+@given(qseed=st.integers(0, 200), gpn=st.integers(2, 16))
+def test_property_gpn_never_changes_results(qseed, gpn):
+    g = scale_free_graph(60, 2, 3, 2, seed=3)
+    q = random_walk_query(g, 3, seed=qseed)
+    base = GSIEngine(g, GSIConfig()).match(q).match_set()
+    assert GSIEngine(g, GSIConfig(gpn=gpn)).match(q).match_set() == base
+
+
+@settings(max_examples=10, deadline=None)
+@given(qseed=st.integers(0, 200), w3=st.sampled_from([33, 64, 256, 1023]))
+def test_property_lb_thresholds_never_change_results(qseed, w3):
+    g = scale_free_graph(60, 2, 3, 2, seed=4)
+    q = random_walk_query(g, 3, seed=qseed)
+    base = GSIEngine(g, GSIConfig()).match(q).match_set()
+    cfg = replace(GSIConfig.with_lb(), w3=w3)
+    assert GSIEngine(g, cfg).match(q).match_set() == base
+
+
+@settings(max_examples=10, deadline=None)
+@given(qseed=st.integers(0, 500))
+def test_property_counters_consistent(qseed):
+    """Counters are internally consistent: join GLD <= total GLD,
+    phases sum to the total, candidate sizes cover the query."""
+    g = scale_free_graph(80, 2, 3, 2, seed=5)
+    q = random_walk_query(g, 4, seed=qseed)
+    r = GSIEngine(g).match(q)
+    assert r.counters.join_gld <= r.counters.gld
+    assert r.phases.total_ms == pytest.approx(r.elapsed_ms)
+    assert set(r.candidate_sizes) == set(range(q.num_vertices))
+    for m in r.matches:
+        assert len(m) == q.num_vertices

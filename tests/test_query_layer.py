@@ -1,0 +1,271 @@
+"""Tests for the SPARQL-style query layer (labels, triples, patterns,
+executor)."""
+
+import pytest
+
+from repro.errors import GraphError, PlanError
+from repro.query import (
+    LabelDictionary,
+    PatternExecutor,
+    TripleStore,
+    parse_pattern,
+    run_pattern,
+)
+
+
+# ----------------------------------------------------------------------
+# LabelDictionary
+# ----------------------------------------------------------------------
+
+class TestLabelDictionary:
+    def test_intern_is_idempotent(self):
+        d = LabelDictionary()
+        assert d.intern("a") == 0
+        assert d.intern("b") == 1
+        assert d.intern("a") == 0
+        assert len(d) == 2
+
+    def test_roundtrip(self):
+        d = LabelDictionary()
+        for name in ("x", "y", "z"):
+            d.intern(name)
+        for name in ("x", "y", "z"):
+            assert d.label_of(d.id_of(name)) == name
+
+    def test_contains_and_iter(self):
+        d = LabelDictionary()
+        d.intern("p")
+        assert "p" in d and "q" not in d
+        assert list(d) == ["p"]
+
+    def test_get_missing(self):
+        assert LabelDictionary().get("nope") is None
+
+    def test_id_of_missing_raises(self):
+        with pytest.raises(KeyError):
+            LabelDictionary().id_of("nope")
+
+    def test_negative_id_raises(self):
+        with pytest.raises(IndexError):
+            LabelDictionary().label_of(-1)
+
+
+# ----------------------------------------------------------------------
+# TripleStore
+# ----------------------------------------------------------------------
+
+def build_social_store() -> TripleStore:
+    store = TripleStore()
+    for person in ("alice", "bob", "carol", "dave"):
+        store.add_type(person, "Person")
+    for city in ("springfield", "shelbyville"):
+        store.add_type(city, "City")
+    store.add_type("acme", "Company")
+    store.add_triple("alice", "knows", "bob")
+    store.add_triple("bob", "knows", "carol")
+    store.add_triple("alice", "knows", "carol")
+    store.add_triple("alice", "lives_in", "springfield")
+    store.add_triple("bob", "lives_in", "springfield")
+    store.add_triple("carol", "lives_in", "shelbyville")
+    store.add_triple("dave", "lives_in", "shelbyville")
+    store.add_triple("carol", "works_at", "acme")
+    store.add_triple("dave", "works_at", "acme")
+    store.freeze()
+    return store
+
+
+class TestTripleStore:
+    def test_freeze_builds_graph(self):
+        store = build_social_store()
+        assert store.graph.num_vertices == 7
+        assert store.graph.num_edges == 9
+
+    def test_untyped_entity_rejected(self):
+        store = TripleStore()
+        store.add_type("a", "T")
+        store.add_triple("a", "p", "b")  # b never typed
+        with pytest.raises(GraphError):
+            store.freeze()
+
+    def test_retype_rejected(self):
+        store = TripleStore()
+        store.add_type("a", "T1")
+        with pytest.raises(GraphError):
+            store.add_type("a", "T2")
+
+    def test_self_triple_rejected(self):
+        store = TripleStore()
+        store.add_type("a", "T")
+        with pytest.raises(GraphError):
+            store.add_triple("a", "p", "a")
+
+    def test_frozen_store_immutable(self):
+        store = build_social_store()
+        with pytest.raises(GraphError):
+            store.add_triple("alice", "knows", "dave")
+        with pytest.raises(GraphError):
+            store.add_type("erin", "Person")
+
+    def test_graph_before_freeze_raises(self):
+        with pytest.raises(GraphError):
+            TripleStore().graph
+
+    def test_entity_and_type_lookup(self):
+        store = build_social_store()
+        assert store.type_of("alice") == "Person"
+        assert store.type_of("acme") == "Company"
+        vid = store.entities.id_of("bob")
+        assert store.entity_name(vid) == "bob"
+
+    def test_num_triples(self):
+        assert build_social_store().num_triples() == 9
+
+
+# ----------------------------------------------------------------------
+# Pattern parsing
+# ----------------------------------------------------------------------
+
+class TestParsePattern:
+    def test_basic(self):
+        p = parse_pattern("""
+            ?x a Person
+            ?y a City
+            ?x lives_in ?y .
+        """)
+        assert p.var_types == {"?x": "Person", "?y": "City"}
+        assert len(p.edges) == 1
+        assert p.edges[0].predicate == "lives_in"
+
+    def test_comments_ignored(self):
+        p = parse_pattern("?x a T  # typed\n?y a T\n?x p ?y # edge\n")
+        assert len(p.edges) == 1
+
+    def test_constants_collected(self):
+        p = parse_pattern("?x a Person\n?x knows alice\n?x knows bob\n")
+        assert p.constants() == ["alice", "bob"]
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(GraphError):
+            parse_pattern("?x a T\n?x p ?y\n")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(GraphError):
+            parse_pattern("?x a T\n?x a U\n?x p ?x2\n")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(GraphError):
+            parse_pattern("?x a\n")
+
+    def test_variable_predicate_rejected(self):
+        with pytest.raises(GraphError):
+            parse_pattern("?x a T\n?y a T\n?x ?p ?y\n")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            parse_pattern("?x a T\n?x p ?x\n")
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(GraphError):
+            parse_pattern("# nothing\n")
+
+    def test_single_typed_variable_allowed(self):
+        p = parse_pattern("?x a Person\n")
+        assert p.variables == ["?x"]
+        assert p.edges == []
+
+    def test_constant_type_declaration_rejected(self):
+        with pytest.raises(GraphError):
+            parse_pattern("alice a Person\n")
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+class TestExecutor:
+    @pytest.fixture(scope="class")
+    def store(self):
+        return build_social_store()
+
+    def test_triangle_pattern(self, store):
+        result = run_pattern(store, """
+            ?p1 a Person
+            ?p2 a Person
+            ?c  a City
+            ?p1 knows ?p2
+            ?p1 lives_in ?c
+            ?p2 lives_in ?c
+        """)
+        pairs = {(b["?p1"], b["?p2"]) for b in result.bindings}
+        assert pairs == {("alice", "bob"), ("bob", "alice")}
+
+    def test_grounded_pattern(self, store):
+        result = run_pattern(store, """
+            ?p a Person
+            ?p knows alice
+        """)
+        assert {b["?p"] for b in result.bindings} == {"bob", "carol"}
+
+    def test_single_variable_pattern(self, store):
+        result = run_pattern(store, "?p a Person\n")
+        assert {b["?p"] for b in result.bindings} \
+            == {"alice", "bob", "carol", "dave"}
+
+    def test_coworkers_in_same_city(self, store):
+        result = run_pattern(store, """
+            ?p1 a Person
+            ?p2 a Person
+            ?co a Company
+            ?p1 works_at ?co
+            ?p2 works_at ?co
+            ?p1 lives_in ?city
+            ?p2 lives_in ?city
+            ?city a City
+        """)
+        pairs = {(b["?p1"], b["?p2"]) for b in result.bindings}
+        assert pairs == {("carol", "dave"), ("dave", "carol")}
+
+    def test_no_bindings(self, store):
+        result = run_pattern(store, """
+            ?p a Person
+            ?co a Company
+            ?p lives_in ?co
+        """)
+        assert result.bindings == []
+
+    def test_unknown_type_rejected(self, store):
+        with pytest.raises(GraphError):
+            run_pattern(store, "?x a Robot\n?y a Person\n?x knows ?y\n")
+
+    def test_unknown_predicate_rejected(self, store):
+        with pytest.raises(GraphError):
+            run_pattern(store, "?x a Person\n?y a Person\n?x hugs ?y\n")
+
+    def test_unknown_entity_rejected(self, store):
+        with pytest.raises(GraphError):
+            run_pattern(store, "?x a Person\n?x knows zelda\n")
+
+    def test_disconnected_pattern_rejected(self, store):
+        # Two satisfiable but unconnected components: the join planner
+        # must refuse (run components as separate queries instead).
+        with pytest.raises(PlanError):
+            run_pattern(store, """
+                ?a a Person
+                ?b a Person
+                ?p a Person
+                ?co a Company
+                ?a knows ?b
+                ?p works_at ?co
+            """)
+
+    def test_engine_measurement_attached(self, store):
+        result = run_pattern(store, "?p a Person\n?p knows alice\n")
+        assert result.engine_result.elapsed_ms > 0
+        assert result.num_bindings == len(result.bindings)
+
+    def test_executor_reusable(self, store):
+        ex = PatternExecutor(store)
+        r1 = ex.run("?p a Person\n?p knows alice\n")
+        r2 = ex.run("?p a Person\n?p knows bob\n")
+        assert {b["?p"] for b in r1.bindings} == {"bob", "carol"}
+        assert {b["?p"] for b in r2.bindings} == {"alice", "carol"}

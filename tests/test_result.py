@@ -1,0 +1,34 @@
+"""Tests for MatchResult and PhaseBreakdown."""
+
+from repro.core.result import MatchResult, PhaseBreakdown
+from repro.gpusim.meter import MeterSnapshot
+
+
+class TestMatchResult:
+    def test_defaults(self):
+        r = MatchResult()
+        assert r.num_matches == 0
+        assert r.min_candidate_size is None
+        assert not r.timed_out
+        assert r.match_set() == set()
+
+    def test_num_matches(self):
+        r = MatchResult(matches=[(1, 2), (3, 4)])
+        assert r.num_matches == 2
+        assert r.match_set() == {(1, 2), (3, 4)}
+
+    def test_min_candidate_size(self):
+        r = MatchResult(candidate_sizes={0: 5, 1: 2, 2: 9})
+        assert r.min_candidate_size == 2
+
+    def test_counters_default_snapshot(self):
+        assert isinstance(MatchResult().counters, MeterSnapshot)
+
+
+class TestPhaseBreakdown:
+    def test_total(self):
+        p = PhaseBreakdown(filter_ms=1.5, join_ms=2.5)
+        assert p.total_ms == 4.0
+
+    def test_zero(self):
+        assert PhaseBreakdown().total_ms == 0.0

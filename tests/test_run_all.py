@@ -1,0 +1,27 @@
+"""Tests for the one-shot experiment driver."""
+
+from pathlib import Path
+
+from repro.bench.run_all import main
+
+
+def test_run_all_writes_tables(tmp_path, capsys):
+    rc = main(["--queries", "1", "--query-vertices", "5",
+               "--out", str(tmp_path)])
+    assert rc == 0
+    written = {p.name for p in tmp_path.glob("*.txt")}
+    assert {"table4_filtering.txt", "table6_join_techniques.txt",
+            "table7_write_cache.txt", "table8_optimizations.txt",
+            "fig12_overall.txt"} <= written
+    out = capsys.readouterr().out
+    assert "Table VI analog" in out
+    assert "Figure 12 analog" in out
+
+
+def test_run_all_tables_nonempty(tmp_path, capsys):
+    main(["--queries", "1", "--query-vertices", "4",
+          "--out", str(tmp_path)])
+    for p in tmp_path.glob("*.txt"):
+        text = p.read_text()
+        assert "dataset" in text
+        assert "enron" in text

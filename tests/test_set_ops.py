@@ -1,0 +1,167 @@
+"""Tests for the set-operation engine and its cost modes (Section V)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.set_ops import CandidateSet, RowCost, SetOpEngine
+
+
+def arr(*xs):
+    return np.array(sorted(xs), dtype=np.int64)
+
+
+class TestCandidateSet:
+    def test_contains_mask(self):
+        c = CandidateSet(arr(2, 5, 9))
+        mask = c.contains_mask(arr(1, 2, 9, 10))
+        assert list(mask) == [False, True, True, False]
+
+    def test_empty_candidate_set(self):
+        c = CandidateSet(np.empty(0, dtype=np.int64))
+        assert not c.contains_mask(arr(1, 2)).any()
+        assert len(c) == 0
+
+    def test_empty_values(self):
+        c = CandidateSet(arr(1))
+        assert len(c.contains_mask(np.empty(0, dtype=np.int64))) == 0
+
+    def test_probe_cost_modes(self):
+        c = CandidateSet(arr(*range(100)))
+        assert c.probe_gld(10, friendly=True) == 10     # bitset: 1 each
+        assert c.probe_gld(10, friendly=False) == 20    # binary search
+
+
+class TestRowCost:
+    def test_cycles_positive(self):
+        c = RowCost(gld=2, gst=1, shared=3, ops=10)
+        assert c.cycles() > 0
+
+    def test_merge(self):
+        a = RowCost(gld=1, gst=2, ops=3, launches=1, units=5.0)
+        b = RowCost(gld=10, shared=4, units=2.0)
+        a.merge(b)
+        assert a.gld == 11 and a.gst == 2 and a.shared == 4
+        assert a.ops == 3 and a.launches == 1 and a.units == 7.0
+
+
+class TestFirstEdgeOp:
+    def test_functional_result(self):
+        eng = SetOpEngine()
+        row = arr(1, 2)
+        nbrs = arr(1, 3, 4, 5)
+        cand = CandidateSet(arr(3, 5, 9))
+        buf, cost = eng.first_edge(row, nbrs, locate_tx=1, cand=cand)
+        assert list(buf) == [3, 5]  # drop 1 (in row), drop 4 (not in C)
+
+    def test_empty_neighbors(self):
+        eng = SetOpEngine()
+        buf, cost = eng.first_edge(arr(1), np.empty(0, dtype=np.int64),
+                                   1, CandidateSet(arr(1, 2)))
+        assert len(buf) == 0
+
+    def test_friendly_mode_no_launches(self):
+        eng = SetOpEngine(friendly=True)
+        _, cost = eng.first_edge(arr(1), arr(2, 3), 1,
+                                 CandidateSet(arr(2, 3)))
+        assert cost.launches == 0
+
+    def test_naive_mode_launches_kernels(self):
+        eng = SetOpEngine(friendly=False)
+        _, cost = eng.first_edge(arr(1), arr(2, 3), 1,
+                                 CandidateSet(arr(2, 3)))
+        assert cost.launches == 2  # subtraction + intersection kernels
+
+    def test_naive_costs_more_gld(self):
+        friendly = SetOpEngine(friendly=True)
+        naive = SetOpEngine(friendly=False)
+        row, nbrs = arr(1), arr(*range(10, 80))
+        cand = CandidateSet(arr(*range(10, 80, 2)))
+        _, cf = friendly.first_edge(row, nbrs, 1, cand)
+        _, cn = naive.first_edge(row, nbrs, 1, cand)
+        assert cn.gld > cf.gld
+
+    def test_write_cache_batches_stores(self):
+        cached = SetOpEngine(friendly=True, write_cache=True)
+        plain = SetOpEngine(friendly=True, write_cache=False)
+        row, nbrs = arr(999), arr(*range(100))
+        cand = CandidateSet(arr(*range(100)))
+        _, cc = cached.first_edge(row, nbrs, 1, cand)
+        _, cp = plain.first_edge(row, nbrs, 1, cand)
+        assert cc.gst < cp.gst
+        # 100 results: batched = ceil(100/32) = 4, unbatched = 100.
+        assert cc.gst <= 8 and cp.gst >= 100
+
+    def test_shared_hit_removes_global_reads(self):
+        eng = SetOpEngine(friendly=True)
+        row, nbrs = arr(1), arr(*range(10, 80))
+        cand = CandidateSet(arr(*range(10, 80)))
+        _, miss = eng.first_edge(row, nbrs, 2, cand, nbrs_from_shared=False)
+        _, hit = eng.first_edge(row, nbrs, 2, cand, nbrs_from_shared=True)
+        assert hit.gld < miss.gld
+        assert hit.shared > miss.shared
+
+    def test_storage_read_tx_honored(self):
+        eng = SetOpEngine(friendly=True)
+        row, nbrs = arr(1), arr(2, 3)
+        cand = CandidateSet(arr(2, 3))
+        _, cheap = eng.first_edge(row, nbrs, 1, cand, read_tx=1, streamed=2)
+        _, costly = eng.first_edge(row, nbrs, 1, cand, read_tx=9,
+                                   streamed=200)
+        assert costly.gld > cheap.gld
+        assert costly.units > cheap.units
+
+
+class TestRefineOp:
+    def test_functional_intersection(self):
+        eng = SetOpEngine()
+        out, _ = eng.refine_edge(arr(1, 3, 5), arr(3, 4, 5), 1)
+        assert list(out) == [3, 5]
+
+    def test_empty_buffer_short_circuit(self):
+        eng = SetOpEngine()
+        out, cost = eng.refine_edge(np.empty(0, dtype=np.int64),
+                                    arr(1, 2), 1)
+        assert len(out) == 0
+
+    def test_count_only_discount_strips_stores(self):
+        eng = SetOpEngine(friendly=True, write_cache=False)
+        _, cost = eng.refine_edge(arr(1, 2, 3), arr(1, 2, 3), 1)
+        stripped = eng.count_only_discount(cost)
+        assert stripped.gst == 0
+        assert stripped.gld == cost.gld
+        assert stripped.ops == cost.ops
+
+    def test_naive_refine_launches(self):
+        eng = SetOpEngine(friendly=False)
+        _, cost = eng.refine_edge(arr(1), arr(1), 1)
+        assert cost.launches == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    row=st.sets(st.integers(0, 50), min_size=1, max_size=5),
+    nbrs=st.sets(st.integers(0, 50), max_size=30),
+    cand=st.sets(st.integers(0, 50), max_size=30),
+)
+def test_property_first_edge_semantics(row, nbrs, cand):
+    eng = SetOpEngine()
+    row_a = np.array(sorted(row), dtype=np.int64)
+    nbrs_a = np.array(sorted(nbrs), dtype=np.int64)
+    buf, _ = eng.first_edge(row_a, nbrs_a, 1,
+                            CandidateSet(np.array(sorted(cand),
+                                                  dtype=np.int64)))
+    assert set(buf.tolist()) == (nbrs - row) & cand
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    buf=st.sets(st.integers(0, 50), max_size=30),
+    nbrs=st.sets(st.integers(0, 50), max_size=30),
+)
+def test_property_refine_semantics(buf, nbrs):
+    eng = SetOpEngine()
+    out, _ = eng.refine_edge(np.array(sorted(buf), dtype=np.int64),
+                             np.array(sorted(nbrs), dtype=np.int64), 1)
+    assert set(out.tolist()) == buf & nbrs

@@ -1,0 +1,153 @@
+"""Tests for vertex signature encoding (Section III-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signature import (
+    candidate_mask,
+    encode_all,
+    encode_vertex,
+    is_candidate,
+    num_groups,
+    num_words,
+)
+from repro.graph.generators import random_walk_query, scale_free_graph
+from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
+
+from conftest import brute_force_matches
+
+
+class TestLayout:
+    def test_num_words(self):
+        assert num_words(512) == 16
+        assert num_words(64) == 2
+
+    def test_num_groups(self):
+        assert num_groups(512, 32) == 240
+        assert num_groups(64, 32) == 16
+
+    def test_word0_is_raw_label(self):
+        g = LabeledGraph([1234567], [])
+        sig = encode_vertex(g, 0, 512)
+        assert int(sig[0]) == 1234567
+
+    def test_isolated_vertex_tail_empty(self):
+        g = LabeledGraph([5], [])
+        sig = encode_vertex(g, 0, 512)
+        assert not np.any(sig[1:])
+
+
+class TestGroupStates:
+    def test_single_pair_sets_01(self):
+        g = LabeledGraph([0, 7], [(0, 1, 3)])
+        sig = encode_vertex(g, 0, 512)
+        tail = sig[1:]
+        # Exactly one group set, to state 01.
+        bits = np.unpackbits(tail.view(np.uint8))
+        assert bits.sum() == 1
+
+    def test_duplicate_pairs_set_11(self):
+        # Two neighbors with identical (edge label, vertex label) pairs.
+        g = LabeledGraph([0, 7, 7], [(0, 1, 3), (0, 2, 3)])
+        sig = encode_vertex(g, 0, 512)
+        bits = np.unpackbits(sig[1:].view(np.uint8))
+        assert bits.sum() == 2  # the "11" state
+
+    def test_distinct_pairs_two_groups(self):
+        g = LabeledGraph([0, 7, 8], [(0, 1, 3), (0, 2, 3)])
+        sig = encode_vertex(g, 0, 512)
+        bits = np.unpackbits(sig[1:].view(np.uint8))
+        # Two distinct keys: 2 bits if no hash collision, 2 if collided
+        # into "11"; either way exactly two bits.
+        assert bits.sum() == 2
+
+
+class TestCandidateRule:
+    def test_label_mismatch_rejected(self):
+        g = LabeledGraph([1, 2], [])
+        s0 = encode_vertex(g, 0, 512)
+        s1 = encode_vertex(g, 1, 512)
+        assert not is_candidate(s0, s1)
+
+    def test_identical_signature_accepted(self):
+        g = LabeledGraph([1, 1], [])
+        s0 = encode_vertex(g, 0, 512)
+        assert is_candidate(s0, s0)
+
+    def test_superset_neighborhood_accepted(self):
+        # data vertex has strictly more structure than the query vertex
+        data = LabeledGraph([0, 7, 8], [(0, 1, 3), (0, 2, 4)])
+        query = LabeledGraph([0, 7], [(0, 1, 3)])
+        sv = encode_vertex(data, 0, 512)
+        su = encode_vertex(query, 0, 512)
+        assert is_candidate(sv, su)
+
+    def test_missing_structure_rejected(self):
+        data = LabeledGraph([0, 7], [(0, 1, 3)])
+        query = LabeledGraph([0, 7, 8], [(0, 1, 3), (0, 2, 4)])
+        sv = encode_vertex(data, 0, 512)
+        su = encode_vertex(query, 0, 512)
+        assert not is_candidate(sv, su)
+
+    def test_multiplicity_pruning(self):
+        # Query vertex needs TWO (3, 7) pairs; data vertex has one.
+        query = LabeledGraph([0, 7, 7], [(0, 1, 3), (0, 2, 3)])
+        data = LabeledGraph([0, 7], [(0, 1, 3)])
+        su = encode_vertex(query, 0, 512)
+        sv = encode_vertex(data, 0, 512)
+        assert not is_candidate(sv, su)
+
+
+class TestVectorizedMask:
+    def test_mask_agrees_with_scalar(self):
+        g = scale_free_graph(120, 3, 4, 4, seed=2)
+        table = encode_all(g, 256)
+        q = random_walk_query(g, 4, seed=1)
+        su = encode_vertex(q, 0, 256)
+        mask = candidate_mask(table, su)
+        for v in range(g.num_vertices):
+            assert mask[v] == is_candidate(table[v], su)
+
+
+class TestSoundness:
+    """The filter must never prune a true match (necessity of the rule)."""
+
+    @pytest.mark.parametrize("bits", [64, 128, 256, 512])
+    def test_all_true_matches_pass(self, bits):
+        g = scale_free_graph(100, 3, 3, 3, seed=6)
+        table = encode_all(g, bits)
+        for seed in range(4):
+            q = random_walk_query(g, 4, seed=seed)
+            matches = brute_force_matches(q, g)
+            for match in matches:
+                for u, v in enumerate(match):
+                    su = encode_vertex(q, u, bits)
+                    assert is_candidate(table[v], su), (bits, u, v)
+
+    def test_longer_signatures_prune_no_less(self):
+        g = scale_free_graph(300, 4, 5, 8, seed=8)
+        q = random_walk_query(g, 6, seed=3)
+        sizes = []
+        for bits in (64, 256, 512):
+            table = encode_all(g, bits)
+            total = 0
+            for u in range(q.num_vertices):
+                su = encode_vertex(q, u, bits)
+                total += int(candidate_mask(table, su).sum())
+            sizes.append(total)
+        # Pruning power should not get worse as N grows (Table V trend).
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), bits=st.sampled_from([64, 128, 512]))
+def test_property_signature_soundness(seed, bits):
+    g = scale_free_graph(60, 2, 3, 2, seed=seed % 7)
+    q = random_walk_query(g, 3, seed=seed)
+    table = encode_all(g, bits)
+    for match in brute_force_matches(q, g):
+        for u, v in enumerate(match):
+            su = encode_vertex(q, u, bits)
+            assert is_candidate(table[v], su)

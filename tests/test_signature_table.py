@@ -1,0 +1,74 @@
+"""Tests for signature table layout costs (Figure 8c vs 8d)."""
+
+import numpy as np
+
+from repro.core.signature import encode_vertex
+from repro.core.signature_table import SignatureTable
+from repro.graph.generators import random_walk_query, scale_free_graph
+
+
+def make_tables(bits=512):
+    g = scale_free_graph(200, 3, 5, 5, seed=4)
+    q = random_walk_query(g, 4, seed=1)
+    col = SignatureTable.build(g, bits, column_first=True)
+    row = SignatureTable.build(g, bits, column_first=False)
+    sig = encode_vertex(q, 0, bits)
+    return g, col, row, sig
+
+
+class TestFunctional:
+    def test_layout_does_not_change_results(self):
+        _, col, row, sig = make_tables()
+        assert np.array_equal(col.filter(sig), row.filter(sig))
+
+    def test_filter_returns_label_matches_only(self):
+        g, col, _, sig = make_tables()
+        for v in col.filter(sig):
+            assert g.vertex_label(int(v)) == int(sig[0])
+
+
+class TestScanCost:
+    def test_column_first_cheaper(self):
+        _, col, row, sig = make_tables()
+        assert col.scan_cost(sig).gld_transactions \
+            < row.scan_cost(sig).gld_transactions
+
+    def test_row_first_pays_stride_gap(self):
+        # With 16-word signatures, a warp's same-word reads span
+        # 16 x 4 x 32 bytes = 16 segments: one order of magnitude worse.
+        _, col, row, sig = make_tables(512)
+        ratio = (row.scan_cost(sig).gld_transactions
+                 / max(1, col.scan_cost(sig).gld_transactions))
+        assert ratio > 4
+
+    def test_task_count_is_warps(self):
+        g, col, _, sig = make_tables()
+        cost = col.scan_cost(sig)
+        assert len(cost.warp_task_cycles) == (g.num_vertices + 31) // 32
+
+    def test_label_miss_warps_read_one_word(self):
+        # A signature whose label matches nothing: every warp reads only
+        # word 0, so column-first cost is exactly one tx per warp.
+        g = scale_free_graph(100, 2, 3, 3, seed=1)
+        table = SignatureTable.build(g, 128, column_first=True)
+        sig = np.zeros(4, dtype=np.uint32)
+        sig[0] = 999_999  # label not present
+        cost = table.scan_cost(sig)
+        warps = (g.num_vertices + 31) // 32
+        assert cost.gld_transactions == warps
+
+    def test_empty_table(self):
+        table = SignatureTable(np.zeros((0, 4), dtype=np.uint32))
+        sig = np.zeros(4, dtype=np.uint32)
+        assert table.scan_cost(sig).gld_transactions == 0
+        assert len(table.filter(sig)) == 0
+
+    def test_shorter_signatures_cost_less(self):
+        g = scale_free_graph(200, 3, 5, 5, seed=4)
+        q = random_walk_query(g, 4, seed=1)
+        costs = []
+        for bits in (64, 256, 512):
+            t = SignatureTable.build(g, bits, column_first=True)
+            sig = encode_vertex(q, 0, bits)
+            costs.append(t.scan_cost(sig).gld_transactions)
+        assert costs[0] <= costs[1] <= costs[2]

@@ -1,0 +1,41 @@
+"""Tests for graph statistics."""
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.stats import (
+    edge_label_histogram,
+    graph_stats,
+    vertex_label_histogram,
+)
+
+
+class TestGraphStats:
+    def test_basic(self):
+        g = LabeledGraph([1, 1, 2], [(0, 1, 5), (1, 2, 5)])
+        s = graph_stats(g)
+        assert s.num_vertices == 3
+        assert s.num_edges == 2
+        assert s.num_vertex_labels == 2
+        assert s.num_edge_labels == 1
+        assert s.max_degree == 2
+        assert abs(s.mean_degree - 4 / 3) < 1e-9
+
+    def test_empty(self):
+        s = graph_stats(LabeledGraph([], []))
+        assert s.num_vertices == 0
+        assert s.max_degree == 0
+        assert s.mean_degree == 0.0
+
+    def test_as_row_contains_fields(self):
+        s = graph_stats(LabeledGraph([0], []))
+        row = s.as_row()
+        assert "|V|=" in row and "MD=" in row
+
+
+class TestHistograms:
+    def test_edge_histogram(self):
+        g = LabeledGraph([0] * 4, [(0, 1, 1), (1, 2, 1), (2, 3, 9)])
+        assert edge_label_histogram(g) == {1: 2, 9: 1}
+
+    def test_vertex_histogram(self):
+        g = LabeledGraph([5, 5, 7], [])
+        assert vertex_label_histogram(g) == {5: 2, 7: 1}

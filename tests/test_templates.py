@@ -1,0 +1,104 @@
+"""Tests for query-template sampling."""
+
+import pytest
+
+from repro import GSIEngine
+from repro.errors import GraphError
+from repro.graph.templates import (
+    sample_clique,
+    sample_cycle,
+    sample_path,
+    sample_star,
+    template_workload,
+)
+
+
+class TestPath:
+    def test_shape(self, medium_graph):
+        q = sample_path(medium_graph, 4, seed=1)
+        assert q.num_vertices == 5
+        assert q.num_edges == 4
+        degs = sorted(q.degree(v) for v in range(5))
+        assert degs == [1, 1, 2, 2, 2]
+
+    def test_embeds(self, medium_graph):
+        engine = GSIEngine(medium_graph)
+        for seed in range(3):
+            q = sample_path(medium_graph, 3, seed=seed)
+            assert engine.match(q).num_matches >= 1
+
+    def test_invalid_length(self, medium_graph):
+        with pytest.raises(GraphError):
+            sample_path(medium_graph, 0)
+
+
+class TestStar:
+    def test_shape(self, medium_graph):
+        q = sample_star(medium_graph, 5, seed=2)
+        assert q.num_vertices == 6
+        assert q.num_edges == 5
+        assert q.max_degree() == 5
+
+    def test_embeds(self, medium_graph):
+        engine = GSIEngine(medium_graph)
+        q = sample_star(medium_graph, 4, seed=1)
+        assert engine.match(q).num_matches >= 1
+
+    def test_too_many_leaves(self, medium_graph):
+        with pytest.raises(GraphError):
+            sample_star(medium_graph, medium_graph.max_degree() + 1)
+
+
+class TestCycle:
+    def test_shape(self, medium_graph):
+        q = sample_cycle(medium_graph, 3, seed=1)
+        assert q.num_vertices == 3
+        assert q.num_edges == 3
+        assert all(q.degree(v) == 2 for v in range(3))
+
+    def test_embeds(self, medium_graph):
+        engine = GSIEngine(medium_graph)
+        q = sample_cycle(medium_graph, 3, seed=3)
+        assert engine.match(q).num_matches >= 1
+
+    def test_too_short(self, medium_graph):
+        with pytest.raises(GraphError):
+            sample_cycle(medium_graph, 2)
+
+
+class TestClique:
+    def test_shape(self, medium_graph):
+        q = sample_clique(medium_graph, 3, seed=1)
+        assert q.num_vertices == 3
+        assert q.num_edges == 3
+
+    def test_embeds(self, medium_graph):
+        engine = GSIEngine(medium_graph)
+        q = sample_clique(medium_graph, 3, seed=2)
+        assert engine.match(q).num_matches >= 1
+
+    def test_too_small(self, medium_graph):
+        with pytest.raises(GraphError):
+            sample_clique(medium_graph, 1)
+
+    def test_impossible_size(self, medium_graph):
+        with pytest.raises(GraphError):
+            sample_clique(medium_graph, 40, max_tries=50)
+
+
+class TestWorkload:
+    def test_count(self, medium_graph):
+        qs = template_workload(medium_graph, "path", 3, count=4, seed=9)
+        assert len(qs) == 4
+        assert all(q.num_edges == 3 for q in qs)
+
+    def test_unknown_template(self, medium_graph):
+        with pytest.raises(GraphError):
+            template_workload(medium_graph, "spiral", 3, count=1)
+
+    def test_deterministic(self, medium_graph):
+        a = template_workload(medium_graph, "star", 3, count=2, seed=5)
+        b = template_workload(medium_graph, "star", 3, count=2, seed=5)
+        for qa, qb in zip(a, b):
+            assert set(qa.edges()) == set(qb.edges())
+            assert list(qa.vertex_labels) == list(qb.vertex_labels)

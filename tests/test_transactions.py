@@ -1,0 +1,95 @@
+"""Tests for the memory-transaction arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.transactions import (
+    batched_write,
+    coalesced_segments,
+    contiguous_read,
+    scattered_read,
+    strided_read,
+    unbatched_write,
+)
+
+
+class TestContiguousRead:
+    def test_zero(self):
+        assert contiguous_read(0) == 0
+
+    def test_one_element(self):
+        assert contiguous_read(1) == 1
+
+    def test_exact_transaction(self):
+        assert contiguous_read(32) == 1
+
+    def test_boundary(self):
+        assert contiguous_read(33) == 2
+
+    def test_large(self):
+        assert contiguous_read(320) == 10
+
+    def test_unaligned_adds_one(self):
+        assert contiguous_read(32, aligned=False) == 2
+        # a straddling partial run is already covered by the ceil
+        assert contiguous_read(33, aligned=False) == 2
+
+
+class TestScatteredAndStrided:
+    def test_scattered_one_per_access(self):
+        assert scattered_read(7) == 7
+        assert scattered_read(0) == 0
+
+    def test_strided_unit_stride_is_contiguous(self):
+        assert strided_read(32, 1) == contiguous_read(32)
+
+    def test_strided_wide(self):
+        # 32 accesses, 16 words apart -> spans 32*16*4 = 2048 B = 16 segs
+        assert strided_read(32, 16) == 16
+
+    def test_strided_capped_at_one_per_access(self):
+        assert strided_read(32, 1000) == 32
+
+    def test_strided_zero(self):
+        assert strided_read(0, 4) == 0
+
+
+class TestCoalescedSegments:
+    def test_same_segment(self):
+        # words 0..31 -> bytes 0..127 -> one 128 B segment
+        assert coalesced_segments(range(32)) == 1
+
+    def test_two_segments(self):
+        assert coalesced_segments([0, 32]) == 2
+
+    def test_fully_scattered(self):
+        assert coalesced_segments([i * 32 for i in range(10)]) == 10
+
+
+class TestWrites:
+    def test_batched_equals_contiguous(self):
+        assert batched_write(33) == 2
+
+    def test_unbatched_one_per_element(self):
+        assert unbatched_write(33) == 33
+        assert unbatched_write(0) == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_batched_never_exceeds_unbatched(n):
+    assert batched_write(n) <= unbatched_write(n) or n == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 10_000), st.integers(0, 10_000))
+def test_property_contiguous_read_is_monotone(a, b):
+    lo, hi = sorted((a, b))
+    assert contiguous_read(lo) <= contiguous_read(hi)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 1000), st.integers(1, 64))
+def test_property_strided_between_contiguous_and_scattered(n, stride):
+    tx = strided_read(n, stride)
+    assert contiguous_read(n) <= tx <= scattered_read(n)

@@ -1,0 +1,140 @@
+"""Tests for embedding verification and post-processing."""
+
+import pytest
+
+from repro import GSIConfig, GSIEngine, random_walk_query
+from repro.core.verify import (
+    deduplicate_automorphic,
+    filter_induced,
+    is_induced_embedding,
+    is_valid_embedding,
+    query_automorphisms,
+    verify_all,
+)
+from repro.graph.labeled_graph import (
+    GraphBuilder,
+    LabeledGraph,
+    path_query,
+    triangle_query,
+)
+
+
+@pytest.fixture(scope="module")
+def square_graph():
+    """A labeled 4-cycle plus one chord."""
+    b = GraphBuilder()
+    ids = b.add_vertices([0, 0, 0, 0])
+    for i in range(4):
+        b.add_edge(i, (i + 1) % 4, 0)
+    b.add_edge(0, 2, 0)  # chord
+    return b.build()
+
+
+class TestIsValidEmbedding:
+    def test_valid(self, square_graph):
+        q = path_query([0, 0, 0])
+        assert is_valid_embedding(q, square_graph, (1, 0, 3))
+
+    def test_wrong_length(self, square_graph):
+        q = path_query([0, 0, 0])
+        assert not is_valid_embedding(q, square_graph, (1, 0))
+
+    def test_not_injective(self, square_graph):
+        q = path_query([0, 0, 0])
+        assert not is_valid_embedding(q, square_graph, (1, 0, 1))
+
+    def test_missing_edge(self, square_graph):
+        q = path_query([0, 0, 0])
+        # vertices 1 and 3 are not adjacent, so a path through them fails
+        assert not is_valid_embedding(q, square_graph, (2, 1, 3))
+        assert not is_valid_embedding(q, square_graph, (0, 1, 3))
+
+    def test_wrong_vertex_label(self):
+        g = LabeledGraph([0, 1], [(0, 1, 0)])
+        q = path_query([0, 0])
+        assert not is_valid_embedding(q, g, (0, 1))
+
+    def test_wrong_edge_label(self):
+        g = LabeledGraph([0, 0], [(0, 1, 5)])
+        q = path_query([0, 0], [6])
+        assert not is_valid_embedding(q, g, (0, 1))
+
+    def test_out_of_range_vertex(self, square_graph):
+        q = path_query([0, 0])
+        assert not is_valid_embedding(q, square_graph, (0, 99))
+
+
+class TestVerifyAll:
+    def test_gsi_output_verifies(self, small_graph):
+        engine = GSIEngine(small_graph, GSIConfig.gsi_opt())
+        for seed in range(4):
+            q = random_walk_query(small_graph, 4, seed=seed)
+            r = engine.match(q)
+            assert verify_all(q, small_graph, r.matches) == []
+
+    def test_detects_corruption(self, small_graph):
+        q = random_walk_query(small_graph, 4, seed=0)
+        r = GSIEngine(small_graph).match(q)
+        if not r.matches:
+            pytest.skip("no matches to corrupt")
+        bad = tuple([-1] * 4)
+        assert verify_all(q, small_graph, r.matches + [bad]) == [bad]
+
+
+class TestInduced:
+    def test_chord_breaks_inducedness(self, square_graph):
+        # path 1-2-3 is induced iff 1 and 3 are non-adjacent: true here;
+        # path 1-0-3 is non-induced? 1-3 no edge, so induced.
+        q = path_query([0, 0, 0])
+        assert is_induced_embedding(q, square_graph, (1, 2, 3))
+        # 0-2 chord exists: path 0-1-2 maps ends 0,2 which ARE adjacent
+        assert not is_induced_embedding(q, square_graph, (0, 1, 2))
+
+    def test_filter_induced_subset(self, square_graph):
+        q = path_query([0, 0, 0])
+        engine = GSIEngine(square_graph)
+        r = engine.match(q)
+        induced = filter_induced(q, square_graph, r.matches)
+        assert set(induced) <= r.match_set()
+        assert all(is_induced_embedding(q, square_graph, m)
+                   for m in induced)
+        # the chord means strictly fewer induced embeddings
+        assert len(induced) < r.num_matches
+
+
+class TestAutomorphisms:
+    def test_uniform_triangle_has_six(self):
+        q = triangle_query((0, 0, 0), (0, 0, 0))
+        assert len(query_automorphisms(q)) == 6
+
+    def test_labeled_triangle_fewer(self):
+        q = triangle_query((0, 0, 1), (0, 0, 0))
+        # only the swap of the two label-0 endpoints survives (edge
+        # labels uniform): identity + one transposition
+        assert len(query_automorphisms(q)) == 2
+
+    def test_path_has_two(self):
+        q = path_query([0, 0, 0])
+        assert len(query_automorphisms(q)) == 2  # identity + reversal
+
+    def test_asymmetric_path_has_one(self):
+        q = path_query([0, 1, 2])
+        assert len(query_automorphisms(q)) == 1
+
+
+class TestDeduplicate:
+    def test_triangle_embeddings_collapse_six_to_one(self, small_graph):
+        q = triangle_query((0, 0, 0), (0, 0, 0))
+        r = GSIEngine(small_graph).match(q)
+        if r.num_matches == 0:
+            pytest.skip("no triangles in fixture graph")
+        unique = deduplicate_automorphic(q, r.matches)
+        assert len(unique) == r.num_matches // 6
+
+    def test_identity_only_keeps_all(self, small_graph):
+        # a rigid query (distinct endpoint labels) has no non-trivial
+        # automorphisms, so deduplication keeps every embedding
+        q = path_query([0, 1])
+        r = GSIEngine(small_graph).match(q)
+        unique = deduplicate_automorphic(q, r.matches)
+        assert len(unique) == r.num_matches
