@@ -1,0 +1,110 @@
+"""Batch service throughput: batched vs. sequential query serving.
+
+Not a paper table — this measures the repo's scaling subsystem.  The
+"sequential" arm serves each query the way the seed examples did: a
+fresh :class:`GSIEngine` per request, paying signature-table and storage
+construction every time.  The "batched" arm serves the same queries from
+one :class:`BatchEngine` (artifacts built once, worker pool, plan
+cache).  Simulated per-query measurements are identical in both arms by
+construction; the win is host wall-clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from bench_common import record_report
+from repro.bench.reporting import render_table
+from repro.core.config import GSIConfig
+from repro.core.engine import GSIEngine
+from repro.graph.generators import random_walk_query, scale_free_graph
+from repro.service import BatchEngine
+
+NUM_DISTINCT = 32
+NUM_SHAPES_REPEATED = 8
+REPEAT_FACTOR = 4
+
+
+@pytest.fixture(scope="module")
+def throughput():
+    graph = scale_free_graph(400, 4, 6, 6, seed=9)
+    config = GSIConfig.gsi_opt()
+    distinct = [random_walk_query(graph, 4 + (s % 3), seed=s)
+                for s in range(NUM_DISTINCT)]
+
+    # --- sequential: one cold engine per request (seed serving style) ---
+    t0 = time.perf_counter()
+    sequential = [GSIEngine(graph, config).match(q) for q in distinct]
+    sequential_ms = (time.perf_counter() - t0) * 1000.0
+
+    # --- sequential over a shared warm engine (informational) ---
+    warm_engine = GSIEngine(graph, config)
+    t0 = time.perf_counter()
+    warm = [warm_engine.match(q) for q in distinct]
+    warm_ms = (time.perf_counter() - t0) * 1000.0
+
+    # --- batched: shared artifacts + worker pool + plan cache ---
+    service = BatchEngine(graph, config, max_workers=4)
+    t0 = time.perf_counter()
+    report = service.run_batch(distinct)
+    batched_ms = (time.perf_counter() - t0) * 1000.0
+
+    # --- repeated-query batch: 8 shapes x 4 users through a fresh
+    #     service, exercising the plan cache within one batch ---
+    shapes = [random_walk_query(graph, 4 + (s % 3), seed=100 + s)
+              for s in range(NUM_SHAPES_REPEATED)]
+    repeated_service = BatchEngine(graph, config, max_workers=4)
+    repeated_report = repeated_service.run_batch(shapes * REPEAT_FACTOR)
+
+    rows = [
+        ["sequential (cold engine/query)", f"{sequential_ms:.0f}",
+         f"{NUM_DISTINCT / (sequential_ms / 1000):.1f}", "1.0x"],
+        ["sequential (warm shared engine)", f"{warm_ms:.0f}",
+         f"{NUM_DISTINCT / (warm_ms / 1000):.1f}",
+         f"{sequential_ms / warm_ms:.1f}x"],
+        ["batch service (4 workers)", f"{batched_ms:.0f}",
+         f"{NUM_DISTINCT / (batched_ms / 1000):.1f}",
+         f"{sequential_ms / batched_ms:.1f}x"],
+    ]
+    table = render_table(
+        f"batch service throughput ({NUM_DISTINCT} distinct queries)",
+        ["serving mode", "wall ms", "q/s", "speedup"],
+        rows,
+        note=f"repeated batch ({NUM_SHAPES_REPEATED} shapes x "
+             f"{REPEAT_FACTOR}): {repeated_report.summary_line()}")
+    record_report("batch_throughput", table)
+    return {
+        "sequential": sequential, "sequential_ms": sequential_ms,
+        "warm": warm, "warm_ms": warm_ms,
+        "report": report, "batched_ms": batched_ms,
+        "repeated_report": repeated_report,
+    }
+
+
+def test_batched_beats_sequential_wall_clock(throughput):
+    assert throughput["batched_ms"] < throughput["sequential_ms"], (
+        "the batch service must complete the batch faster than "
+        "one-engine-per-query sequential serving")
+
+
+def test_batching_does_not_change_answers(throughput):
+    for seq, batched in zip(throughput["sequential"],
+                            throughput["report"].results):
+        assert seq.match_set() == batched.match_set()
+        assert seq.elapsed_ms == batched.elapsed_ms
+
+
+def test_repeated_batch_reports_cache_hits(throughput):
+    report = throughput["repeated_report"]
+    assert report.cache.hit_rate > 0.0
+    assert report.cache.hits >= (REPEAT_FACTOR - 1) * 1
+    assert report.plan_cache_hits == report.cache.hits
+
+
+def test_distinct_batch_reports_percentiles(throughput):
+    report = throughput["report"]
+    assert report.num_queries == NUM_DISTINCT
+    assert 0.0 < report.p50_ms <= report.p99_ms
+    assert report.throughput_qps > 0.0

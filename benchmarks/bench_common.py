@@ -1,0 +1,40 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every ``bench_*`` file reproduces one table or figure of the paper.  The
+rendered paper-style tables are collected here and printed in the
+terminal summary (pytest captures per-test stdout, terminal-summary
+output always reaches the console / tee).  Tables are also written to
+``benchmarks/results/`` for later inspection.
+
+This lives outside ``conftest.py`` so benchmark modules can import it as
+``from bench_common import record_report`` without colliding with the
+test suite's ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List
+
+_REPORTS: List[str] = []
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+#: benchmark-wide workload knobs (paper: 100 queries, |V(Q)| = 12; we
+#: default smaller so the whole suite runs in minutes — raise via env)
+NUM_QUERIES = int(os.environ.get("GSI_BENCH_QUERIES", "3"))
+QUERY_VERTICES = int(os.environ.get("GSI_BENCH_QUERY_VERTICES", "12"))
+
+
+def record_report(name: str, text: str) -> None:
+    """Register a rendered table for terminal-summary printing and save
+    it under ``benchmarks/results/<name>.txt``."""
+    _REPORTS.append(text)
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n",
+                                              encoding="utf-8")
+
+
+def collected_reports() -> List[str]:
+    """All tables recorded so far (consumed by the terminal summary)."""
+    return list(_REPORTS)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import record_report
+from bench_common import record_report
 from repro.bench.reporting import render_table
 from repro.bench.runner import (
     DEFAULT_THRESHOLD_MS,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import NUM_QUERIES, QUERY_VERTICES, record_report
+from bench_common import NUM_QUERIES, QUERY_VERTICES, record_report
 from repro.bench.reporting import render_series
 from repro.bench.runner import gsi_factory, run_workload
 from repro.bench.workloads import Workload

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import record_report
+from bench_common import record_report
 from repro.bench.reporting import render_table
 from repro.bench.runner import baseline_factory, gsi_factory, run_workload
 from repro.bench.workloads import Workload

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import record_report
+from bench_common import record_report
 from repro.bench.reporting import render_table
 from repro.storage.factory import build_storage, storage_kinds
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import record_report
+from bench_common import record_report
 from repro.bench.reporting import drop_pct, render_table, speedup
 from repro.bench.runner import gsi_factory, run_workload
 from repro.core.config import GSIConfig

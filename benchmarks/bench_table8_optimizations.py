@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import record_report
+from bench_common import record_report
 from repro.bench.reporting import render_table, speedup
 from repro.bench.runner import gsi_factory, run_workload
 from repro.core.config import GSIConfig

@@ -1,47 +1,30 @@
-"""Shared infrastructure for the paper-reproduction benchmarks.
+"""Pytest glue for the paper-reproduction benchmarks.
 
-Every ``bench_*`` file reproduces one table or figure of the paper.  The
-rendered paper-style tables are collected here and printed in the
-terminal summary (pytest captures per-test stdout, terminal-summary
-output always reaches the console / tee).  Tables are also written to
-``benchmarks/results/`` for later inspection.
+Helper functions live in :mod:`bench_common`; this file only provides
+fixtures and the terminal-summary hook so that no benchmark module ever
+needs to import the name ``conftest`` (which used to shadow
+``tests/conftest.py`` when both directories were collected together).
 """
 
 from __future__ import annotations
 
-import os
-from pathlib import Path
-from typing import Dict, List
+from typing import Dict
 
 import pytest
 
 from repro.bench.workloads import Workload, standard_workloads
 
-_REPORTS: List[str] = []
-_RESULTS_DIR = Path(__file__).parent / "results"
-
-#: benchmark-wide workload knobs (paper: 100 queries, |V(Q)| = 12; we
-#: default smaller so the whole suite runs in minutes — raise via env)
-NUM_QUERIES = int(os.environ.get("GSI_BENCH_QUERIES", "3"))
-QUERY_VERTICES = int(os.environ.get("GSI_BENCH_QUERY_VERTICES", "12"))
-
-
-def record_report(name: str, text: str) -> None:
-    """Register a rendered table for terminal-summary printing and save
-    it under ``benchmarks/results/<name>.txt``."""
-    _REPORTS.append(text)
-    _RESULTS_DIR.mkdir(exist_ok=True)
-    (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n",
-                                              encoding="utf-8")
+from bench_common import NUM_QUERIES, QUERY_VERTICES, collected_reports
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not _REPORTS:
+    reports = collected_reports()
+    if not reports:
         return
     terminalreporter.write_line("")
     terminalreporter.write_line(
         "################ paper reproduction output ################")
-    for report in _REPORTS:
+    for report in reports:
         terminalreporter.write_line(report)
         terminalreporter.write_line("")
 

@@ -12,19 +12,24 @@ Public API quickstart::
 """
 
 from repro.core.config import GSIConfig
-from repro.core.engine import GSIEngine
+from repro.core.engine import GSIEngine, PreparedQuery
 from repro.core.result import MatchResult
 from repro.core.verify import is_valid_embedding, verify_all
 from repro.graph import datasets
 from repro.graph.generators import query_workload, random_walk_query
 from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
 from repro.query import TripleStore, run_pattern
+from repro.service import BatchEngine, BatchReport, PlanCache
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GSIConfig",
     "GSIEngine",
+    "PreparedQuery",
+    "BatchEngine",
+    "BatchReport",
+    "PlanCache",
     "MatchResult",
     "is_valid_embedding",
     "verify_all",

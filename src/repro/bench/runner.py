@@ -7,8 +7,11 @@ marks engines that "show no result" in Figure 12.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # runner is imported by the service benchmarks
+    from repro.service.batch import BatchReport
 
 from repro.bench.workloads import Workload
 from repro.core.config import GSIConfig
@@ -100,15 +103,16 @@ def baseline_factory(kind: str,
     return make
 
 
-def run_workload(factory: EngineFactory, workload: Workload,
-                 engine_label: str = "") -> WorkloadSummary:
-    """Run every query of ``workload`` on a fresh engine, average metrics."""
-    engine = factory(workload.graph)
-    label = engine_label or getattr(engine, "name", "engine")
-    summary = WorkloadSummary(engine=label, dataset=workload.name)
+def summarize_results(results: List[MatchResult], engine_label: str,
+                      dataset: str) -> WorkloadSummary:
+    """Average a list of per-query results into a :class:`WorkloadSummary`.
+
+    Shared by the sequential and batched runners so both report the
+    paper's metrics identically.
+    """
+    summary = WorkloadSummary(engine=engine_label, dataset=dataset)
     total_ms = total_gld = total_gst = total_minc = 0.0
-    for query in workload.queries:
-        result: MatchResult = engine.match(query)
+    for result in results:
         summary.results.append(result)
         summary.queries += 1
         if result.timed_out:
@@ -126,6 +130,44 @@ def run_workload(factory: EngineFactory, workload: Workload,
     summary.avg_gst = total_gst / done
     summary.avg_min_candidates = total_minc / done
     return summary
+
+
+def run_workload(factory: EngineFactory, workload: Workload,
+                 engine_label: str = "") -> WorkloadSummary:
+    """Run every query of ``workload`` on a fresh engine, average metrics."""
+    engine = factory(workload.graph)
+    label = engine_label or getattr(engine, "name", "engine")
+    results: List[MatchResult] = [
+        engine.match(query) for query in workload.queries]
+    return summarize_results(results, label, workload.name)
+
+
+def run_workload_batched(workload: Workload,
+                         config: Optional[GSIConfig] = None,
+                         engine_label: str = "gsi-batch",
+                         max_workers: int = 4,
+                         cache_capacity: int = 256,
+                         budget_ms: Optional[float] = DEFAULT_THRESHOLD_MS,
+                         max_rows: Optional[int] = DEFAULT_MAX_ROWS,
+                         ) -> Tuple[WorkloadSummary, "BatchReport"]:
+    """Run a workload through the batch service.
+
+    Returns the usual :class:`WorkloadSummary` plus the
+    :class:`~repro.service.batch.BatchReport` with service-level metrics
+    (latency percentiles, plan-cache hit rate, wall-clock throughput).
+    """
+    from repro.service.batch import BatchEngine
+
+    base = config if config is not None else GSIConfig()
+    cfg = replace(base, budget_ms=budget_ms,
+                  max_intermediate_rows=max_rows)
+    engine = BatchEngine(workload.graph, cfg,
+                         cache_capacity=cache_capacity,
+                         max_workers=max_workers)
+    report = engine.run_batch(workload.queries)
+    summary = summarize_results(report.results, engine_label,
+                                workload.name)
+    return summary, report
 
 
 def run_matrix(factories: Dict[str, EngineFactory],

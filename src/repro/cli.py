@@ -9,12 +9,16 @@ Commands
     Run one engine on one dataset workload and print per-query results.
 ``shootout``
     Run several engines on the same workload (a mini Figure 12 row).
+``batch``
+    Serve a workload through the batch service (worker pool + plan
+    cache) and print per-query results plus service-level metrics.
 
 Examples::
 
     python -m repro.cli datasets
     python -m repro.cli match --dataset watdiv --engine gsi-opt --queries 3
     python -m repro.cli shootout --dataset gowalla --queries 3
+    python -m repro.cli batch --dataset gowalla --queries 8 --repeat 2
 """
 
 from __future__ import annotations
@@ -24,7 +28,12 @@ import sys
 from typing import List, Optional
 
 from repro.bench.reporting import render_table
-from repro.bench.runner import baseline_factory, gsi_factory, run_workload
+from repro.bench.runner import (
+    baseline_factory,
+    gsi_factory,
+    run_workload,
+    run_workload_batched,
+)
 from repro.bench.workloads import Workload
 from repro.core.config import GSIConfig
 from repro.graph import datasets
@@ -33,14 +42,16 @@ from repro.graph.stats import graph_stats
 ENGINE_CHOICES = ["gsi", "gsi-opt", "gsi-baseline", "vf3", "cfl",
                   "ullmann", "turbo", "gpsm", "gunrock"]
 
+GSI_CONFIGS = {
+    "gsi": GSIConfig.gsi,
+    "gsi-opt": GSIConfig.gsi_opt,
+    "gsi-baseline": GSIConfig.baseline,
+}
+
 
 def _engine_factory(name: str):
-    if name == "gsi":
-        return gsi_factory(GSIConfig.gsi())
-    if name == "gsi-opt":
-        return gsi_factory(GSIConfig.gsi_opt())
-    if name == "gsi-baseline":
-        return gsi_factory(GSIConfig.baseline())
+    if name in GSI_CONFIGS:
+        return gsi_factory(GSI_CONFIGS[name]())
     return baseline_factory(name)
 
 
@@ -112,6 +123,36 @@ def cmd_shootout(args: argparse.Namespace) -> int:
     return 0 if agree else 1
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    if args.cache_capacity < 1:
+        print("error: --cache-capacity must be >= 1", file=sys.stderr)
+        return 2
+    wl = Workload.for_dataset(args.dataset, num_queries=args.queries,
+                              query_vertices=args.query_vertices,
+                              seed=args.seed)
+    if args.repeat > 1:
+        # Re-submit the same query set; repeats hit the plan cache.
+        wl.queries = wl.queries * args.repeat
+    summary, report = run_workload_batched(
+        wl, config=GSI_CONFIGS[args.engine](),
+        engine_label=f"{args.engine}-batch",
+        max_workers=args.workers, cache_capacity=args.cache_capacity)
+    rows = []
+    for i, item in enumerate(report.items):
+        r = item.result
+        rows.append([i, r.num_matches,
+                     "timeout" if r.timed_out else f"{r.elapsed_ms:.3f}",
+                     f"{item.host_ms:.1f}",
+                     "hit" if item.plan_cached else "miss"])
+    print(render_table(
+        f"batch service: {args.engine} on {args.dataset} "
+        f"({args.workers} workers, cache {args.cache_capacity})",
+        ["query", "matches", "sim ms", "host ms", "plan"],
+        rows,
+        note=report.summary_line()))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -136,6 +177,17 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--engines", nargs="+", default=["vf3", "gpsm",
                                                     "gunrock", "gsi-opt"],
                    choices=ENGINE_CHOICES)
+
+    b = sub.add_parser("batch",
+                       help="serve one workload via the batch service")
+    add_workload_args(b)
+    b.add_argument("--engine", default="gsi-opt",
+                   choices=sorted(GSI_CONFIGS))
+    b.add_argument("--workers", type=int, default=4)
+    b.add_argument("--cache-capacity", type=int, default=256)
+    b.add_argument("--repeat", type=int, default=1,
+                   help="submit the query set this many times "
+                        "(repeats exercise the plan cache)")
     return parser
 
 
@@ -145,6 +197,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datasets": cmd_datasets,
         "match": cmd_match,
         "shootout": cmd_shootout,
+        "batch": cmd_batch,
     }
     return handlers[args.command](args)
 

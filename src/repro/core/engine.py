@@ -4,18 +4,36 @@ Construct once per data graph (signature table and storage structure are
 built offline, as in the paper), then call :meth:`GSIEngine.match` per
 query.  Every call simulates a fresh device, so results carry independent
 time and transaction measurements.
+
+``match`` is split into two explicit steps so services can interpose
+between them:
+
+* :meth:`GSIEngine.prepare` runs the filtering phase and join-order
+  planning, returning a :class:`PreparedQuery`.  When a
+  :class:`~repro.service.plan_cache.PlanCache` is supplied, planning is
+  skipped for queries isomorphic to one already planned.
+* :meth:`GSIEngine.execute` runs the joining phase of a prepared query
+  and produces the final :class:`~repro.core.result.MatchResult`.
+
+``match(query)`` is exactly ``execute(prepare(query))``; the CLI, the
+benchmark runner, the pattern executor, and the batch service all drive
+this same code path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # avoid a runtime core <-> service import cycle
+    from repro.service.plan_cache import PlanCache
 
 from repro.core.config import GSIConfig
 from repro.core.filtering import filter_candidates
 from repro.core.join import JoinContext, run_join_phase
-from repro.core.plan import plan_join_order
+from repro.core.plan import JoinPlan, plan_join_order
 from repro.core.result import MatchResult, PhaseBreakdown
 from repro.core.set_ops import SetOpEngine
 from repro.core.signature_table import SignatureTable
@@ -24,6 +42,40 @@ from repro.graph.labeled_graph import LabeledGraph
 from repro.gpusim.constants import CLOCK_GHZ
 from repro.gpusim.device import Device
 from repro.storage.factory import build_storage
+
+
+@dataclass
+class PreparedQuery:
+    """Everything the joining phase needs, produced by :meth:`prepare`.
+
+    Attributes
+    ----------
+    query:
+        The query graph this plan belongs to.
+    candidates:
+        ``C(u)`` per query vertex from the filtering phase.
+    plan:
+        The join order; ``None`` when filtering emptied a candidate set
+        (the query provably has no matches) or the budget ran out.
+    device:
+        The simulated device that ran filtering; :meth:`execute`
+        continues on the same device so ``elapsed_ms`` accumulates
+        across both phases, exactly as in a single ``match`` call.
+    plan_cached:
+        True when ``plan`` came from a plan cache instead of
+        :func:`~repro.core.plan.plan_join_order`.
+    timed_out:
+        True when the simulated budget was exhausted during filtering.
+    """
+
+    query: LabeledGraph
+    device: Device
+    candidates: Dict[int, np.ndarray] = field(default_factory=dict)
+    candidate_sizes: Dict[int, int] = field(default_factory=dict)
+    plan: Optional[JoinPlan] = None
+    filter_ms: float = 0.0
+    plan_cached: bool = False
+    timed_out: bool = False
 
 
 class GSIEngine:
@@ -75,41 +127,82 @@ class GSIEngine:
         result.counters = device.meter.snapshot()
         return result
 
-    def match(self, query: LabeledGraph) -> MatchResult:
-        """Find all subgraph-isomorphism embeddings of ``query``.
+    # ------------------------------------------------------------------
+    # The two-step query path: prepare (filter + plan), then execute.
+    # ------------------------------------------------------------------
 
-        Returns a :class:`~repro.core.result.MatchResult`; if the
-        configured simulated budget is exhausted, ``timed_out`` is set
-        and partial state is discarded.
+    def prepare(self, query: LabeledGraph,
+                plan_cache: Optional["PlanCache"] = None) -> PreparedQuery:
+        """Filtering phase plus join-order planning.
+
+        ``plan_cache`` (a :class:`~repro.service.plan_cache.PlanCache`)
+        lets repeated or isomorphic queries skip
+        :func:`~repro.core.plan.plan_join_order`.  Resubmitting the
+        *same* query reuses the identical plan, so its simulated
+        measurement is reproduced exactly.  An isomorphic query with
+        different vertex numbering replays the cached plan translated
+        through the isomorphism — a valid join order that fresh
+        planning might not pick when score ties break differently, so
+        its simulated time can deviate slightly; the match set never
+        does.
         """
         if query.num_vertices == 0:
             raise GraphError("empty query")
-        device = self._make_device()
-        result = MatchResult(engine=self.name)
+        prepared = PreparedQuery(query=query, device=self._make_device())
         try:
-            candidates = filter_candidates(
-                query, self.signature_table, device,
+            prepared.candidates = filter_candidates(
+                query, self.signature_table, prepared.device,
                 self.config.signature_bits, self.config.label_bits)
-            result.candidate_sizes = {
-                u: len(c) for u, c in candidates.items()}
-            filter_ms = device.elapsed_ms
+        except BudgetExceeded:
+            prepared.timed_out = True
+            return prepared
+        prepared.candidate_sizes = {
+            u: len(c) for u, c in prepared.candidates.items()}
+        prepared.filter_ms = prepared.device.elapsed_ms
 
-            if any(len(c) == 0 for c in candidates.values()):
-                result.elapsed_ms = device.elapsed_ms
-                result.phases = PhaseBreakdown(filter_ms=filter_ms)
-                result.counters = device.meter.snapshot()
-                return result
+        if any(len(c) == 0 for c in prepared.candidates.values()):
+            return prepared  # provably no matches; nothing to plan
 
-            plan = plan_join_order(query, self.graph,
-                                   result.candidate_sizes)
-            result.join_order = plan.order
+        fingerprint = None
+        if plan_cache is not None:
+            cached, fingerprint = plan_cache.lookup(query)
+            if cached is not None:
+                prepared.plan = cached
+                prepared.plan_cached = True
+                return prepared
+        prepared.plan = plan_join_order(query, self.graph,
+                                        prepared.candidate_sizes)
+        if plan_cache is not None and fingerprint is not None:
+            plan_cache.store(fingerprint, prepared.plan)
+        return prepared
+
+    def execute(self, prepared: PreparedQuery) -> MatchResult:
+        """Joining phase: run the prepared plan to a final result."""
+        device = prepared.device
+        result = MatchResult(engine=self.name)
+        if prepared.timed_out:
+            result.timed_out = True
+            result.elapsed_ms = device.elapsed_ms
+            result.counters = device.meter.snapshot()
+            return result
+        result.candidate_sizes = dict(prepared.candidate_sizes)
+        if prepared.plan is None:
+            # Some candidate set is empty: filtering already proved the
+            # query unmatchable.
+            result.elapsed_ms = device.elapsed_ms
+            result.phases = PhaseBreakdown(filter_ms=prepared.filter_ms)
+            result.counters = device.meter.snapshot()
+            return result
+        plan = prepared.plan
+        result.join_order = plan.order
+        try:
             ctx = JoinContext(
                 graph=self.graph, store=self.store, device=device,
                 config=self.config,
                 set_engine=SetOpEngine(
                     friendly=self.config.use_gpu_set_ops,
                     write_cache=self.config.use_write_cache))
-            rows = run_join_phase(ctx, plan, candidates)
+            rows = run_join_phase(ctx, plan, prepared.candidates)
 
             # Reorder row positions (join order) into query-vertex order.
             perm = np.argsort(np.asarray(plan.order))
@@ -117,14 +210,23 @@ class GSIEngine:
                               for row in rows]
             result.elapsed_ms = device.elapsed_ms
             result.phases = PhaseBreakdown(
-                filter_ms=filter_ms,
-                join_ms=device.elapsed_ms - filter_ms)
+                filter_ms=prepared.filter_ms,
+                join_ms=device.elapsed_ms - prepared.filter_ms)
         except BudgetExceeded:
             result.matches = []
             result.timed_out = True
             result.elapsed_ms = device.elapsed_ms
         result.counters = device.meter.snapshot()
         return result
+
+    def match(self, query: LabeledGraph) -> MatchResult:
+        """Find all subgraph-isomorphism embeddings of ``query``.
+
+        Returns a :class:`~repro.core.result.MatchResult`; if the
+        configured simulated budget is exhausted, ``timed_out`` is set
+        and partial state is discarded.
+        """
+        return self.execute(self.prepare(query))
 
     # ------------------------------------------------------------------
 

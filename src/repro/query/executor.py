@@ -22,6 +22,7 @@ from repro.errors import GraphError
 from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
 from repro.query.pattern import GraphPattern, is_variable, parse_pattern
 from repro.query.triples import TripleStore
+from repro.service.plan_cache import PlanCache
 
 Binding = Dict[str, str]
 
@@ -42,11 +43,15 @@ class PatternExecutor:
     """Compiles and runs graph patterns over one frozen triple store."""
 
     def __init__(self, store: TripleStore,
-                 config: Optional[GSIConfig] = None) -> None:
+                 config: Optional[GSIConfig] = None,
+                 plan_cache_capacity: int = 64) -> None:
         self.store = store
         self.engine = GSIEngine(store.graph,
                                 config if config is not None
                                 else GSIConfig.gsi_opt())
+        # Interactive pattern workloads repeat shapes constantly (same
+        # template, different constants); cache their join plans.
+        self.plan_cache = PlanCache(capacity=plan_cache_capacity)
 
     # ------------------------------------------------------------------
 
@@ -80,7 +85,8 @@ class PatternExecutor:
         """Parse, compile, execute; returns decoded variable bindings."""
         pattern = parse_pattern(pattern_text)
         query, vertex_of = self._compile(pattern)
-        result = self.engine.match(query)
+        prepared = self.engine.prepare(query, plan_cache=self.plan_cache)
+        result = self.engine.execute(prepared)
 
         constants = pattern.constants()
         const_vertex = {

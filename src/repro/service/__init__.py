@@ -1,0 +1,16 @@
+"""Service layer: batch execution and plan caching on top of the engine."""
+
+from repro.service.batch import BatchEngine, BatchItem, BatchReport
+from repro.service.fingerprint import QueryFingerprint, query_fingerprint
+from repro.service.plan_cache import CacheStats, PlanCache, remap_plan
+
+__all__ = [
+    "BatchEngine",
+    "BatchItem",
+    "BatchReport",
+    "CacheStats",
+    "PlanCache",
+    "QueryFingerprint",
+    "query_fingerprint",
+    "remap_plan",
+]

@@ -1,0 +1,230 @@
+"""Batch query service: amortize offline artifacts across many queries.
+
+A :class:`BatchEngine` owns one :class:`~repro.core.engine.GSIEngine`
+(signature table and storage structure built once) plus a shared
+:class:`~repro.service.plan_cache.PlanCache`, and runs whole batches of
+queries through the engine's ``prepare``/``execute`` path on a worker
+pool.  Per-query :class:`~repro.core.result.MatchResult` objects are
+aggregated into a :class:`BatchReport` carrying latency percentiles,
+plan-cache statistics, and memory-transaction totals.
+
+Simulated measurements are untouched by batching: every query still runs
+on its own simulated device, so a resubmitted query reproduces its
+``MatchResult`` exactly.  The one caveat is plan-cache hits across
+*isomorphic but differently numbered* queries, which replay a translated
+plan that fresh planning might not tie-break identically — simulated
+time can then deviate slightly, while the match set never does.  What
+the service amortizes is host-side work — engine construction,
+join-order planning (via the plan cache), and Python/numpy execution
+overlap.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import GSIConfig
+from repro.core.engine import GSIEngine
+from repro.core.result import MatchResult
+from repro.graph.labeled_graph import LabeledGraph
+from repro.service.plan_cache import CacheStats, PlanCache
+
+DEFAULT_MAX_WORKERS = 4
+
+
+@dataclass
+class BatchItem:
+    """One query's outcome inside a batch (submission order preserved)."""
+
+    index: int
+    result: MatchResult
+    plan_cached: bool
+    host_ms: float  # host wall-clock spent on this query
+    error: Optional[str] = None  # per-query failure; result is empty then
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of one :meth:`BatchEngine.run_batch` call."""
+
+    items: List[BatchItem] = field(default_factory=list)
+    wall_clock_ms: float = 0.0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def results(self) -> List[MatchResult]:
+        """Per-query results in submission order."""
+        return [item.result for item in self.items]
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.items)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(1 for item in self.items if item.result.timed_out)
+
+    @property
+    def errors(self) -> int:
+        """Queries rejected by the engine (bad input, planning error)."""
+        return sum(1 for item in self.items if item.error is not None)
+
+    @property
+    def total_matches(self) -> int:
+        return sum(item.result.num_matches for item in self.items)
+
+    @property
+    def total_simulated_ms(self) -> float:
+        """Sum of simulated per-query response times."""
+        return sum(item.result.elapsed_ms for item in self.items)
+
+    @property
+    def total_gld(self) -> int:
+        return sum(item.result.counters.gld for item in self.items)
+
+    @property
+    def total_gst(self) -> int:
+        return sum(item.result.counters.gst for item in self.items)
+
+    @property
+    def total_kernel_launches(self) -> int:
+        return sum(item.result.counters.kernel_launches
+                   for item in self.items)
+
+    @property
+    def plan_cache_hits(self) -> int:
+        return sum(1 for item in self.items if item.plan_cached)
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed queries per host wall-clock second."""
+        if self.wall_clock_ms <= 0.0:
+            return 0.0
+        return self.num_queries / (self.wall_clock_ms / 1000.0)
+
+    def latency_percentile(self, pct: float) -> float:
+        """Percentile of simulated per-query latency, in ms."""
+        if not self.items:
+            return 0.0
+        values = [item.result.elapsed_ms for item in self.items]
+        return float(np.percentile(np.asarray(values), pct))
+
+    @property
+    def p50_ms(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p90_ms(self) -> float:
+        return self.latency_percentile(90)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.latency_percentile(99)
+
+    def summary_line(self) -> str:
+        """One-line human summary (CLI and benchmark output)."""
+        return (f"{self.num_queries} queries in "
+                f"{self.wall_clock_ms:.0f} ms wall "
+                f"({self.throughput_qps:.1f} q/s) | "
+                f"sim p50/p90/p99 = {self.p50_ms:.3f}/"
+                f"{self.p90_ms:.3f}/{self.p99_ms:.3f} ms | "
+                f"matches={self.total_matches} "
+                f"timeouts={self.timeouts} errors={self.errors} | "
+                f"plan cache {self.cache.hits}/{self.cache.lookups} hits "
+                f"({100.0 * self.cache.hit_rate:.0f}%)")
+
+
+class BatchEngine:
+    """Serve batches of subgraph queries over one data graph.
+
+    Parameters
+    ----------
+    graph:
+        The data graph; ignored when ``engine`` is supplied.
+    config:
+        Engine configuration (defaults to plain GSI).
+    cache_capacity:
+        Plan-cache size; plans for the ``cache_capacity`` most recently
+        used query shapes are kept.
+    max_workers:
+        Worker threads per batch.  The engine's offline artifacts are
+        read-only during matching and each query runs on its own
+        simulated device, so queries are embarrassingly parallel.
+    engine:
+        An existing :class:`GSIEngine` to serve from (its graph/config
+        take precedence).
+    """
+
+    name = "GSI-batch"
+
+    def __init__(self, graph: Optional[LabeledGraph] = None,
+                 config: Optional[GSIConfig] = None,
+                 cache_capacity: int = 256,
+                 max_workers: int = DEFAULT_MAX_WORKERS,
+                 engine: Optional[GSIEngine] = None) -> None:
+        if engine is None:
+            if graph is None:
+                raise ValueError("need a graph or an engine")
+            engine = GSIEngine(graph, config)
+        self.engine = engine
+        self.graph = engine.graph
+        self.config = engine.config
+        self.plan_cache = PlanCache(capacity=cache_capacity)
+        self.max_workers = max(1, max_workers)
+
+    # ------------------------------------------------------------------
+
+    def prepare(self, query: LabeledGraph):
+        """Filter + plan one query through the shared plan cache."""
+        return self.engine.prepare(query, plan_cache=self.plan_cache)
+
+    def execute(self, prepared) -> MatchResult:
+        return self.engine.execute(prepared)
+
+    def match(self, query: LabeledGraph) -> MatchResult:
+        """Single-query convenience path (still plan-cached)."""
+        return self.execute(self.prepare(query))
+
+    # ------------------------------------------------------------------
+
+    def _run_one(self, index: int, query: LabeledGraph) -> BatchItem:
+        start = time.perf_counter()
+        try:
+            prepared = self.prepare(query)
+            result = self.execute(prepared)
+            plan_cached = prepared.plan_cached
+            error = None
+        except Exception as exc:  # noqa: BLE001 - one bad query must
+            # never abort the rest of the batch; report it per item.
+            result = MatchResult(engine=self.name)
+            plan_cached = False
+            error = f"{type(exc).__name__}: {exc}"
+        host_ms = (time.perf_counter() - start) * 1000.0
+        return BatchItem(index=index, result=result,
+                         plan_cached=plan_cached,
+                         host_ms=host_ms, error=error)
+
+    def run_batch(self, queries: Sequence[LabeledGraph],
+                  max_workers: Optional[int] = None) -> BatchReport:
+        """Run ``queries`` concurrently; results keep submission order."""
+        workers = max(1, max_workers if max_workers is not None
+                      else self.max_workers)
+        stats_before = self.plan_cache.stats.snapshot()
+        start = time.perf_counter()
+        if workers == 1 or len(queries) <= 1:
+            items = [self._run_one(i, q) for i, q in enumerate(queries)]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                items = list(pool.map(self._run_one,
+                                      range(len(queries)), queries))
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        cache_delta = self.plan_cache.stats.snapshot().diff(stats_before)
+        return BatchReport(items=items, wall_clock_ms=wall_ms,
+                           cache=cache_delta)

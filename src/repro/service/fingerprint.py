@@ -1,0 +1,206 @@
+"""Canonical query fingerprints for plan caching.
+
+Two query graphs that are isomorphic *as labeled graphs* (same vertex
+labels, same edge labels, up to vertex renumbering) produce the same
+fingerprint digest; non-isomorphic queries always differ, because the
+digest hashes a *complete certificate* — a canonical serialization from
+which the labeled graph can be reconstructed.  The fingerprint also
+carries the vertex mapping onto the canonical numbering, which lets a
+cached join plan be translated onto any later isomorphic query.
+
+The canonical form is computed with the classic two-stage scheme:
+
+1. Weisfeiler-Leman color refinement seeded with vertex labels, with
+   incident edge labels folded into each round, partitions vertices into
+   isomorphism-invariant color classes.
+2. A backtracking search over color-compatible vertex orderings picks
+   the lexicographically smallest certificate.  Query graphs are tiny
+   (the paper uses |V(Q)| <= 12), so the search is cheap in practice; a
+   node budget guards against adversarially symmetric queries, in which
+   case the query is simply reported uncacheable (``None``) rather than
+   risking an unsound cache hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph
+
+#: default cap on backtracking nodes before a query is deemed uncacheable
+DEFAULT_NODE_BUDGET = 50_000
+
+# One certificate entry per canonical position: the vertex's refined
+# color, its label, and its edges back into the already-numbered prefix.
+CertEntry = Tuple[int, int, Tuple[Tuple[int, int], ...]]
+Certificate = Tuple[CertEntry, ...]
+
+
+@dataclass(frozen=True)
+class QueryFingerprint:
+    """A canonical digest plus the mapping that produced it.
+
+    Attributes
+    ----------
+    digest:
+        Hex SHA-256 of the canonical certificate.  Equal digests imply
+        isomorphic labeled queries (the certificate is complete).
+    mapping:
+        ``mapping[v]`` is the canonical id of original vertex ``v``.
+    """
+
+    digest: str
+    mapping: Tuple[int, ...]
+
+    def inverse(self) -> Tuple[int, ...]:
+        """``inverse[c]`` is the original vertex at canonical id ``c``."""
+        inv = [0] * len(self.mapping)
+        for orig, canon in enumerate(self.mapping):
+            inv[canon] = orig
+        return tuple(inv)
+
+
+def wl_colors(graph: LabeledGraph) -> List[int]:
+    """Stable Weisfeiler-Leman colors seeded with vertex labels.
+
+    Colors are dense ints assigned by sorted signature rank each round,
+    so isomorphic graphs get identical color multisets.
+    """
+    n = graph.num_vertices
+    colors = [graph.vertex_label(v) for v in range(n)]
+    # Compress the seed labels to dense ranks.
+    rank = {lab: i for i, lab in enumerate(sorted(set(colors)))}
+    colors = [rank[c] for c in colors]
+    for _ in range(n):
+        sigs = []
+        for v in range(n):
+            nbr_sig = tuple(sorted(
+                (int(lab), colors[int(w)])
+                for w, lab in zip(graph.neighbors(v),
+                                  graph.incident_labels(v))))
+            sigs.append((colors[v], nbr_sig))
+        rank = {sig: i for i, sig in enumerate(sorted(set(sigs)))}
+        new_colors = [rank[sig] for sig in sigs]
+        if new_colors == colors:
+            break
+        colors = new_colors
+    return colors
+
+
+class _SearchBudgetExceeded(Exception):
+    pass
+
+
+class _CanonicalSearch:
+    """Backtracking search for the lexicographically smallest certificate."""
+
+    def __init__(self, graph: LabeledGraph, colors: List[int],
+                 node_budget: int) -> None:
+        self.graph = graph
+        self.colors = colors
+        self.nodes_left = node_budget
+        self.best_cert: Optional[Certificate] = None
+        self.best_order: Optional[Tuple[int, ...]] = None
+
+    def _entry(self, v: int, pos_of: Dict[int, int]) -> CertEntry:
+        graph = self.graph
+        back_edges = tuple(sorted(
+            (pos_of[int(w)], int(lab))
+            for w, lab in zip(graph.neighbors(v), graph.incident_labels(v))
+            if int(w) in pos_of))
+        return (self.colors[v], graph.vertex_label(v), back_edges)
+
+    def run(self) -> None:
+        self._dfs([], {}, [])
+
+    def _dfs(self, placed: List[int], pos_of: Dict[int, int],
+             cert: List[CertEntry]) -> None:
+        self.nodes_left -= 1
+        if self.nodes_left < 0:
+            raise _SearchBudgetExceeded
+        n = self.graph.num_vertices
+        if len(placed) == n:
+            final = tuple(cert)
+            if self.best_cert is None or final < self.best_cert:
+                self.best_cert = final
+                self.best_order = tuple(placed)
+            return
+
+        # Candidates: vertices adjacent to the prefix (all vertices when
+        # the prefix is empty or the query is disconnected).  The
+        # restriction is structural, hence identical across isomorphic
+        # graphs.
+        remaining = [v for v in range(n) if v not in pos_of]
+        if placed:
+            frontier = [
+                v for v in remaining
+                if any(int(w) in pos_of for w in self.graph.neighbors(v))
+            ]
+            candidates = frontier or remaining
+        else:
+            candidates = remaining
+
+        # Only minimal-entry candidates can extend a lex-minimal
+        # certificate for this prefix; ties must all be explored.
+        entries = [(self._entry(v, pos_of), v) for v in candidates]
+        min_entry = min(e for e, _ in entries)
+
+        # Prune: a prefix already greater than the incumbent's prefix
+        # can never win.
+        pos = len(placed)
+        if self.best_cert is not None:
+            prefix_cmp = tuple(cert) + (min_entry,)
+            if prefix_cmp > self.best_cert[:pos + 1]:
+                return
+
+        for entry, v in entries:
+            if entry != min_entry:
+                continue
+            placed.append(v)
+            pos_of[v] = pos
+            cert.append(entry)
+            self._dfs(placed, pos_of, cert)
+            cert.pop()
+            del pos_of[v]
+            placed.pop()
+
+
+def canonical_certificate(
+        graph: LabeledGraph,
+        node_budget: int = DEFAULT_NODE_BUDGET
+) -> Optional[Tuple[Certificate, Tuple[int, ...]]]:
+    """Canonical certificate and vertex order, or ``None`` on budget blow.
+
+    The returned order lists original vertex ids by canonical position;
+    the certificate is complete: ``(colors, labels, back edges)`` per
+    position reconstructs the labeled graph.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return ((), ())
+    search = _CanonicalSearch(graph, wl_colors(graph), node_budget)
+    try:
+        search.run()
+    except _SearchBudgetExceeded:
+        return None
+    assert search.best_cert is not None and search.best_order is not None
+    return search.best_cert, search.best_order
+
+
+def query_fingerprint(query: LabeledGraph,
+                      node_budget: int = DEFAULT_NODE_BUDGET
+                      ) -> Optional[QueryFingerprint]:
+    """Fingerprint ``query``, or ``None`` when canonicalization is too
+    expensive (the query is then treated as uncacheable)."""
+    canon = canonical_certificate(query, node_budget)
+    if canon is None:
+        return None
+    cert, order = canon
+    mapping = [0] * query.num_vertices
+    for canon_id, orig in enumerate(order):
+        mapping[orig] = canon_id
+    payload = repr((query.num_vertices, cert)).encode("utf-8")
+    digest = hashlib.sha256(payload).hexdigest()
+    return QueryFingerprint(digest=digest, mapping=tuple(mapping))

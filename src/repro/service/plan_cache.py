@@ -1,0 +1,150 @@
+"""An LRU cache of join plans keyed by canonical query fingerprints.
+
+Join-order planning (Algorithm 2) is host-side work repeated for every
+query even though isomorphic queries always admit the same plan up to
+vertex renaming.  The cache stores each plan *in canonical vertex
+numbering* and translates it through the fingerprint mapping on the way
+in and out, so a plan computed for one query is replayed onto any later
+isomorphic query — including, trivially, the same query re-submitted.
+
+Thread safe: a single lock guards the table, so one cache can be shared
+by every worker of a :class:`~repro.service.batch.BatchEngine`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.core.plan import JoinPlan, JoinStep
+from repro.graph.labeled_graph import LabeledGraph
+from repro.service.fingerprint import QueryFingerprint, query_fingerprint
+
+DEFAULT_CAPACITY = 128
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by a :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    uncacheable: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.uncacheable
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over all lookups (0.0 when nothing was looked up)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return replace(self)
+
+    def diff(self, earlier: "CacheStats") -> "CacheStats":
+        """Counters accumulated since ``earlier``."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+            uncacheable=self.uncacheable - earlier.uncacheable)
+
+
+def remap_plan(plan: JoinPlan, mapping: Sequence[int]) -> JoinPlan:
+    """Translate a plan through a vertex bijection.
+
+    ``mapping[v]`` is the new id of vertex ``v``.  Linking edges are
+    re-sorted by ``(edge_label, new vertex id)`` — the order
+    :func:`~repro.core.plan.plan_join_order` itself produces (query
+    adjacency is laid out sorted by ``(edge_label, neighbor)``) — so a
+    round trip through canonical numbering reproduces the original plan
+    exactly.
+    """
+    steps = tuple(
+        JoinStep(
+            vertex=mapping[step.vertex],
+            linking_edges=tuple(sorted(
+                ((mapping[w], lab) for w, lab in step.linking_edges),
+                key=lambda e: (e[1], e[0]))))
+        for step in plan.steps)
+    return JoinPlan(start_vertex=mapping[plan.start_vertex], steps=steps)
+
+
+class PlanCache:
+    """LRU cache mapping canonical query fingerprints to join plans.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached plans; least recently used entries are
+        evicted beyond it.
+    node_budget:
+        Canonicalization budget forwarded to
+        :func:`~repro.service.fingerprint.query_fingerprint`; queries
+        exceeding it bypass the cache.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 node_budget: Optional[int] = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._node_budget = node_budget
+        self._plans: "OrderedDict[str, JoinPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def fingerprint(self, query: LabeledGraph) -> Optional[QueryFingerprint]:
+        if self._node_budget is None:
+            return query_fingerprint(query)
+        return query_fingerprint(query, node_budget=self._node_budget)
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, query: LabeledGraph
+               ) -> Tuple[Optional[JoinPlan], Optional[QueryFingerprint]]:
+        """Plan for ``query`` (renumbered onto it) if one is cached.
+
+        Returns ``(plan, fingerprint)``; ``plan`` is ``None`` on a miss
+        and ``fingerprint`` is ``None`` when the query is uncacheable.
+        Pass the fingerprint back to :meth:`store` after planning to
+        avoid recanonicalizing.
+        """
+        fp = self.fingerprint(query)
+        if fp is None:
+            with self._lock:
+                self.stats.uncacheable += 1
+            return None, None
+        with self._lock:
+            canonical = self._plans.get(fp.digest)
+            if canonical is None:
+                self.stats.misses += 1
+                return None, fp
+            self._plans.move_to_end(fp.digest)
+            self.stats.hits += 1
+        return remap_plan(canonical, fp.inverse()), fp
+
+    def store(self, fingerprint: QueryFingerprint, plan: JoinPlan) -> None:
+        """Cache ``plan`` (expressed in its query's numbering) under
+        ``fingerprint``, evicting the LRU entry beyond capacity."""
+        canonical = remap_plan(plan, fingerprint.mapping)
+        with self._lock:
+            self._plans[fingerprint.digest] = canonical
+            self._plans.move_to_end(fingerprint.digest)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cached plan (stats are kept)."""
+        with self._lock:
+            self._plans.clear()

@@ -1,0 +1,84 @@
+"""Reference implementations the whole suite checks engines against.
+
+Kept in a plain module (not ``conftest.py``) so test files can import it
+explicitly — ``from oracle import brute_force_matches`` — without relying
+on conftest module-name resolution, which used to collide with
+``benchmarks/conftest.py`` when both directories were collected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
+
+
+def brute_force_matches(query: LabeledGraph,
+                        graph: LabeledGraph) -> Set[Tuple[int, ...]]:
+    """Reference subgraph-isomorphism enumeration (non-induced,
+    label-preserving, injective) by plain backtracking.
+
+    Only suitable for small inputs; used as the oracle all engines are
+    checked against.
+    """
+    nq = query.num_vertices
+    cands: List[List[int]] = []
+    for u in range(nq):
+        cands.append([
+            v for v in range(graph.num_vertices)
+            if graph.vertex_label(v) == query.vertex_label(u)
+        ])
+    out: Set[Tuple[int, ...]] = set()
+
+    def rec(u: int, assign: List[int]) -> None:
+        if u == nq:
+            out.add(tuple(assign))
+            return
+        for v in cands[u]:
+            if v in assign:
+                continue
+            ok = True
+            for w, lab in zip(query.neighbors(u), query.incident_labels(u)):
+                w = int(w)
+                if w < u:
+                    if (not graph.has_edge(assign[w], v)
+                            or graph.edge_label(assign[w], v) != int(lab)):
+                        ok = False
+                        break
+            if ok:
+                rec(u + 1, assign + [v])
+
+    rec(0, [])
+    return out
+
+
+def tiny_paper_graph() -> LabeledGraph:
+    """A small graph shaped like the paper's Figure 1 example.
+
+    Labels: A=0, B=1, C=2 for vertices; a=0, b=1 for edges.  v0 (label A)
+    connects to three B-vertices via label a and one C-vertex via label
+    b; the C-hub closes triangles.
+    """
+    b = GraphBuilder()
+    v0 = b.add_vertex(0)                     # A
+    bs = [b.add_vertex(1) for _ in range(3)]  # B
+    c_hub = b.add_vertex(2)                  # C (plays v201)
+    cs = [b.add_vertex(2) for _ in range(3)]  # C (play v101..)
+    for i, vb in enumerate(bs):
+        b.add_edge(v0, vb, 0)        # A-B via a
+        b.add_edge(vb, cs[i], 0)     # B-C via a
+    b.add_edge(v0, c_hub, 1)         # A-C via b
+    b.add_edge(bs[2], c_hub, 0)      # one B reaches the hub via a
+    return b.build()
+
+
+def paper_query() -> LabeledGraph:
+    """The paper's Figure 1 query: A-B(a), A-C(b), B-C(a)."""
+    b = GraphBuilder()
+    u0 = b.add_vertex(0)  # A
+    u1 = b.add_vertex(1)  # B
+    u2 = b.add_vertex(2)  # C
+    b.add_edge(u0, u1, 0)
+    b.add_edge(u0, u2, 1)
+    b.add_edge(u1, u2, 0)
+    return b.build()

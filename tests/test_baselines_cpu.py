@@ -9,7 +9,7 @@ from repro.errors import BudgetExceeded
 from repro.graph.generators import random_walk_query
 from repro.graph.labeled_graph import GraphBuilder, LabeledGraph, path_query, triangle_query
 
-from conftest import brute_force_matches
+from oracle import brute_force_matches
 
 
 class TestOpCounter:

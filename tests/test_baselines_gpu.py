@@ -6,7 +6,7 @@ from repro.baselines import GpSMEngine, GunrockSMEngine
 from repro.graph.generators import random_walk_query
 from repro.graph.labeled_graph import LabeledGraph
 
-from conftest import brute_force_matches
+from oracle import brute_force_matches
 
 
 @pytest.mark.parametrize("engine_cls", [GpSMEngine, GunrockSMEngine])

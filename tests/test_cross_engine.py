@@ -20,7 +20,7 @@ from repro.baselines import (
 )
 from repro.graph.generators import scale_free_graph
 
-from conftest import brute_force_matches
+from oracle import brute_force_matches
 
 ALL_ENGINES = [
     lambda g: GSIEngine(g, GSIConfig.gsi()),

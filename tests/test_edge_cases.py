@@ -6,7 +6,7 @@ from repro import GSIConfig, GSIEngine
 from repro.baselines import GpSMEngine, TurboISOEngine, VF2Engine
 from repro.graph.labeled_graph import GraphBuilder, LabeledGraph, triangle_query
 
-from conftest import brute_force_matches
+from oracle import brute_force_matches
 
 
 class TestSelfMatch:

@@ -7,7 +7,7 @@ from repro import GSIConfig, GSIEngine, random_walk_query
 from repro.errors import GraphError
 from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
 
-from conftest import brute_force_matches, paper_query, tiny_paper_graph
+from oracle import brute_force_matches, paper_query, tiny_paper_graph
 
 
 class TestMatch:

@@ -1,13 +1,22 @@
 """Smoke tests: every example script runs cleanly end to end."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = sorted(
-    (Path(__file__).parent.parent / "examples").glob("*.py"))
+REPO_ROOT = Path(__file__).parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+#: examples import ``repro`` from src/ — make that work regardless of
+#: how pytest itself was launched (pytest.ini's pythonpath does not
+#: propagate to subprocesses).
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = os.pathsep.join(
+    [str(REPO_ROOT / "src")]
+    + ([_ENV["PYTHONPATH"]] if _ENV.get("PYTHONPATH") else []))
 
 
 def test_examples_exist():
@@ -20,6 +29,6 @@ def test_examples_exist():
 def test_example_runs(script):
     proc = subprocess.run(
         [sys.executable, str(script)], capture_output=True, text=True,
-        timeout=240)
+        timeout=240, env=_ENV)
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip(), "examples must print something"

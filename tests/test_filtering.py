@@ -7,7 +7,7 @@ from repro.core.signature_table import SignatureTable
 from repro.graph.generators import random_walk_query, scale_free_graph
 from repro.gpusim.device import Device
 
-from conftest import brute_force_matches
+from oracle import brute_force_matches
 
 
 def setup(bits=256, seed=3):

@@ -12,7 +12,7 @@ from repro.graph.generators import random_walk_query, scale_free_graph
 from repro.gpusim.device import Device
 from repro.storage.factory import build_storage
 
-from conftest import brute_force_matches
+from oracle import brute_force_matches
 
 
 def make_ctx(graph, config=None):

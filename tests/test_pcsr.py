@@ -5,11 +5,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.engine import GSIEngine
 from repro.errors import StorageError
 from repro.graph.generators import rdf_like_graph, scale_free_graph
-from repro.graph.labeled_graph import LabeledGraph
-from repro.graph.partition import partition_by_edge_label
+from repro.graph.labeled_graph import LabeledGraph, triangle_query
+from repro.graph.partition import EdgeLabelPartition, partition_by_edge_label
 from repro.storage.pcsr import PCSRPartition, PCSRStorage, default_hash
+
+from oracle import brute_force_matches
 
 
 def build_partition(edges, n=None, gpn=16):
@@ -163,3 +166,59 @@ def test_property_pcsr_equals_graph(edge_list, gpn):
             expect = sorted(int(x) for x in g.neighbors_by_label(v, lab))
             got = sorted(int(x) for x in store.neighbors(v, lab))
             assert got == expect
+
+
+class TestEdgeCases:
+    """Boundary structures: empty partitions, over-wide rows, one label."""
+
+    def test_empty_partition(self):
+        # A partition with no vertices at all still builds one (empty)
+        # group and answers lookups with empty neighbor sets.
+        p = PCSRPartition(EdgeLabelPartition(0, {}), gpn=16)
+        assert p.num_groups == 1
+        assert len(p.ci) == 0
+        assert list(p.neighbors(0)) == []
+        assert list(p.neighbors(123)) == []
+        assert p.probe_transactions(0) >= 1
+        assert p.load_factor() == 0.0
+        assert p.validate() == []
+
+    def test_edgeless_graph_storage(self):
+        g = LabeledGraph([0, 1, 2], [])
+        store = PCSRStorage(g)
+        assert store.space_words() == 0
+        for v in range(3):
+            assert list(store.neighbors(v, 0)) == []
+        assert store.locate_transactions(0, 0) == 0
+
+    @pytest.mark.parametrize("gpn", [2, 4, 16])
+    def test_vertex_degree_exceeds_one_group_row(self, gpn):
+        # A hub with degree 50 overflows any group row (capacity
+        # GPN - 1 <= 15 keys); its neighbor list must still come back
+        # whole from the ci layer, and the overflow chains must verify.
+        hub_edges = [(0, v, 0) for v in range(1, 51)]
+        g = LabeledGraph([0] * 51, hub_edges)
+        part = partition_by_edge_label(g)[0]
+        p = PCSRPartition(part, gpn=gpn)
+        assert sorted(int(x) for x in p.neighbors(0)) == list(range(1, 51))
+        for v in range(1, 51):
+            assert list(p.neighbors(v)) == [0]
+        assert p.validate() == []
+        # Degree > slots per group also means the ci extent of the hub
+        # spans more than one group's worth of entries.
+        assert len(p.neighbors(0)) > gpn - 1
+
+    def test_single_label_graph_matches_oracle(self):
+        # One vertex label, one edge label: signatures degenerate and
+        # every vertex is a candidate for every query vertex; PCSR and
+        # the engine must still agree with brute force.
+        g = scale_free_graph(40, 3, 1, 1, seed=3)
+        assert g.distinct_vertex_labels() == [0]
+        assert g.distinct_edge_labels() == [0]
+        store = PCSRStorage(g)
+        for v in range(g.num_vertices):
+            expect = sorted(int(x) for x in g.neighbors_by_label(v, 0))
+            assert sorted(int(x) for x in store.neighbors(v, 0)) == expect
+        q = triangle_query()
+        result = GSIEngine(g).match(q)
+        assert result.match_set() == brute_force_matches(q, g)

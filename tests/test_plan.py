@@ -8,7 +8,7 @@ from repro.errors import PlanError
 from repro.graph.generators import random_walk_query, scale_free_graph
 from repro.graph.labeled_graph import GraphBuilder, LabeledGraph, path_query
 
-from conftest import paper_query, tiny_paper_graph
+from oracle import paper_query, tiny_paper_graph
 
 
 class TestOrdering:

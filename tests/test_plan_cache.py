@@ -1,0 +1,199 @@
+"""Tests for the plan cache and the canonical query fingerprint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import GSIEngine
+from repro.core.plan import plan_join_order
+from repro.graph.generators import random_walk_query, scale_free_graph
+from repro.graph.labeled_graph import LabeledGraph, path_query, triangle_query
+from repro.service.fingerprint import query_fingerprint, wl_colors
+from repro.service.plan_cache import PlanCache, remap_plan
+
+from oracle import brute_force_matches, paper_query
+
+
+def renumber(graph: LabeledGraph, perm) -> LabeledGraph:
+    """Isomorphic copy with vertex ``v`` renamed to ``perm[v]``."""
+    vlabels = [0] * graph.num_vertices
+    for v in range(graph.num_vertices):
+        vlabels[perm[v]] = graph.vertex_label(v)
+    edges = [(perm[u], perm[v], lab) for u, v, lab in graph.edges()]
+    return LabeledGraph(vlabels, edges)
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        q = paper_query()
+        assert query_fingerprint(q).digest == query_fingerprint(q).digest
+
+    def test_isomorphic_queries_share_digest(self):
+        q = random_walk_query(scale_free_graph(80, 3, 3, 3, seed=1),
+                              5, seed=2)
+        for perm in ([4, 3, 2, 1, 0], [1, 2, 3, 4, 0], [2, 0, 4, 1, 3]):
+            iso = renumber(q, perm)
+            assert query_fingerprint(iso).digest == \
+                query_fingerprint(q).digest
+
+    def test_label_change_changes_digest(self):
+        a = triangle_query((0, 0, 0), (0, 0, 0))
+        b = triangle_query((0, 0, 1), (0, 0, 0))
+        c = triangle_query((0, 0, 0), (0, 0, 1))
+        digests = {query_fingerprint(x).digest for x in (a, b, c)}
+        assert len(digests) == 3
+
+    def test_structure_change_changes_digest(self):
+        tri = triangle_query()
+        path = path_query([0, 0, 0])
+        assert query_fingerprint(tri).digest != \
+            query_fingerprint(path).digest
+
+    def test_mapping_is_bijective(self):
+        q = paper_query()
+        fp = query_fingerprint(q)
+        assert sorted(fp.mapping) == list(range(q.num_vertices))
+        inv = fp.inverse()
+        assert all(inv[fp.mapping[v]] == v
+                   for v in range(q.num_vertices))
+
+    def test_budget_exhaustion_returns_none(self):
+        # A 3x3 rook's-graph-like single-label query has many
+        # automorphisms; a tiny budget must bail out, not mis-hash.
+        q = triangle_query()
+        assert query_fingerprint(q, node_budget=2) is None
+
+    def test_wl_colors_invariant_under_renumbering(self):
+        q = random_walk_query(scale_free_graph(60, 3, 3, 3, seed=4),
+                              5, seed=1)
+        perm = [3, 0, 4, 2, 1]
+        iso = renumber(q, perm)
+        colors, iso_colors = wl_colors(q), wl_colors(iso)
+        assert sorted(colors) == sorted(iso_colors)
+        assert all(colors[v] == iso_colors[perm[v]]
+                   for v in range(q.num_vertices))
+
+
+class TestRemapPlan:
+    def test_roundtrip_identity(self):
+        g = scale_free_graph(80, 3, 3, 3, seed=3)
+        q = random_walk_query(g, 5, seed=7)
+        sizes = {u: 10 + u for u in range(5)}
+        plan = plan_join_order(q, g, sizes)
+        fp = query_fingerprint(q)
+        assert remap_plan(remap_plan(plan, fp.mapping),
+                          fp.inverse()) == plan
+
+
+class TestPlanCacheAccounting:
+    def test_miss_then_hit(self):
+        cache = PlanCache(capacity=4)
+        g = scale_free_graph(80, 3, 3, 3, seed=5)
+        q = random_walk_query(g, 4, seed=0)
+        plan, fp = cache.lookup(q)
+        assert plan is None and fp is not None
+        assert cache.stats.misses == 1
+        cache.store(fp, plan_join_order(q, g, {u: 1 for u in range(4)}))
+        hit, _ = cache.lookup(q)
+        assert hit is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_isomorphic_query_hits(self):
+        cache = PlanCache()
+        g = scale_free_graph(80, 3, 3, 3, seed=5)
+        q = random_walk_query(g, 5, seed=3)
+        _, fp = cache.lookup(q)
+        sizes = {u: 5 for u in range(5)}
+        cache.store(fp, plan_join_order(q, g, sizes))
+        iso = renumber(q, [4, 0, 3, 1, 2])
+        plan, _ = cache.lookup(iso)
+        assert plan is not None, "isomorphic query should hit"
+        # The remapped plan must be *valid for iso*: starts somewhere,
+        # covers all vertices, every step links into the prefix.
+        assert sorted(plan.order) == list(range(5))
+        joined = {plan.start_vertex}
+        for step in plan.steps:
+            assert step.linking_edges
+            for w, lab in step.linking_edges:
+                assert w in joined
+                assert iso.edge_label(step.vertex, w) == lab
+            joined.add(step.vertex)
+
+    def test_eviction_at_capacity_is_lru(self):
+        cache = PlanCache(capacity=2)
+        g = scale_free_graph(100, 3, 4, 4, seed=6)
+        queries = [random_walk_query(g, k, seed=1) for k in (3, 4, 5)]
+        fps = []
+        for q in queries:
+            _, fp = cache.lookup(q)
+            cache.store(fp, plan_join_order(
+                q, g, {u: 1 for u in range(q.num_vertices)}))
+            fps.append(fp)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # queries[0] was least recently used -> evicted.
+        plan0, _ = cache.lookup(queries[0])
+        assert plan0 is None
+        plan2, _ = cache.lookup(queries[2])
+        assert plan2 is not None
+
+    def test_uncacheable_counted_not_stored(self):
+        cache = PlanCache(node_budget=2)
+        q = triangle_query()
+        plan, fp = cache.lookup(q)
+        assert plan is None and fp is None
+        assert cache.stats.uncacheable == 1
+        assert len(cache) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_clear_keeps_stats(self):
+        cache = PlanCache()
+        g = scale_free_graph(60, 3, 3, 3, seed=2)
+        q = random_walk_query(g, 4, seed=2)
+        _, fp = cache.lookup(q)
+        cache.store(fp, plan_join_order(q, g, {u: 1 for u in range(4)}))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+
+class TestCachedPlanEquivalence:
+    def test_cached_result_byte_identical(self, small_graph, small_queries):
+        """A cache-hit run must reproduce the cold run exactly: same
+        matches, same simulated time, same counters, same phases."""
+        engine = GSIEngine(small_graph)
+        cache = PlanCache()
+        for q in small_queries:
+            cold_prepared = engine.prepare(q, plan_cache=cache)
+            assert not cold_prepared.plan_cached
+            cold = engine.execute(cold_prepared)
+
+            hit_prepared = engine.prepare(q, plan_cache=cache)
+            if cold_prepared.plan is not None:
+                assert hit_prepared.plan_cached
+                assert hit_prepared.plan == cold_prepared.plan
+            hit = engine.execute(hit_prepared)
+
+            assert hit.matches == cold.matches
+            assert hit.elapsed_ms == cold.elapsed_ms
+            assert hit.counters == cold.counters
+            assert hit.phases == cold.phases
+            assert hit.candidate_sizes == cold.candidate_sizes
+            assert hit.join_order == cold.join_order
+
+    def test_cached_plan_correct_for_isomorphic_query(self):
+        g = scale_free_graph(70, 3, 3, 3, seed=9)
+        q = random_walk_query(g, 5, seed=5)
+        engine = GSIEngine(g)
+        cache = PlanCache()
+        engine.execute(engine.prepare(q, plan_cache=cache))
+        iso = renumber(q, [2, 4, 0, 1, 3])
+        prepared = engine.prepare(iso, plan_cache=cache)
+        if prepared.plan is not None:
+            assert prepared.plan_cached
+        result = engine.execute(prepared)
+        assert result.match_set() == brute_force_matches(iso, g)

@@ -10,7 +10,7 @@ from hypothesis import strategies as st
 from repro import GSIConfig, GSIEngine, random_walk_query
 from repro.graph.generators import mesh_graph, rdf_like_graph, scale_free_graph
 
-from conftest import brute_force_matches
+from oracle import brute_force_matches
 
 
 @settings(max_examples=12, deadline=None)

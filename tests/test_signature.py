@@ -16,7 +16,7 @@ from repro.core.signature import (
 from repro.graph.generators import random_walk_query, scale_free_graph
 from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
 
-from conftest import brute_force_matches
+from oracle import brute_force_matches
 
 
 class TestLayout:

@@ -6,7 +6,7 @@ from repro.baselines import TurboISOEngine, VF2Engine, leaf_equivalence_classes
 from repro.graph.generators import random_walk_query
 from repro.graph.labeled_graph import GraphBuilder, LabeledGraph, path_query
 
-from conftest import brute_force_matches
+from oracle import brute_force_matches
 
 
 def star_query(leaves: int, center_label=0, leaf_label=1, elabel=0):
