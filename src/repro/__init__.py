@@ -15,13 +15,14 @@ from repro.core.config import GSIConfig
 from repro.core.engine import GSIEngine, PreparedQuery
 from repro.core.result import MatchResult
 from repro.core.verify import is_valid_embedding, verify_all
+from repro.dynamic import DynamicGraph, GraphDelta, StreamEngine
 from repro.graph import datasets
 from repro.graph.generators import query_workload, random_walk_query
 from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
 from repro.query import TripleStore, run_pattern
 from repro.service import BatchEngine, BatchReport, PlanCache
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "GSIConfig",
@@ -30,6 +31,9 @@ __all__ = [
     "BatchEngine",
     "BatchReport",
     "PlanCache",
+    "DynamicGraph",
+    "GraphDelta",
+    "StreamEngine",
     "MatchResult",
     "is_valid_embedding",
     "verify_all",

@@ -12,6 +12,10 @@ Commands
 ``batch``
     Serve a workload through the batch service (worker pool + plan
     cache) and print per-query results plus service-level metrics.
+``stream``
+    Register continuous queries, replay a random update stream through
+    the dynamic subsystem, and print per-batch delta-match results plus
+    incremental-maintenance costs.
 
 Examples::
 
@@ -19,6 +23,7 @@ Examples::
     python -m repro.cli match --dataset watdiv --engine gsi-opt --queries 3
     python -m repro.cli shootout --dataset gowalla --queries 3
     python -m repro.cli batch --dataset gowalla --queries 8 --repeat 2
+    python -m repro.cli stream --dataset enron --batches 5 --batch-size 16
 """
 
 from __future__ import annotations
@@ -153,6 +158,53 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    from repro.dynamic import (
+        StreamEngine,
+        full_rebuild_transactions,
+        random_update_stream,
+    )
+    from repro.graph.generators import query_workload
+
+    graph = datasets.load(args.dataset)
+    engine = StreamEngine(graph, GSI_CONFIGS[args.engine]())
+    queries = query_workload(graph, args.queries, args.query_vertices,
+                             seed=args.seed)
+    qids = [engine.register(q) for q in queries]
+    initial = sum(len(engine.matches(qid)) for qid in qids)
+
+    stream = random_update_stream(
+        graph, num_batches=args.batches, batch_size=args.batch_size,
+        seed=args.seed, delete_fraction=args.delete_fraction)
+    rows = []
+    total_tx = 0
+    for delta in stream:
+        report = engine.apply_batch(delta)
+        tx = report.maintenance.gld + report.maintenance.gst
+        total_tx += tx
+        live = sum(d.num_matches for d in report.query_deltas.values())
+        rows.append([report.batch_index,
+                     f"+{report.num_inserted}/-{report.num_deleted}",
+                     report.num_new_vertices,
+                     f"+{report.total_created}/-{report.total_destroyed}",
+                     live, tx, report.rebuilds,
+                     report.plans_invalidated,
+                     f"{report.wall_ms:.1f}"])
+    rebuild_tx = full_rebuild_transactions(
+        engine.graph, signature_bits=engine.config.signature_bits,
+        gpn=engine.config.gpn)
+    print(render_table(
+        f"stream: {args.queries} continuous queries on {args.dataset} "
+        f"({args.batches} batches x {args.batch_size} updates)",
+        ["batch", "edges", "+V", "matches", "live", "maint tx",
+         "rebuilds", "plans inv", "ms"],
+        rows,
+        note=f"{initial} initial matches | incremental maintenance "
+             f"{total_tx} tx over the stream vs "
+             f"{rebuild_tx * args.batches} tx for rebuild-per-batch"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -188,6 +240,17 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--repeat", type=int, default=1,
                    help="submit the query set this many times "
                         "(repeats exercise the plan cache)")
+
+    st = sub.add_parser("stream",
+                        help="continuous queries over an update stream")
+    add_workload_args(st)
+    # gsi-baseline is excluded: the stream engine maintains PCSR in
+    # place, so it needs a PCSR-backed config.
+    st.add_argument("--engine", default="gsi",
+                    choices=["gsi", "gsi-opt"])
+    st.add_argument("--batches", type=int, default=5)
+    st.add_argument("--batch-size", type=int, default=16)
+    st.add_argument("--delete-fraction", type=float, default=0.3)
     return parser
 
 
@@ -198,6 +261,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "match": cmd_match,
         "shootout": cmd_shootout,
         "batch": cmd_batch,
+        "stream": cmd_stream,
     }
     return handlers[args.command](args)
 

@@ -94,17 +94,27 @@ class GSIEngine:
     name = "GSI"
 
     def __init__(self, graph: LabeledGraph,
-                 config: Optional[GSIConfig] = None) -> None:
+                 config: Optional[GSIConfig] = None, *,
+                 signature_table: Optional[SignatureTable] = None,
+                 store=None) -> None:
         self.graph = graph
         self.config = config if config is not None else GSIConfig()
         # Offline precomputation (not part of query response time).
-        self.signature_table = SignatureTable.build(
-            graph, self.config.signature_bits, self.config.label_bits,
-            column_first=self.config.column_first_signatures)
-        storage_kwargs = (
-            {"gpn": self.config.gpn} if self.config.use_pcsr else {})
-        self.store = build_storage(self.config.storage_kind, graph,
-                                   **storage_kwargs)
+        # Callers maintaining artifacts externally (persistence, the
+        # dynamic subsystem) inject them instead of rebuilding.
+        if signature_table is not None:
+            self.signature_table = signature_table
+        else:
+            self.signature_table = SignatureTable.build(
+                graph, self.config.signature_bits, self.config.label_bits,
+                column_first=self.config.column_first_signatures)
+        if store is not None:
+            self.store = store
+        else:
+            storage_kwargs = (
+                {"gpn": self.config.gpn} if self.config.use_pcsr else {})
+            self.store = build_storage(self.config.storage_kind, graph,
+                                       **storage_kwargs)
 
     # ------------------------------------------------------------------
 
@@ -173,7 +183,8 @@ class GSIEngine:
         prepared.plan = plan_join_order(query, self.graph,
                                         prepared.candidate_sizes)
         if plan_cache is not None and fingerprint is not None:
-            plan_cache.store(fingerprint, prepared.plan)
+            plan_cache.store(fingerprint, prepared.plan,
+                             edge_labels=query.distinct_edge_labels())
         return prepared
 
     def execute(self, prepared: PreparedQuery) -> MatchResult:

@@ -1,0 +1,30 @@
+"""Dynamic-graph subsystem: streaming updates, in-place index
+maintenance, and continuous queries (see README's dynamic section)."""
+
+from repro.dynamic.delta import GraphDelta, random_update_stream
+from repro.dynamic.graph import CommitResult, DynamicGraph
+from repro.dynamic.index import (
+    DynamicIndex,
+    DynamicPCSRStorage,
+    DynamicSignatureTable,
+    full_rebuild_transactions,
+)
+from repro.dynamic.stream import (
+    QueryDelta,
+    StreamBatchReport,
+    StreamEngine,
+)
+
+__all__ = [
+    "CommitResult",
+    "DynamicGraph",
+    "DynamicIndex",
+    "DynamicPCSRStorage",
+    "DynamicSignatureTable",
+    "GraphDelta",
+    "QueryDelta",
+    "StreamBatchReport",
+    "StreamEngine",
+    "full_rebuild_transactions",
+    "random_update_stream",
+]

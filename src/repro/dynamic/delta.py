@@ -1,0 +1,159 @@
+"""Update batches for dynamic graphs: the unit of streaming change.
+
+A :class:`GraphDelta` is an ordered batch of vertex insertions, edge
+insertions and edge/vertex deletions.  Deltas are plain value objects —
+they validate nothing by themselves; :class:`repro.dynamic.graph.
+DynamicGraph` checks every operation against the live overlay when the
+delta is applied.
+
+:func:`random_update_stream` generates seeded streams of deltas against
+an evolving graph, which is what the CLI ``stream`` command, the
+streaming example and ``bench_stream_updates.py`` all replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.graph.labeled_graph import LabeledGraph
+
+# Operation payloads: ("add_vertex", label), ("add_edge", u, v, label),
+# ("remove_edge", u, v), ("remove_vertex", v).
+Op = Tuple
+
+
+@dataclass
+class GraphDelta:
+    """One ordered batch of graph updates.
+
+    Operations apply in insertion order, so a delta may delete an edge
+    and re-add it with a different label (a relabel).  ``add_vertex``
+    returns the id the vertex *will* receive — ids are assigned densely
+    after the current maximum, so callers can wire new vertices into new
+    edges inside the same delta.
+    """
+
+    ops: List[Op] = field(default_factory=list)
+    #: next vertex id this delta will assign (set by the builder calls)
+    _next_vertex: int = 0
+
+    @classmethod
+    def for_graph(cls, graph_or_num_vertices) -> "GraphDelta":
+        """A delta builder aware of the current vertex-id ceiling."""
+        n = (graph_or_num_vertices if isinstance(graph_or_num_vertices, int)
+             else graph_or_num_vertices.num_vertices)
+        return cls(ops=[], _next_vertex=n)
+
+    def add_vertex(self, label: int) -> int:
+        """Queue a vertex insertion; returns the id it will get."""
+        self.ops.append(("add_vertex", int(label)))
+        vid = self._next_vertex
+        self._next_vertex += 1
+        return vid
+
+    def add_edge(self, u: int, v: int, label: int) -> "GraphDelta":
+        """Queue an undirected labeled edge insertion."""
+        self.ops.append(("add_edge", int(u), int(v), int(label)))
+        return self
+
+    def remove_edge(self, u: int, v: int) -> "GraphDelta":
+        """Queue an edge deletion."""
+        self.ops.append(("remove_edge", int(u), int(v)))
+        return self
+
+    def remove_vertex(self, v: int) -> "GraphDelta":
+        """Queue a vertex isolation: all incident edges are deleted.
+
+        Vertex ids stay dense and stable, so the vertex itself remains
+        (with its label) as an isolated vertex — the same convention
+        dynamic-graph systems with preallocated node capacity use.
+        """
+        self.ops.append(("remove_vertex", int(v)))
+        return self
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def random_update_stream(graph: LabeledGraph, num_batches: int,
+                         batch_size: int, seed: int = 0,
+                         delete_fraction: float = 0.3,
+                         new_vertex_fraction: float = 0.05
+                         ) -> List[GraphDelta]:
+    """Seeded stream of update batches against an evolving graph.
+
+    Each batch mixes edge insertions (between existing vertices, or from
+    a freshly inserted vertex), and deletions of currently live edges.
+    The stream is generated against a shadow copy of the graph state, so
+    deletions always name live edges and insertions never duplicate one.
+    """
+    rng = np.random.default_rng(seed)
+    live = {(u, v): lab for u, v, lab in graph.edges()}
+    # Parallel list over `live` for O(1) uniform edge sampling: deletes
+    # swap-pop instead of re-sorting the whole edge set.
+    live_list = list(live)
+    live_pos = {key: i for i, key in enumerate(live_list)}
+    vlabels = [int(x) for x in graph.vertex_labels]
+    vertex_label_pool = sorted(set(vlabels)) or [0]
+    edge_label_pool = graph.distinct_edge_labels() or [0]
+
+    def track(key):
+        live_pos[key] = len(live_list)
+        live_list.append(key)
+
+    def untrack(key):
+        i = live_pos.pop(key)
+        last = live_list.pop()
+        if last != key:
+            live_list[i] = last
+            live_pos[last] = i
+
+    batches: List[GraphDelta] = []
+    for _ in range(num_batches):
+        delta = GraphDelta.for_graph(len(vlabels))
+        for _ in range(batch_size):
+            roll = float(rng.random())
+            if roll < delete_fraction and live:
+                u, v = live_list[int(rng.integers(len(live_list)))]
+                delta.remove_edge(u, v)
+                del live[(u, v)]
+                untrack((u, v))
+                continue
+            if roll > 1.0 - new_vertex_fraction or len(vlabels) < 2:
+                lab = vertex_label_pool[
+                    int(rng.integers(len(vertex_label_pool)))]
+                vid = delta.add_vertex(lab)
+                vlabels.append(lab)
+                if vid > 0:  # anchor the newcomer when possible
+                    anchor = int(rng.integers(vid))
+                    elab = edge_label_pool[
+                        int(rng.integers(len(edge_label_pool)))]
+                    delta.add_edge(anchor, vid, elab)
+                    key = (min(anchor, vid), max(anchor, vid))
+                    live[key] = elab
+                    track(key)
+                continue
+            # Insert a fresh edge between existing vertices.
+            for _attempt in range(20):
+                u = int(rng.integers(len(vlabels)))
+                v = int(rng.integers(len(vlabels)))
+                if u == v:
+                    continue
+                key = (min(u, v), max(u, v))
+                if key in live:
+                    continue
+                elab = edge_label_pool[
+                    int(rng.integers(len(edge_label_pool)))]
+                delta.add_edge(key[0], key[1], elab)
+                live[key] = elab
+                track(key)
+                break
+        batches.append(delta)
+    return batches

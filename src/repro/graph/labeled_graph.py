@@ -47,30 +47,54 @@ class LabeledGraph:
             raise GraphError("vertex_labels must be one-dimensional")
         n = int(self._vlabels.shape[0])
 
-        edge_map: Dict[Tuple[int, int], int] = {}
-        for u, v, lab in edges:
-            if not (0 <= u < n and 0 <= v < n):
-                raise GraphError(f"edge ({u}, {v}) references a missing vertex")
-            if u == v:
-                raise GraphError(f"self loop at vertex {u} is not allowed")
-            key = (u, v) if u < v else (v, u)
-            prev = edge_map.get(key)
-            if prev is not None and prev != lab:
-                raise GraphError(
-                    f"conflicting labels {prev} and {lab} for edge {key}"
-                )
-            edge_map[key] = lab
-        self._edge_map = edge_map
+        if isinstance(edges, np.ndarray):
+            edge_arr = np.asarray(edges, dtype=np.int64)
+        else:
+            edge_list = list(edges)
+            edge_arr = (np.asarray(edge_list, dtype=np.int64) if edge_list
+                        else np.empty((0, 3), dtype=np.int64))
+        if edge_arr.size == 0:
+            edge_arr = edge_arr.reshape(0, 3)
+        if edge_arr.ndim != 2 or edge_arr.shape[1] != 3:
+            raise GraphError("edges must be (u, v, label) triples")
+
+        eu, ev, elab = edge_arr[:, 0], edge_arr[:, 1], edge_arr[:, 2]
+        bad = (eu < 0) | (eu >= n) | (ev < 0) | (ev >= n)
+        if bad.any():
+            i = int(np.argmax(bad))
+            raise GraphError(
+                f"edge ({int(eu[i])}, {int(ev[i])}) references a missing "
+                f"vertex")
+        loops = eu == ev
+        if loops.any():
+            i = int(np.argmax(loops))
+            raise GraphError(
+                f"self loop at vertex {int(eu[i])} is not allowed")
+
+        # Deduplicate on the normalized (min, max) endpoint pair, keeping
+        # first-occurrence input order and rejecting conflicting labels.
+        lo = np.minimum(eu, ev)
+        hi = np.maximum(eu, ev)
+        keys = lo * max(n, 1) + hi
+        _, first_idx, inverse = np.unique(keys, return_index=True,
+                                          return_inverse=True)
+        conflict = elab != elab[first_idx][inverse]
+        if conflict.any():
+            i = int(np.argmax(conflict))
+            j = int(first_idx[int(inverse[i])])
+            raise GraphError(
+                f"conflicting labels {int(elab[j])} and {int(elab[i])} "
+                f"for edge {(int(lo[i]), int(hi[i]))}")
+        kept = np.sort(first_idx)
+        lo, hi, elab = lo[kept], hi[kept], elab[kept]
+        self._edge_map = dict(zip(zip(lo.tolist(), hi.tolist()),
+                                  elab.tolist()))
 
         # Build the CSR-like incidence layout, each segment sorted by
         # (edge_label, neighbor) so N(v, l) is a searchsorted + slice.
-        m = len(edge_map)
-        src = np.empty(2 * m, dtype=np.int64)
-        dst = np.empty(2 * m, dtype=np.int64)
-        lab_arr = np.empty(2 * m, dtype=np.int64)
-        for i, ((u, v), lab) in enumerate(edge_map.items()):
-            src[2 * i], dst[2 * i], lab_arr[2 * i] = u, v, lab
-            src[2 * i + 1], dst[2 * i + 1], lab_arr[2 * i + 1] = v, u, lab
+        src = np.concatenate([lo, hi])
+        dst = np.concatenate([hi, lo])
+        lab_arr = np.concatenate([elab, elab])
         order = np.lexsort((dst, lab_arr, src))
         src, dst, lab_arr = src[order], dst[order], lab_arr[order]
 
@@ -80,10 +104,9 @@ class LabeledGraph:
         self._nbr = dst
         self._elab = lab_arr
 
-        counts: Dict[int, int] = {}
-        for lab in edge_map.values():
-            counts[lab] = counts.get(lab, 0) + 1
-        self._edge_label_freq = counts
+        freq_labels, freq_counts = np.unique(elab, return_counts=True)
+        self._edge_label_freq = dict(zip(freq_labels.tolist(),
+                                         freq_counts.tolist()))
 
     # ------------------------------------------------------------------
     # Basic size / label accessors

@@ -33,6 +33,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     uncacheable: int = 0
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -53,7 +54,8 @@ class CacheStats:
             hits=self.hits - earlier.hits,
             misses=self.misses - earlier.misses,
             evictions=self.evictions - earlier.evictions,
-            uncacheable=self.uncacheable - earlier.uncacheable)
+            uncacheable=self.uncacheable - earlier.uncacheable,
+            invalidations=self.invalidations - earlier.invalidations)
 
 
 def remap_plan(plan: JoinPlan, mapping: Sequence[int]) -> JoinPlan:
@@ -97,6 +99,9 @@ class PlanCache:
         self.capacity = capacity
         self._node_budget = node_budget
         self._plans: "OrderedDict[str, JoinPlan]" = OrderedDict()
+        # digest -> edge labels the plan's scoring depended on, for
+        # statistics-shift invalidation under dynamic graphs.
+        self._plan_labels: dict = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
 
@@ -133,18 +138,58 @@ class PlanCache:
             self.stats.hits += 1
         return remap_plan(canonical, fp.inverse()), fp
 
-    def store(self, fingerprint: QueryFingerprint, plan: JoinPlan) -> None:
+    def store(self, fingerprint: QueryFingerprint, plan: JoinPlan,
+              edge_labels: Optional[Sequence[int]] = None) -> None:
         """Cache ``plan`` (expressed in its query's numbering) under
-        ``fingerprint``, evicting the LRU entry beyond capacity."""
+        ``fingerprint``, evicting the LRU entry beyond capacity.
+
+        ``edge_labels`` records which data-graph label statistics the
+        plan's scoring consulted (the query's edge labels feed
+        Algorithm 2's ``freq(l)`` reweighting); a later
+        :meth:`invalidate_labels` call with any of them drops the plan.
+        """
         canonical = remap_plan(plan, fingerprint.mapping)
         with self._lock:
             self._plans[fingerprint.digest] = canonical
             self._plans.move_to_end(fingerprint.digest)
+            if edge_labels is not None:
+                self._plan_labels[fingerprint.digest] = \
+                    frozenset(int(l) for l in edge_labels)
+            else:
+                # No metadata for this store: drop any stale label set a
+                # previous store left under the same digest, so the plan
+                # is invalidated conservatively.
+                self._plan_labels.pop(fingerprint.digest, None)
             while len(self._plans) > self.capacity:
-                self._plans.popitem(last=False)
+                digest, _ = self._plans.popitem(last=False)
+                self._plan_labels.pop(digest, None)
                 self.stats.evictions += 1
+
+    def invalidate_labels(self, labels) -> int:
+        """Drop plans whose scoring depended on any of ``labels``.
+
+        Called when a data-graph update shifts edge-label frequencies:
+        a cached join order chosen under the old statistics is still
+        *correct* for an isomorphic query, but may no longer be the
+        order fresh planning would pick.  Plans stored without label
+        metadata are dropped conservatively.  Returns the drop count.
+        """
+        shifted = frozenset(int(l) for l in labels)
+        if not shifted:
+            return 0
+        dropped = 0
+        with self._lock:
+            for digest in list(self._plans):
+                deps = self._plan_labels.get(digest)
+                if deps is None or deps & shifted:
+                    del self._plans[digest]
+                    self._plan_labels.pop(digest, None)
+                    dropped += 1
+            self.stats.invalidations += dropped
+        return dropped
 
     def clear(self) -> None:
         """Drop every cached plan (stats are kept)."""
         with self._lock:
             self._plans.clear()
+            self._plan_labels.clear()

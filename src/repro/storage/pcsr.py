@@ -11,17 +11,31 @@ transaction — which is how PCSR achieves O(1)-transaction ``N(v, l)``.
 The number of groups equals the number of vertices in the partition (a
 one-to-one hash), and Claim 1 guarantees overflowing groups always find
 enough empty groups to chain into.
+
+**Incremental maintenance.**  The hash-group layout is exactly what makes
+PCSR dynamic-friendly: a new key goes into the first free slot of its
+home-group chain (or a chain extension through an empty group, the same
+mechanism Claim 1 relies on), and neighbor lists grow in place because
+each group owns a contiguous *region* of ``ci`` with slack at the tail.
+:meth:`PCSRPartition.insert_key`, :meth:`PCSRPartition.append_neighbors`
+and :meth:`PCSRPartition.remove_neighbor` implement this; every operation
+keeps :meth:`PCSRPartition.validate` clean and meters its simulated
+memory transactions so incremental-vs-rebuild cost is measurable.  When
+the partition outgrows its hash (occupancy) or the empty-group pool runs
+dry (Claim 1 can no longer be honored), callers are expected to rebuild —
+see :class:`repro.dynamic.index.DynamicPCSRStorage` for the policy.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import StorageError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.partition import EdgeLabelPartition, partition_by_edge_label
+from repro.gpusim.meter import MemoryMeter
 from repro.gpusim.transactions import contiguous_read
 from repro.storage.base import EMPTY, NeighborStore
 
@@ -92,7 +106,10 @@ class PCSRPartition:
         adjacency = {v: nbrs for v, nbrs in items}
         chunks: List[np.ndarray] = []
         pos = 0
+        self._region_start = np.zeros(self.num_groups, dtype=np.int64)
+        self._region_cap = np.zeros(self.num_groups, dtype=np.int64)
         for gid in range(self.num_groups):
+            self._region_start[gid] = pos
             for j, v in enumerate(placed[gid]):
                 nbrs = adjacency[v]
                 self.groups[gid, j, 0] = v
@@ -101,9 +118,22 @@ class PCSRPartition:
                 pos += len(nbrs)
             self.groups[gid, gpn - 1, 1] = pos  # END flag
             self.groups[gid, gpn - 1, 0] = chain_next.get(gid, _NO_OVERFLOW)
-        self.ci = (np.concatenate(chunks) if chunks
-                   else np.empty(0, dtype=np.int64))
+            self._region_cap[gid] = pos - self._region_start[gid]
+        self._ci_buf = (np.concatenate(chunks) if chunks
+                        else np.empty(0, dtype=np.int64))
+        self._ci_len = int(pos)
         self._keys_per_group = [len(p) for p in placed]
+        #: groups with no keys and no chain membership — the reservoir
+        #: Claim 1 draws from, both at build time and incrementally.
+        self._empty_pool = set(empty_pool)
+        #: ci words orphaned by region relocations (space overhead of
+        #: in-place maintenance; a rebuild reclaims them).
+        self._dead_words = 0
+
+    @property
+    def ci(self) -> np.ndarray:
+        """Column-index layer (the live prefix of the growable buffer)."""
+        return self._ci_buf[:self._ci_len]
 
     # ------------------------------------------------------------------
     # Lookup (the 4-step procedure under Figure 11c)
@@ -140,9 +170,236 @@ class PCSRPartition:
 
     def probe_transactions(self, v: int) -> int:
         """Groups read to locate ``v`` — each is one 128 B transaction
-        when ``GPN = 16`` (one warp, one transaction per group)."""
+        when ``GPN = 16`` (one warp, one transaction per group).
+
+        Misses cost their actual probe reads: the home group is always
+        read, and a miss that walks an overflow chain pays one
+        transaction per chained group before concluding ``v`` is absent.
+        """
         reads, _, _ = self._probe(v)
-        return max(1, reads)
+        return reads
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (the dynamic-graph update path)
+    # ------------------------------------------------------------------
+
+    def _find_key(self, v: int) -> Tuple[int, int, int]:
+        """Locate the slot holding ``v``: ``(reads, gid, slot)`` with
+        ``gid == -1`` when ``v`` is not stored."""
+        gid = default_hash(v, self.num_groups)
+        reads = 0
+        while gid != _NO_OVERFLOW:
+            reads += 1
+            group = self.groups[gid]
+            for j in range(self.gpn - 1):
+                if group[j, 0] == v:
+                    return reads, gid, j
+            gid = int(group[self.gpn - 1, 0])
+        return reads, -1, -1
+
+    def _slot_extent(self, gid: int, j: int) -> Tuple[int, int]:
+        """ci extent ``[begin, end)`` of the key at ``(gid, slot j)``."""
+        begin = int(self.groups[gid, j, 1])
+        if j + 1 < self.gpn - 1 and self.groups[gid, j + 1, 0] != _EMPTY_SLOT:
+            end = int(self.groups[gid, j + 1, 1])
+        else:
+            end = int(self.groups[gid, self.gpn - 1, 1])
+        return begin, end
+
+    def _grow_ci(self, extra: int) -> None:
+        """Ensure the ci buffer has room for ``extra`` more words."""
+        need = self._ci_len + extra
+        if need <= len(self._ci_buf):
+            return
+        new_cap = max(need, 2 * len(self._ci_buf), 16)
+        buf = np.full(new_cap, _EMPTY_SLOT, dtype=np.int64)
+        buf[:self._ci_len] = self._ci_buf[:self._ci_len]
+        self._ci_buf = buf
+
+    def _relocate_group(self, gid: int, extra: int,
+                        meter: Optional[MemoryMeter]) -> None:
+        """Move ``gid``'s ci region to the tail of ci with ``extra``
+        words of fresh slack, orphaning the old region."""
+        start = int(self._region_start[gid])
+        end = int(self.groups[gid, self.gpn - 1, 1])
+        used = end - start
+        new_cap = used + max(extra, used, 4)
+        self._grow_ci(new_cap)
+        new_start = self._ci_len
+        if used:
+            self._ci_buf[new_start:new_start + used] = \
+                self._ci_buf[start:end]
+        delta = new_start - start
+        for j in range(self.gpn - 1):
+            if self.groups[gid, j, 0] == _EMPTY_SLOT:
+                break
+            self.groups[gid, j, 1] += delta
+        self.groups[gid, self.gpn - 1, 1] = new_start + used
+        self._dead_words += int(self._region_cap[gid])
+        self._region_start[gid] = new_start
+        self._region_cap[gid] = new_cap
+        self._ci_len = new_start + new_cap
+        if meter is not None:
+            moved = contiguous_read(used)
+            meter.add_gld(moved, label="pcsr_maintain")
+            meter.add_gst(moved + 1)  # stream the region + group rewrite
+
+    def _region_slack(self, gid: int) -> int:
+        end = int(self.groups[gid, self.gpn - 1, 1])
+        return int(self._region_start[gid] + self._region_cap[gid] - end)
+
+    def insert_key(self, v: int, neighbors: np.ndarray,
+                   meter: Optional[MemoryMeter] = None) -> bool:
+        """Place a *new* key ``v`` with its sorted neighbor list.
+
+        Walks the home-group chain for a free key slot; when the whole
+        chain is full, extends it through an empty group exactly as
+        Algorithm 1 does (Claim 1's mechanism).  Returns ``False`` when
+        no empty group remains — the caller must rebuild the partition
+        (the hash is no longer one-to-one enough to honor Claim 1).
+        """
+        nbrs = np.sort(np.asarray(neighbors, dtype=np.int64))
+        gid = default_hash(v, self.num_groups)
+        reads = 0
+        target = -1
+        last = gid
+        while gid != _NO_OVERFLOW:
+            reads += 1
+            group = self.groups[gid]
+            for j in range(self.gpn - 1):
+                if group[j, 0] == v:
+                    raise StorageError(
+                        f"key {v} already present; use append_neighbors")
+            if target < 0 and self._keys_per_group[gid] < self.gpn - 1:
+                target = gid
+            last = gid
+            gid = int(group[self.gpn - 1, 0])
+        if meter is not None:
+            meter.add_gld(reads, label="pcsr_maintain")
+        if target < 0:
+            # Chain full end to end: extend it through an empty group.
+            if not self._empty_pool:
+                return False
+            target = self._empty_pool.pop()
+            self.groups[last, self.gpn - 1, 0] = target
+            # Fresh region at the ci tail for the new chain link.
+            self._grow_ci(0)
+            self._region_start[target] = self._ci_len
+            self._region_cap[target] = 0
+            self.groups[target, self.gpn - 1, 1] = self._ci_len
+            if meter is not None:
+                meter.add_gst(1)  # rewrite the chained-from group
+
+        if self._region_slack(target) < len(nbrs):
+            self._relocate_group(target, len(nbrs), meter)
+        end = int(self.groups[target, self.gpn - 1, 1])
+        slot = self._keys_per_group[target]
+        if len(nbrs):
+            self._ci_buf[end:end + len(nbrs)] = nbrs
+        self.groups[target, slot, 0] = v
+        self.groups[target, slot, 1] = end
+        self.groups[target, self.gpn - 1, 1] = end + len(nbrs)
+        self._keys_per_group[target] += 1
+        # A group with a key is no longer a Claim-1 reservoir candidate.
+        self._empty_pool.discard(target)
+        if meter is not None:
+            meter.add_gst(1 + contiguous_read(len(nbrs)))
+        return True
+
+    def append_neighbors(self, v: int, new_neighbors: np.ndarray,
+                         meter: Optional[MemoryMeter] = None) -> None:
+        """Merge ``new_neighbors`` into existing key ``v``'s list.
+
+        Later slots in the group shift right inside the region (slack
+        permitting); otherwise the whole region relocates to the ci
+        tail.  The list stays sorted, so lookups still binary-search.
+        """
+        reads, gid, j = self._find_key(v)
+        if meter is not None:
+            meter.add_gld(reads, label="pcsr_maintain")
+        if gid < 0:
+            raise StorageError(f"key {v} not present; use insert_key")
+        begin, end = self._slot_extent(gid, j)
+        current = self._ci_buf[begin:end]
+        merged = np.union1d(current, np.asarray(new_neighbors,
+                                                dtype=np.int64))
+        delta = len(merged) - (end - begin)
+        if delta and self._region_slack(gid) < delta:
+            self._relocate_group(gid, max(delta, len(merged)), meter)
+            begin, end = self._slot_extent(gid, j)
+        group_end = int(self.groups[gid, self.gpn - 1, 1])
+        if delta:
+            # Shift the later slots' lists right by delta.
+            tail = self._ci_buf[end:group_end].copy()
+            self._ci_buf[end + delta:group_end + delta] = tail
+            for k in range(j + 1, self.gpn - 1):
+                if self.groups[gid, k, 0] == _EMPTY_SLOT:
+                    break
+                self.groups[gid, k, 1] += delta
+            self.groups[gid, self.gpn - 1, 1] = group_end + delta
+        self._ci_buf[begin:begin + len(merged)] = merged
+        if meter is not None:
+            meter.add_gld(contiguous_read(end - begin),
+                          label="pcsr_maintain")
+            meter.add_gst(1 + contiguous_read(len(merged))
+                          + contiguous_read(max(0, group_end - end)))
+
+    def remove_neighbor(self, v: int, w: int,
+                        meter: Optional[MemoryMeter] = None) -> None:
+        """Delete ``w`` from ``v``'s neighbor list in place.
+
+        Later lists in the group shift left one word; the freed word
+        becomes region slack.  A key whose list empties keeps its slot
+        with a zero-length extent (keys are never evicted in place — a
+        rebuild compacts them away).
+        """
+        reads, gid, j = self._find_key(v)
+        if meter is not None:
+            meter.add_gld(reads, label="pcsr_maintain")
+        if gid < 0:
+            raise StorageError(f"key {v} not present in partition")
+        begin, end = self._slot_extent(gid, j)
+        seg = self._ci_buf[begin:end]
+        pos = int(np.searchsorted(seg, w))
+        if pos >= len(seg) or seg[pos] != w:
+            raise StorageError(f"{w} is not a neighbor of {v}")
+        group_end = int(self.groups[gid, self.gpn - 1, 1])
+        self._ci_buf[begin + pos:group_end - 1] = \
+            self._ci_buf[begin + pos + 1:group_end].copy()
+        for k in range(j + 1, self.gpn - 1):
+            if self.groups[gid, k, 0] == _EMPTY_SLOT:
+                break
+            self.groups[gid, k, 1] -= 1
+        self.groups[gid, self.gpn - 1, 1] = group_end - 1
+        if meter is not None:
+            meter.add_gld(contiguous_read(group_end - begin),
+                          label="pcsr_maintain")
+            meter.add_gst(1 + contiguous_read(group_end - 1 - begin - pos))
+
+    def items(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Iterate ``(key, neighbor array)`` straight off the structure
+        (rebuilds and tests read the partition back through this)."""
+        for gid in range(self.num_groups):
+            for j in range(self.gpn - 1):
+                v = int(self.groups[gid, j, 0])
+                if v == _EMPTY_SLOT:
+                    break
+                begin, end = self._slot_extent(gid, j)
+                yield v, self._ci_buf[begin:end].copy()
+
+    def key_count(self) -> int:
+        """Number of stored keys (vertices with a slot)."""
+        return int(sum(self._keys_per_group))
+
+    def occupancy(self) -> float:
+        """Keys per group — 1.0 is the one-to-one design point of
+        Algorithm 1; incremental inserts push it above that, and the
+        rebuild policy caps how far."""
+        return self.key_count() / self.num_groups
+
+    def dead_words(self) -> int:
+        """ci words orphaned by region relocations since the last build."""
+        return self._dead_words
 
     def max_chain_length(self) -> int:
         """Longest overflow chain (paper: expected <= 1 + 5log|V|/loglog|V|)."""
@@ -261,6 +518,9 @@ class PCSRStorage(NeighborStore):
         return part.neighbors(v)
 
     def locate_transactions(self, v: int, label: int) -> int:
+        """Actual probe reads: 0 when no partition carries ``label`` (no
+        structure to read), else the groups walked — a miss inside a
+        partition still pays for every group it probed."""
         part = self._parts.get(label)
         if part is None:
             return 0

@@ -47,3 +47,18 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "same matches" in out
+
+    def test_stream(self, capsys):
+        rc = main(["stream", "--dataset", "enron", "--queries", "2",
+                   "--query-vertices", "3", "--batches", "2",
+                   "--batch-size", "6"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 continuous queries" in out
+        assert "incremental maintenance" in out
+        assert "rebuild-per-batch" in out
+
+    def test_stream_rejects_non_pcsr_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--engine",
+                                       "gsi-baseline"])

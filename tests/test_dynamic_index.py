@@ -1,0 +1,225 @@
+"""Tests for incremental index maintenance (signature table + PCSR)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signature import encode_all
+from repro.dynamic import (
+    DynamicGraph,
+    DynamicIndex,
+    DynamicPCSRStorage,
+    full_rebuild_transactions,
+    random_update_stream,
+)
+from repro.errors import StorageError
+from repro.graph.generators import scale_free_graph
+from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
+from repro.graph.partition import EdgeLabelPartition, partition_by_edge_label
+from repro.storage.pcsr import PCSRPartition
+
+
+def star_partition(num_leaves, gpn=16):
+    edges = [(0, v, 0) for v in range(1, num_leaves + 1)]
+    g = LabeledGraph([0] * (num_leaves + 1), edges)
+    return PCSRPartition(partition_by_edge_label(g)[0], gpn=gpn)
+
+
+class TestPCSRIncrementalOps:
+    def test_insert_key_into_free_slot(self):
+        p = star_partition(3)
+        assert p.insert_key(99, np.array([0]))
+        assert list(p.neighbors(99)) == [0]
+        assert p.validate() == []
+
+    def test_insert_key_rejects_existing(self):
+        p = star_partition(3)
+        with pytest.raises(StorageError):
+            p.insert_key(0, np.array([5]))
+
+    def test_append_neighbors_keeps_sorted(self):
+        p = star_partition(4)
+        p.append_neighbors(0, np.array([99, 50]))
+        assert list(p.neighbors(0)) == [1, 2, 3, 4, 50, 99]
+        assert p.validate() == []
+
+    def test_append_neighbors_rejects_missing_key(self):
+        p = star_partition(3)
+        with pytest.raises(StorageError):
+            p.append_neighbors(77, np.array([0]))
+
+    def test_remove_neighbor(self):
+        p = star_partition(4)
+        p.remove_neighbor(0, 2)
+        assert list(p.neighbors(0)) == [1, 3, 4]
+        assert p.validate() == []
+
+    def test_remove_last_neighbor_leaves_empty_key(self):
+        p = star_partition(2)
+        p.remove_neighbor(1, 0)
+        assert list(p.neighbors(1)) == []
+        assert p.key_count() == 3  # key slot survives with empty extent
+        assert p.validate() == []
+
+    def test_remove_missing_neighbor_raises(self):
+        p = star_partition(2)
+        with pytest.raises(StorageError):
+            p.remove_neighbor(1, 99)
+
+    def test_items_round_trip(self):
+        p = star_partition(5)
+        items = dict(p.items())
+        assert sorted(items) == list(range(6))
+        assert list(items[0]) == [1, 2, 3, 4, 5]
+
+    def test_chain_extension_through_empty_pool(self):
+        # GPN=2: one key per group; inserting extra keys that collide
+        # must chain through empty groups, exactly like Algorithm 1.
+        edges = [(0, v, 0) for v in range(1, 6)]
+        g = LabeledGraph([0] * 30, edges)
+        p = PCSRPartition(partition_by_edge_label(g)[0], gpn=2)
+        inserted = []
+        for v in range(10, 14):
+            if p.insert_key(v, np.array([0]), None):
+                inserted.append(v)
+        assert p.validate() == []
+        for v in inserted:
+            assert list(p.neighbors(v)) == [0]
+
+    def test_insert_key_starvation_returns_false(self):
+        # A single-group partition (one vertex pair) has no empty pool.
+        g = LabeledGraph([0, 0], [(0, 1, 0)])
+        p = PCSRPartition(partition_by_edge_label(g)[0], gpn=2)
+        assert p._empty_pool == set()
+        got_false = False
+        for v in range(2, 10):
+            if not p.insert_key(v, np.array([0])):
+                got_false = True
+                break
+        assert got_false
+        assert p.validate() == []
+
+    def test_probe_transactions_counts_actual_miss_reads(self):
+        # A miss pays for every group actually probed: one read when
+        # the home group ends the chain, more when it must walk one.
+        p = star_partition(3)
+        present_reads, gid, _ = p._find_key(0)
+        assert gid >= 0
+        assert p.probe_transactions(0) == present_reads
+        # Missing vertex: cost equals the walked chain length, >= 1.
+        reads, g2, _ = p._find_key(123456)
+        assert g2 == -1
+        assert p.probe_transactions(123456) == reads >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 80), st.integers(0, 80)),
+                min_size=1, max_size=60),
+       st.integers(2, 16))
+def test_property_incremental_inserts_keep_validate_clean(pairs, gpn):
+    """Acceptance: validate() reports nothing after arbitrary
+    incremental insert sequences (with rebuild fallback on starvation,
+    as the dynamic storage layer does)."""
+    seed = [(0, 1, 0)]
+    g = LabeledGraph([0] * 81, seed)
+    p = PCSRPartition(partition_by_edge_label(g)[0], gpn=gpn)
+    adj = {0: {1}, 1: {0}}
+    for a, b in pairs:
+        if a == b or b in adj.get(a, ()):
+            continue
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set()).add(a)
+        for x, y in ((a, b), (b, a)):
+            if p._find_key(x)[1] >= 0:
+                p.append_neighbors(x, np.array([y]))
+            elif not p.insert_key(x, np.array([y])):
+                items = {v: arr for v, arr in p.items()}
+                items[x] = np.array([y], dtype=np.int64)
+                p = PCSRPartition(
+                    EdgeLabelPartition(0, items), gpn=gpn)
+        assert p.validate() == [], (a, b)
+    for v, nbrs in adj.items():
+        assert sorted(int(x) for x in p.neighbors(v)) == sorted(nbrs)
+
+
+class TestDynamicPCSRStorage:
+    def test_insert_and_delete_edges(self):
+        g = scale_free_graph(60, 3, 3, 3, seed=2)
+        store = DynamicPCSRStorage(g)
+        store.insert_edge(0, 59, 99)  # brand new label
+        assert list(store.neighbors(0, 99)) == [59]
+        store.delete_edge(0, 59, 99)
+        assert list(store.neighbors(0, 99)) == []
+        assert store.validate() == {}
+
+    def test_delete_unknown_label_raises(self):
+        g = scale_free_graph(20, 2, 2, 2, seed=1)
+        store = DynamicPCSRStorage(g)
+        with pytest.raises(KeyError):
+            store.delete_edge(0, 1, 12345)
+
+    def test_occupancy_policy_triggers_rebuild(self):
+        b = GraphBuilder()
+        b.add_vertices([0] * 40)
+        b.add_edge(0, 1, 0)
+        g = b.build()
+        store = DynamicPCSRStorage(g, rebuild_occupancy=1.5)
+        # The label-0 partition starts with 2 keys / 2 groups; adding
+        # keys beyond 1.5 per group must rebuild rather than chain
+        # forever.
+        for v in range(2, 12):
+            store.insert_edge(0, v, 0)
+        assert store.rebuilds >= 1
+        part = store.partition(0)
+        assert part.occupancy() <= 1.5
+        assert part.validate() == []
+        assert sorted(int(x) for x in store.neighbors(0, 0)) \
+            == list(range(1, 12))
+
+    def test_matches_rebuilt_storage_after_stream(self):
+        base = scale_free_graph(80, 3, 3, 4, seed=3)
+        dyn = DynamicGraph(base)
+        store = DynamicPCSRStorage(base)
+        for delta in random_update_stream(base, 4, 20, seed=4):
+            dyn.apply(delta)
+            commit = dyn.commit()
+            for u, v, lab in commit.deleted_edges:
+                store.delete_edge(u, v, lab)
+            for u, v, lab in commit.inserted_edges:
+                store.insert_edge(u, v, lab)
+        final = dyn.base
+        assert store.validate() == {}
+        for v in range(final.num_vertices):
+            for lab in final.distinct_edge_labels():
+                assert list(store.neighbors(v, lab)) == \
+                    list(final.neighbors_by_label(v, lab))
+
+
+class TestDynamicIndex:
+    def test_signature_rows_match_full_encode(self):
+        base = scale_free_graph(50, 3, 3, 3, seed=6)
+        dyn = DynamicGraph(base)
+        index = DynamicIndex(base, signature_bits=256)
+        for delta in random_update_stream(base, 3, 12, seed=7):
+            dyn.apply(delta)
+            index.apply_commit(dyn.commit())
+        final = dyn.base
+        expected = encode_all(final, 256, 32)
+        assert np.array_equal(index.signature_table.table, expected)
+        assert index.signature_table.num_vertices == final.num_vertices
+
+    def test_maintenance_is_metered(self):
+        base = scale_free_graph(50, 3, 3, 3, seed=6)
+        dyn = DynamicGraph(base)
+        index = DynamicIndex(base)
+        dyn.apply(random_update_stream(base, 1, 10, seed=1)[0])
+        index.apply_commit(dyn.commit())
+        snap = index.meter.snapshot()
+        assert snap.gld > 0 and snap.gst > 0
+
+    def test_full_rebuild_estimate_scales_with_graph(self):
+        small = scale_free_graph(50, 3, 3, 3, seed=1)
+        large = scale_free_graph(500, 3, 3, 3, seed=1)
+        assert full_rebuild_transactions(large) \
+            > 5 * full_rebuild_transactions(small)

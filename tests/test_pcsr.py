@@ -60,6 +60,18 @@ class TestLookup:
         assert p.probe_transactions(0) >= 1
         assert p.probe_transactions(999) >= 1
 
+    def test_miss_pays_actual_chain_walk(self):
+        # With GPN=2 the star hub's keys chain; a missing vertex that
+        # hashes into a chain pays one transaction per walked group,
+        # not a flat floor of 1.
+        edges = [(0, v, 0) for v in range(1, 20)]
+        p = build_partition(edges, gpn=2)[0]
+        assert p.max_chain_length() > 1
+        for v in (500, 9999, 123456):
+            reads, gid, _ = p._find_key(v)
+            assert gid == -1
+            assert p.probe_transactions(v) == reads >= 1
+
     def test_non_consecutive_vertex_ids(self):
         # Partition touches only vertices 100, 500, 900.
         p = build_partition([(100, 500, 0), (500, 900, 0)], n=1000)[0]
@@ -166,6 +178,100 @@ def test_property_pcsr_equals_graph(edge_list, gpn):
             expect = sorted(int(x) for x in g.neighbors_by_label(v, lab))
             got = sorted(int(x) for x in store.neighbors(v, lab))
             assert got == expect
+
+
+class TestValidateDetectsCorruption:
+    """Each Definition-4 invariant violation must be reported."""
+
+    def fresh(self, gpn=4):
+        # A partition with several groups and at least one multi-key
+        # group, healthy by construction.
+        edges = [(0, v, 0) for v in range(1, 8)]
+        p = build_partition(edges, gpn=gpn)[0]
+        assert p.validate() == []
+        return p
+
+    def _first_keyed_group(self, p):
+        for gid in range(p.num_groups):
+            if p.groups[gid, 0, 0] != -1:
+                return gid
+        raise AssertionError("no keyed group")
+
+    def test_key_after_empty_slot(self):
+        p = self.fresh(gpn=4)
+        gid = self._first_keyed_group(p)
+        # Move the slot-0 key to slot 2, leaving a hole at slot 0.
+        p.groups[gid, 2] = p.groups[gid, 0]
+        p.groups[gid, 0] = (-1, -1)
+        assert any("key after empty slot" in msg for msg in p.validate())
+
+    def test_decreasing_offsets(self):
+        edges = [(0, v, 0) for v in range(1, 40)]
+        p = build_partition(edges, gpn=16)[0]
+        # Find a group holding at least two keys and swap two offsets.
+        for gid in range(p.num_groups):
+            if p.groups[gid, 1, 0] != -1:
+                break
+        else:
+            raise AssertionError("no multi-key group in fixture")
+        p.groups[gid, 0, 1], p.groups[gid, 1, 1] = \
+            int(p.groups[gid, 1, 1]) + 1, int(p.groups[gid, 0, 1])
+        assert any("offsets" in msg and "decrease" in msg
+                   for msg in p.validate())
+
+    def test_offset_out_of_range(self):
+        p = self.fresh()
+        gid = self._first_keyed_group(p)
+        p.groups[gid, 0, 1] = len(p.ci) + 7
+        assert any("out of range" in msg for msg in p.validate())
+
+    def test_bad_gid(self):
+        p = self.fresh()
+        p.groups[0, p.gpn - 1, 0] = p.num_groups + 3
+        assert any("bad GID" in msg for msg in p.validate())
+
+    def test_cyclic_gid_chain(self):
+        p = self.fresh()
+        gid = self._first_keyed_group(p)
+        p.groups[gid, p.gpn - 1, 0] = gid  # self-loop chain
+        probs = p.validate()
+        assert any("cyclic overflow chain" in msg for msg in probs)
+
+    def test_two_group_cycle(self):
+        p = self.fresh()
+        a = self._first_keyed_group(p)
+        b = (a + 1) % p.num_groups
+        p.groups[a, p.gpn - 1, 0] = b
+        p.groups[b, p.gpn - 1, 0] = a
+        assert any("cyclic overflow chain" in msg for msg in p.validate())
+
+    def test_unreachable_key(self):
+        p = self.fresh()
+        gid = self._first_keyed_group(p)
+        # Re-home a stored key to a vertex id whose hash chain cannot
+        # reach this group.
+        for v in range(1000, 2000):
+            home = default_hash(v, p.num_groups)
+            if home != gid and p._find_key(v)[1] < 0:
+                # ensure home's chain does not include gid
+                chain = set()
+                cur = home
+                while cur != -1 and cur not in chain:
+                    chain.add(cur)
+                    cur = int(p.groups[cur, p.gpn - 1, 0])
+                if gid not in chain:
+                    p.groups[gid, 0, 0] = v
+                    break
+        else:
+            raise AssertionError("no suitable re-homed vertex found")
+        assert any("unreachable" in msg for msg in p.validate())
+
+    def test_end_before_last_offset(self):
+        p = self.fresh()
+        gid = self._first_keyed_group(p)
+        p.groups[gid, p.gpn - 1, 1] = int(p.groups[gid, 0, 1]) - 1
+        probs = p.validate()
+        assert probs  # reported as out-of-range END or offset beyond END
 
 
 class TestEdgeCases:

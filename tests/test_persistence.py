@@ -5,6 +5,11 @@ import pytest
 
 from repro import GSIConfig, GSIEngine, random_walk_query
 from repro.core.signature_table import SignatureTable
+from repro.graph.generators import (
+    mesh_graph,
+    rdf_like_graph,
+    scale_free_graph,
+)
 from repro.errors import GraphError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.persistence import (
@@ -46,6 +51,56 @@ class TestGraphRoundTrip:
         a = GSIEngine(medium_graph).match(q).match_set()
         b = GSIEngine(loaded).match(q).match_set()
         assert a == b
+
+
+class TestGeneratedGraphRoundTrips:
+    """Round-trips across the generator zoo, including degenerate
+    shapes (empty, edgeless, single-label)."""
+
+    def _assert_round_trip(self, graph, path):
+        save_graph_npz(graph, path)
+        loaded = load_graph_npz(path)
+        assert loaded.num_vertices == graph.num_vertices
+        assert loaded.num_edges == graph.num_edges
+        assert list(loaded.vertex_labels) == list(graph.vertex_labels)
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+        return loaded
+
+    @pytest.mark.parametrize("maker", [
+        lambda: scale_free_graph(60, 3, 4, 5, seed=1),
+        lambda: rdf_like_graph(50, 120, 3, 6, seed=2),
+        lambda: mesh_graph(6, 7, 3, 2, seed=3),
+    ], ids=["scale_free", "rdf_like", "mesh"])
+    def test_generated_graphs(self, maker, tmp_path):
+        self._assert_round_trip(maker(), tmp_path / "g.npz")
+
+    def test_empty_graph_full_equality(self, tmp_path):
+        loaded = self._assert_round_trip(LabeledGraph([], []),
+                                         tmp_path / "empty.npz")
+        assert loaded.num_vertices == 0
+        assert list(loaded.edges()) == []
+
+    def test_edgeless_graph(self, tmp_path):
+        g = LabeledGraph([3, 1, 4, 1, 5], [])
+        loaded = self._assert_round_trip(g, tmp_path / "edgeless.npz")
+        assert loaded.degree(0) == 0
+
+    def test_single_label_graph(self, tmp_path):
+        g = scale_free_graph(40, 3, 1, 1, seed=3)
+        assert g.distinct_vertex_labels() == [0]
+        assert g.distinct_edge_labels() == [0]
+        loaded = self._assert_round_trip(g, tmp_path / "single.npz")
+        assert loaded.distinct_vertex_labels() == [0]
+        assert loaded.distinct_edge_labels() == [0]
+        assert loaded.edge_label_frequency(0) == g.num_edges
+
+    def test_adjacency_preserved_exactly(self, tmp_path):
+        g = scale_free_graph(30, 3, 3, 4, seed=9)
+        loaded = self._assert_round_trip(g, tmp_path / "adj.npz")
+        for v in range(g.num_vertices):
+            for lab in g.distinct_edge_labels():
+                assert np.array_equal(loaded.neighbors_by_label(v, lab),
+                                      g.neighbors_by_label(v, lab))
 
 
 class TestSignatureTableRoundTrip:

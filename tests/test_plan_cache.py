@@ -161,6 +161,52 @@ class TestPlanCacheAccounting:
         assert cache.stats.misses == 1
 
 
+class TestLabelInvalidation:
+    def _cache_plan(self, cache, query, graph):
+        fp = query_fingerprint(query)
+        sizes = {u: graph.num_vertices
+                 for u in range(query.num_vertices)}
+        plan = plan_join_order(query, graph, sizes)
+        cache.store(fp, plan,
+                    edge_labels=query.distinct_edge_labels())
+        return fp
+
+    def test_invalidate_drops_dependent_plans_only(self):
+        graph = scale_free_graph(60, 3, 3, 3, seed=4)
+        q_a = path_query([0, 0, 0], [0, 0])   # uses edge label 0
+        q_b = path_query([0, 0, 0], [1, 1])   # uses edge label 1
+        cache = PlanCache()
+        self._cache_plan(cache, q_a, graph)
+        self._cache_plan(cache, q_b, graph)
+        assert len(cache) == 2
+        dropped = cache.invalidate_labels([1])
+        assert dropped == 1
+        assert len(cache) == 1
+        assert cache.stats.invalidations == 1
+        # q_a survives and still hits.
+        plan, _ = cache.lookup(q_a)
+        assert plan is not None
+        plan, _ = cache.lookup(q_b)
+        assert plan is None
+
+    def test_invalidate_without_labels_is_noop(self):
+        graph = scale_free_graph(40, 3, 2, 2, seed=4)
+        cache = PlanCache()
+        self._cache_plan(cache, path_query([0, 0], [0]), graph)
+        assert cache.invalidate_labels([]) == 0
+        assert len(cache) == 1
+
+    def test_plans_stored_without_labels_drop_conservatively(self):
+        graph = scale_free_graph(40, 3, 2, 2, seed=4)
+        q = path_query([0, 0], [0])
+        cache = PlanCache()
+        fp = query_fingerprint(q)
+        sizes = {u: 10 for u in range(q.num_vertices)}
+        cache.store(fp, plan_join_order(q, graph, sizes))  # no labels
+        assert cache.invalidate_labels([99]) == 1
+        assert len(cache) == 0
+
+
 class TestCachedPlanEquivalence:
     def test_cached_result_byte_identical(self, small_graph, small_queries):
         """A cache-hit run must reproduce the cold run exactly: same

@@ -1,0 +1,188 @@
+"""Differential tests for the StreamEngine (continuous queries).
+
+The acceptance anchor: for randomized update streams of inserts and
+deletes, the delta match results composed over batches must equal the
+brute-force oracle on every committed snapshot — and, at the end of the
+stream, a cold GSI engine over each storage backend must agree with the
+composed sets.
+"""
+
+import pytest
+
+from repro.core.config import GSIConfig
+from repro.core.engine import GSIEngine
+from repro.dynamic import GraphDelta, StreamEngine, random_update_stream
+from repro.errors import GraphError
+from repro.graph.generators import random_walk_query, scale_free_graph
+from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
+from repro.storage.factory import build_storage, storage_kinds
+
+from oracle import brute_force_matches
+
+
+def run_stream(graph_seed, stream_seed, batches=5, batch_size=10,
+               query_sizes=(2, 3, 4)):
+    graph = scale_free_graph(50, 3, 3, 3, seed=graph_seed)
+    engine = StreamEngine(graph)
+    queries = [random_walk_query(graph, k, seed=stream_seed + i)
+               for i, k in enumerate(query_sizes)]
+    qids = [engine.register(q) for q in queries]
+    stream = random_update_stream(graph, batches, batch_size,
+                                  seed=stream_seed)
+    for delta in stream:
+        engine.apply_batch(delta)
+        snapshot = engine.graph
+        for qid, q in zip(qids, queries):
+            assert engine.matches(qid) == brute_force_matches(q, snapshot)
+    return engine, queries, qids
+
+
+class TestDifferentialStream:
+    @pytest.mark.parametrize("graph_seed,stream_seed", [
+        (1, 0), (2, 3), (5, 1), (9, 4),
+    ])
+    def test_composed_deltas_equal_oracle_every_batch(self, graph_seed,
+                                                      stream_seed):
+        run_stream(graph_seed, stream_seed)
+
+    def test_final_snapshot_agrees_across_storage_backends(self):
+        engine, queries, qids = run_stream(3, 2, batches=4,
+                                           batch_size=12)
+        final = engine.graph
+        for kind in storage_kinds():
+            cold = GSIEngine(final, store=build_storage(kind, final))
+            for qid, q in zip(qids, queries):
+                assert cold.match(q).match_set() == engine.matches(qid), \
+                    f"storage backend {kind} disagrees with the stream"
+
+    def test_delete_heavy_stream(self):
+        graph = scale_free_graph(40, 3, 2, 2, seed=7)
+        engine = StreamEngine(graph)
+        q = random_walk_query(graph, 3, seed=1)
+        qid = engine.register(q)
+        stream = random_update_stream(graph, 4, 15, seed=8,
+                                      delete_fraction=0.7)
+        for delta in stream:
+            engine.apply_batch(delta)
+            assert engine.matches(qid) == \
+                brute_force_matches(q, engine.graph)
+
+    def test_maintained_artifacts_serve_adhoc_queries(self):
+        engine, _, _ = run_stream(4, 5, batches=3, batch_size=10)
+        q = random_walk_query(engine.graph, 4, seed=11)
+        assert engine.match(q).match_set() == \
+            brute_force_matches(q, engine.graph)
+        assert engine.index.storage.validate() == {}
+
+
+class TestDeltaSemantics:
+    def triangle(self):
+        b = GraphBuilder()
+        u = b.add_vertices([0, 0, 0])
+        b.add_edge(u[0], u[1], 0)
+        b.add_edge(u[1], u[2], 0)
+        b.add_edge(u[0], u[2], 0)
+        return b.build()
+
+    def test_created_and_destroyed_are_disjoint_and_exact(self):
+        b = GraphBuilder()
+        b.add_vertices([0, 0, 0, 0])
+        b.add_edge(0, 1, 0)
+        b.add_edge(1, 2, 0)
+        graph = b.build()
+        engine = StreamEngine(graph)
+        qid = engine.register(self.triangle())
+        assert engine.matches(qid) == set()
+
+        report = engine.apply_batch(
+            GraphDelta.for_graph(4).add_edge(0, 2, 0))
+        delta = report.query_deltas[qid]
+        assert len(delta.created) == 6  # one triangle, 6 embeddings
+        assert delta.destroyed == set()
+        assert delta.num_matches == 6
+
+        report = engine.apply_batch(
+            GraphDelta.for_graph(4).remove_edge(1, 2))
+        delta = report.query_deltas[qid]
+        assert delta.created == set()
+        assert len(delta.destroyed) == 6
+        assert engine.matches(qid) == set()
+
+    def test_single_vertex_query_tracks_new_vertices(self):
+        graph = LabeledGraph([0, 1], [(0, 1, 0)])
+        engine = StreamEngine(graph)
+        q = LabeledGraph([1], [])
+        qid = engine.register(q)
+        assert engine.matches(qid) == {(1,)}
+        d = GraphDelta.for_graph(2)
+        v = d.add_vertex(1)
+        d.add_edge(v, 0, 0)
+        report = engine.apply_batch(d)
+        assert report.query_deltas[qid].created == {(v,)}
+        assert engine.matches(qid) == {(1,), (v,)}
+
+    def test_batch_report_counters(self):
+        graph = scale_free_graph(30, 3, 2, 2, seed=2)
+        engine = StreamEngine(graph)
+        engine.register(random_walk_query(graph, 3, seed=0))
+        d = random_update_stream(graph, 1, 8, seed=3)[0]
+        report = engine.apply_batch(d)
+        assert report.batch_index == 0
+        assert report.num_inserted + report.num_deleted > 0
+        assert report.maintenance.gst > 0
+        assert report.wall_ms > 0
+        assert "batch 0" in report.summary_line()
+        assert engine.batches_applied == 1
+
+    def test_unregister_stops_tracking(self):
+        graph = scale_free_graph(30, 3, 2, 2, seed=2)
+        engine = StreamEngine(graph)
+        qid = engine.register(random_walk_query(graph, 3, seed=0))
+        engine.unregister(qid)
+        assert engine.num_registered == 0
+        report = engine.apply_batch(
+            random_update_stream(graph, 1, 4, seed=1)[0])
+        assert report.query_deltas == {}
+
+    def test_requires_pcsr_config(self):
+        graph = scale_free_graph(20, 2, 2, 2, seed=1)
+        with pytest.raises(GraphError):
+            StreamEngine(graph, GSIConfig.baseline())
+
+
+class TestPlanInvalidation:
+    def test_shifted_labels_invalidate_cached_plans(self):
+        graph = scale_free_graph(40, 3, 3, 3, seed=5)
+        engine = StreamEngine(graph)
+        q = random_walk_query(graph, 4, seed=2)
+        engine.register(q)  # caches the plan for q's shape
+        assert len(engine.plan_cache) == 1
+        lab = int(next(iter(q.edges()))[2])
+        # Insert an edge with one of q's labels: its frequency shifts.
+        u, v = 0, graph.num_vertices - 1
+        d = GraphDelta.for_graph(graph)
+        if graph.has_edge(u, v):
+            d.remove_edge(u, v)
+        else:
+            d.add_edge(u, v, lab)
+        report = engine.apply_batch(d)
+        assert report.plans_invalidated >= 1
+        assert lab in report.labels_shifted or report.labels_shifted
+
+    def test_untouched_labels_keep_plans(self):
+        b = GraphBuilder()
+        b.add_vertices([0, 0, 0, 1, 1])
+        b.add_edge(0, 1, 0)
+        b.add_edge(1, 2, 0)
+        b.add_edge(3, 4, 5)
+        graph = b.build()
+        engine = StreamEngine(graph)
+        q = LabeledGraph([0, 0], [(0, 1, 0)])  # only uses label 0
+        engine.register(q)
+        assert len(engine.plan_cache) == 1
+        # Shift only label 5's frequency.
+        report = engine.apply_batch(
+            GraphDelta.for_graph(5).add_edge(2, 3, 5))
+        assert report.labels_shifted == (5,)
+        assert report.plans_invalidated == 0
+        assert len(engine.plan_cache) == 1
