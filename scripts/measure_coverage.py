@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Measure line coverage of ``src/repro`` under the tier-1 suite.
+
+A dependency-free stand-in for pytest-cov (which CI installs, but a
+hermetic dev container may not have): a ``sys.settrace`` tracer records
+executed lines in ``src/repro`` while the tier-1 suite runs, and the
+denominator is the set of executable lines derived from each module's
+compiled code objects — the same universe coverage.py counts, modulo
+small accounting differences (docstrings, ``else`` arms), which is why
+the CI gate (``--cov-fail-under``) is set a few points *below* the
+number this script prints.
+
+Usage::
+
+    PYTHONPATH=src python scripts/measure_coverage.py [pytest args]
+"""
+
+from __future__ import annotations
+
+import dis
+import os
+import sys
+import threading
+from types import CodeType
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src", "repro")
+
+executed: dict = {}
+
+
+def _local_trace(frame, event, arg):
+    if event == "line":
+        executed[frame.f_code.co_filename].add(frame.f_lineno)
+    return _local_trace
+
+
+def _global_trace(frame, event, arg):
+    filename = frame.f_code.co_filename
+    if not filename.startswith(SRC):
+        return None
+    executed.setdefault(filename, set())
+    return _local_trace
+
+
+def _executable_lines(code: CodeType) -> set:
+    lines = {line for _, line in dis.findlinestarts(code)
+             if line is not None}
+    for const in code.co_consts:
+        if isinstance(const, CodeType):
+            lines |= _executable_lines(const)
+    return lines
+
+
+def main() -> int:
+    import pytest
+
+    sys.settrace(_global_trace)
+    threading.settrace(_global_trace)  # batch service worker pools
+    rc = pytest.main(["-q", "-p", "no:cacheprovider",
+                      *sys.argv[1:]])
+    sys.settrace(None)
+    threading.settrace(None)
+    if rc != 0:
+        print("test run failed; coverage numbers not meaningful")
+        return rc
+
+    total_lines = 0
+    total_hit = 0
+    rows = []
+    for dirpath, _dirnames, filenames in sorted(os.walk(SRC)):
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+            lines = _executable_lines(compile(source, path, "exec"))
+            hit = executed.get(path, set()) & lines
+            total_lines += len(lines)
+            total_hit += len(hit)
+            pct = 100.0 * len(hit) / len(lines) if lines else 100.0
+            rows.append((os.path.relpath(path, ROOT), len(lines),
+                         len(hit), pct))
+
+    width = max(len(r[0]) for r in rows)
+    for rel, num, hit, pct in rows:
+        print(f"{rel:<{width}}  {hit:>5}/{num:<5}  {pct:6.1f}%")
+    overall = 100.0 * total_hit / total_lines if total_lines else 100.0
+    print(f"\nTOTAL {total_hit}/{total_lines} executable lines "
+          f"= {overall:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -167,7 +167,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
     from repro.graph.generators import query_workload
 
     graph = datasets.load(args.dataset)
-    engine = StreamEngine(graph, GSI_CONFIGS[args.engine]())
+    engine = StreamEngine(graph, GSI_CONFIGS[args.engine](),
+                          compact_dead_ratio=args.compact_dead_ratio)
     queries = query_workload(graph, args.queries, args.query_vertices,
                              seed=args.seed)
     qids = [engine.register(q) for q in queries]
@@ -178,16 +179,21 @@ def cmd_stream(args: argparse.Namespace) -> int:
         seed=args.seed, delete_fraction=args.delete_fraction)
     rows = []
     total_tx = 0
+    total_commit_tx = 0
+    health = {}
     for delta in stream:
         report = engine.apply_batch(delta)
         tx = report.maintenance.gld + report.maintenance.gst
         total_tx += tx
+        total_commit_tx += report.commit_transactions
+        health = report.pcsr
         live = sum(d.num_matches for d in report.query_deltas.values())
         rows.append([report.batch_index,
                      f"+{report.num_inserted}/-{report.num_deleted}",
                      report.num_new_vertices,
                      f"+{report.total_created}/-{report.total_destroyed}",
-                     live, tx, report.rebuilds,
+                     live, report.commit_transactions, tx,
+                     report.rebuilds, report.compactions,
                      report.plans_invalidated,
                      f"{report.wall_ms:.1f}"])
     rebuild_tx = full_rebuild_transactions(
@@ -196,12 +202,20 @@ def cmd_stream(args: argparse.Namespace) -> int:
     print(render_table(
         f"stream: {args.queries} continuous queries on {args.dataset} "
         f"({args.batches} batches x {args.batch_size} updates)",
-        ["batch", "edges", "+V", "matches", "live", "maint tx",
-         "rebuilds", "plans inv", "ms"],
+        ["batch", "edges", "+V", "matches", "live", "commit tx",
+         "maint tx", "rebuilds", "compact", "plans inv", "ms"],
         rows,
-        note=f"{initial} initial matches | incremental maintenance "
-             f"{total_tx} tx over the stream vs "
-             f"{rebuild_tx * args.batches} tx for rebuild-per-batch"))
+        note=f"{initial} initial matches | commits {total_commit_tx} tx "
+             f"(O(changes) CSR splice) + maintenance {total_tx} tx "
+             f"over the stream vs "
+             f"{rebuild_tx * args.batches} tx for rebuild-per-batch | "
+             f"PCSR health: dead {health.get('total_dead_words', 0)}/"
+             f"{health.get('total_ci_words', 0)} ci words "
+             f"({100.0 * float(health.get('dead_ratio', 0.0)):.1f}%), "
+             f"max occupancy "
+             f"{float(health.get('max_occupancy', 0.0)):.2f}, "
+             f"{health.get('compactions', 0)} compactions, "
+             f"{health.get('rebuilds', 0)} rebuilds"))
     return 0
 
 
@@ -251,6 +265,9 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--batches", type=int, default=5)
     st.add_argument("--batch-size", type=int, default=16)
     st.add_argument("--delete-fraction", type=float, default=0.3)
+    st.add_argument("--compact-dead-ratio", type=float, default=0.25,
+                    help="compact a PCSR partition's ci region in place "
+                         "when dead words exceed this fraction")
     return parser
 
 

@@ -2,7 +2,11 @@
 maintenance, and continuous queries (see README's dynamic section)."""
 
 from repro.dynamic.delta import GraphDelta, random_update_stream
-from repro.dynamic.graph import CommitResult, DynamicGraph
+from repro.dynamic.graph import (
+    CommitResult,
+    DynamicGraph,
+    full_commit_transactions,
+)
 from repro.dynamic.index import (
     DynamicIndex,
     DynamicPCSRStorage,
@@ -25,6 +29,7 @@ __all__ = [
     "QueryDelta",
     "StreamBatchReport",
     "StreamEngine",
+    "full_commit_transactions",
     "full_rebuild_transactions",
     "random_update_stream",
 ]

@@ -16,13 +16,15 @@ comparable across commits.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.errors import GraphError
 from repro.dynamic.delta import GraphDelta
-from repro.graph.labeled_graph import Edge, LabeledGraph
+from repro.graph.labeled_graph import CSRPatchStats, Edge, LabeledGraph
+from repro.gpusim.meter import MemoryMeter
+from repro.gpusim.transactions import contiguous_read
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -41,6 +43,10 @@ class CommitResult:
     inserted_edges: List[Edge] = field(default_factory=list)
     deleted_edges: List[Edge] = field(default_factory=list)
     new_vertices: List[int] = field(default_factory=list)
+    #: CSR-splice accounting for this commit (zero rows == no-op commit)
+    patch_stats: CSRPatchStats = field(default_factory=CSRPatchStats)
+    #: simulated transactions the commit itself cost (O(changes))
+    commit_transactions: int = 0
 
     @property
     def touched_vertices(self) -> Set[int]:
@@ -58,8 +64,11 @@ class CommitResult:
 class DynamicGraph:
     """Mutable graph = base snapshot + overlay of pending updates."""
 
-    def __init__(self, base: LabeledGraph) -> None:
+    def __init__(self, base: LabeledGraph,
+                 meter: Optional[MemoryMeter] = None) -> None:
         self._base = base
+        #: records commit-path transactions (labeled ``commit_patch``)
+        self.meter = meter
         self._extra_labels: List[int] = []
         # Net overlay vs. the base snapshot, keyed by (min, max) pair.
         self._added: Dict[Tuple[int, int], int] = {}
@@ -235,7 +244,12 @@ class DynamicGraph:
         """Freeze the overlay into a fresh snapshot and reset it.
 
         Returns the new snapshot plus the net change set since the last
-        commit; the overlay then tracks the new snapshot.
+        commit; the overlay then tracks the new snapshot.  The snapshot
+        is produced by :meth:`LabeledGraph.apply_changes` — a CSR splice
+        of the touched rows only — so a commit costs O(changes), not
+        O(|E|); an empty overlay returns the base snapshot unchanged.
+        Commit transactions are recorded into ``self.meter`` (when set)
+        under the label ``commit_patch`` and reported on the result.
         """
         base = self._base
         deleted = [(u, v, base.edge_label(u, v))
@@ -244,12 +258,18 @@ class DynamicGraph:
                     for (u, v), lab in sorted(self._added.items())]
         new_vertices = list(range(base.num_vertices, self.num_vertices))
 
-        vlabels = np.concatenate([
-            np.asarray(base.vertex_labels, dtype=np.int64),
-            np.asarray(self._extra_labels, dtype=np.int64),
-        ]) if self._extra_labels else base.vertex_labels
-        edges = list(self.edges())
-        snapshot = LabeledGraph(vlabels, edges)
+        if not (inserted or deleted or self._extra_labels):
+            return CommitResult(snapshot=base)
+        snapshot, stats = base.apply_changes(inserted, deleted,
+                                             self._extra_labels)
+        # Price the splice: stream the touched rows' old words in and
+        # their new words (plus one offset-row update each) back out.
+        gld = contiguous_read(stats.words_read)
+        gst = (contiguous_read(stats.words_written)
+               + contiguous_read(stats.rows_spliced))
+        if self.meter is not None:
+            self.meter.add_gld(gld, label="commit_patch")
+            self.meter.add_gst(gst)
 
         self._base = snapshot
         self._extra_labels = []
@@ -259,4 +279,17 @@ class DynamicGraph:
         self._adj_rem = {}
         return CommitResult(snapshot=snapshot, inserted_edges=inserted,
                             deleted_edges=deleted,
-                            new_vertices=new_vertices)
+                            new_vertices=new_vertices,
+                            patch_stats=stats,
+                            commit_transactions=gld + gst)
+
+
+def full_commit_transactions(graph: LabeledGraph) -> int:
+    """Transactions for committing by rebuilding the whole CSR snapshot
+    (the pre-patch behavior the benchmark compares against): stream the
+    edge list in and write both mirrored incidence arrays plus the
+    offset array back out."""
+    e, n = graph.num_edges, graph.num_vertices
+    return (contiguous_read(3 * e)            # read (u, v, label) triples
+            + contiguous_read(2 * 2 * e)      # write nbr + elab mirrors
+            + contiguous_read(n + 1))         # write the offset array

@@ -40,6 +40,14 @@ from repro.storage.pcsr import PCSRPartition, PCSRStorage
 #: one-to-one design point (1.0 keys per group at build time)
 DEFAULT_REBUILD_OCCUPANCY = 1.5
 
+#: compact a partition's ci layer in place when the fraction of dead
+#: (relocation-orphaned) words exceeds this
+DEFAULT_COMPACT_DEAD_RATIO = 0.25
+
+#: never compact below this many dead words (avoids thrashing tiny
+#: partitions where one relocation trips the ratio)
+MIN_COMPACT_DEAD_WORDS = 16
+
 
 class DynamicSignatureTable:
     """Keeps a :class:`SignatureTable` current under graph updates.
@@ -60,6 +68,11 @@ class DynamicSignatureTable:
         # is a view of this buffer's live prefix, so growing by one
         # vertex is O(1) amortized, not a full-table copy per batch.
         self._buf = table.table
+
+    def row_transactions(self) -> int:
+        """Transactions to read or write one table row (layout shape is
+        the same either way)."""
+        return self._row_write_transactions()
 
     def _row_write_transactions(self) -> int:
         # Column-first scatters one row across `words` distinct columns
@@ -117,12 +130,16 @@ class DynamicPCSRStorage(PCSRStorage):
 
     def __init__(self, graph: LabeledGraph, gpn: int = 16,
                  rebuild_occupancy: float = DEFAULT_REBUILD_OCCUPANCY,
+                 compact_dead_ratio: float = DEFAULT_COMPACT_DEAD_RATIO,
                  meter: Optional[MemoryMeter] = None) -> None:
         super().__init__(graph, gpn=gpn)
         self.rebuild_occupancy = rebuild_occupancy
+        self.compact_dead_ratio = compact_dead_ratio
         self.meter = meter if meter is not None else MemoryMeter()
         self.rebuilds = 0
         self.incremental_ops = 0
+        self.compactions = 0
+        self.words_reclaimed = 0
 
     # --- Update path ----------------------------------------------------
 
@@ -147,6 +164,20 @@ class DynamicPCSRStorage(PCSRStorage):
         if part is None:
             return {}
         return dict(part.items())
+
+    def _maybe_compact(self, label: int) -> None:
+        """Fire the dead-space-ratio compaction policy on one partition:
+        when relocation-orphaned words exceed ``compact_dead_ratio`` of
+        the ci layer (and the floor), slide the live regions together in
+        place — the explicit reclamation that bounds ci growth between
+        occupancy rebuilds."""
+        part = self._parts.get(label)
+        if part is None:
+            return
+        if (part.dead_words() >= MIN_COMPACT_DEAD_WORDS
+                and part.dead_ratio() > self.compact_dead_ratio):
+            self.words_reclaimed += part.compact(self.meter)
+            self.compactions += 1
 
     def insert_edge(self, u: int, v: int, label: int) -> None:
         """Add one undirected edge to the ``label`` partition in place,
@@ -187,6 +218,7 @@ class DynamicPCSRStorage(PCSRStorage):
                 adjacency[a] = np.sort(np.append(arr, b))
                 self._rebuild_partition(label, adjacency)
                 part = self._parts[label]
+        self._maybe_compact(label)
 
     def delete_edge(self, u: int, v: int, label: int) -> None:
         """Remove one undirected edge from the ``label`` partition."""
@@ -196,6 +228,18 @@ class DynamicPCSRStorage(PCSRStorage):
         part.remove_neighbor(u, v, self.meter)
         part.remove_neighbor(v, u, self.meter)
         self.incremental_ops += 2
+        self._maybe_compact(label)
+
+    def stats(self) -> Dict[str, object]:
+        """PCSR health plus maintenance counters (compactions fired,
+        rebuilds, words reclaimed) for reports and the CLI."""
+        out = super().stats()
+        out.update(rebuilds=self.rebuilds,
+                   compactions=self.compactions,
+                   words_reclaimed=self.words_reclaimed,
+                   incremental_ops=self.incremental_ops,
+                   compact_dead_ratio=self.compact_dead_ratio)
+        return out
 
     def validate(self) -> Dict[int, list]:
         """Per-label structural violations (empty when healthy)."""
@@ -213,7 +257,8 @@ class DynamicIndex:
     def __init__(self, graph: LabeledGraph, signature_bits: int = 512,
                  label_bits: int = 32, column_first: bool = True,
                  gpn: int = 16,
-                 rebuild_occupancy: float = DEFAULT_REBUILD_OCCUPANCY
+                 rebuild_occupancy: float = DEFAULT_REBUILD_OCCUPANCY,
+                 compact_dead_ratio: float = DEFAULT_COMPACT_DEAD_RATIO
                  ) -> None:
         self.meter = MemoryMeter()
         self.signature_table = SignatureTable.build(
@@ -223,6 +268,7 @@ class DynamicIndex:
             meter=self.meter)
         self.storage = DynamicPCSRStorage(
             graph, gpn=gpn, rebuild_occupancy=rebuild_occupancy,
+            compact_dead_ratio=compact_dead_ratio,
             meter=self.meter)
 
     def apply_commit(self, commit: CommitResult) -> None:
@@ -240,6 +286,10 @@ class DynamicIndex:
     @property
     def rebuilds(self) -> int:
         return self.storage.rebuilds
+
+    @property
+    def compactions(self) -> int:
+        return self.storage.compactions
 
 
 def full_rebuild_transactions(graph: LabeledGraph,

@@ -38,7 +38,7 @@ from repro.core.result import MatchResult
 from repro.core.signature import encode_vertex, is_candidate
 from repro.dynamic.delta import GraphDelta
 from repro.dynamic.graph import CommitResult, DynamicGraph
-from repro.dynamic.index import DynamicIndex
+from repro.dynamic.index import DEFAULT_COMPACT_DEAD_RATIO, DynamicIndex
 from repro.errors import GraphError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.gpusim.meter import MeterSnapshot
@@ -73,8 +73,13 @@ class StreamBatchReport:
     query_deltas: Dict[int, QueryDelta] = field(default_factory=dict)
     maintenance: MeterSnapshot = field(default_factory=MeterSnapshot)
     rebuilds: int = 0
+    compactions: int = 0
+    #: simulated transactions the CSR-splice snapshot commit cost
+    commit_transactions: int = 0
     plans_invalidated: int = 0
     labels_shifted: Tuple[int, ...] = ()
+    #: PCSR health after this batch (``DynamicPCSRStorage.stats()``)
+    pcsr: Dict[str, object] = field(default_factory=dict)
     wall_ms: float = 0.0
 
     @property
@@ -91,9 +96,11 @@ class StreamBatchReport:
                 f"(+{self.num_new_vertices} vertices) | "
                 f"matches +{self.total_created}/-{self.total_destroyed} "
                 f"over {len(self.query_deltas)} queries | "
+                f"commit tx={self.commit_transactions} "
                 f"maintain gld={self.maintenance.gld} "
                 f"gst={self.maintenance.gst} "
-                f"rebuilds={self.rebuilds} | "
+                f"rebuilds={self.rebuilds} "
+                f"compactions={self.compactions} | "
                 f"plans invalidated={self.plans_invalidated} | "
                 f"{self.wall_ms:.1f} ms")
 
@@ -106,6 +113,19 @@ class _Registered:
     initial: MatchResult
 
 
+@dataclass
+class _BatchSeed:
+    """Per-batch candidate-seeding context, computed once per batch and
+    shared by every registered query (instead of each query re-deriving
+    it): the inserted edges grouped by edge label, the dead-pair set,
+    and the signature rows of the touched (inserted-edge endpoint)
+    vertices — the rows every query's seed check reads."""
+
+    inserted_by_label: Dict[int, List[Tuple[int, int]]]
+    dead_pairs: Set[Tuple[int, int]]
+    seed_rows: Dict[int, np.ndarray]
+
+
 class StreamEngine:
     """Serve continuous subgraph queries over a dynamic graph."""
 
@@ -114,20 +134,25 @@ class StreamEngine:
     def __init__(self, graph: LabeledGraph,
                  config: Optional[GSIConfig] = None,
                  cache_capacity: int = 256,
-                 rebuild_occupancy: float = 1.5) -> None:
+                 rebuild_occupancy: float = 1.5,
+                 compact_dead_ratio: float = DEFAULT_COMPACT_DEAD_RATIO
+                 ) -> None:
         self.config = config if config is not None else GSIConfig()
         if not self.config.use_pcsr:
             raise GraphError(
                 "StreamEngine maintains PCSR in place; it requires a "
                 "config with use_pcsr=True")
-        self.dynamic = DynamicGraph(graph)
         self.index = DynamicIndex(
             graph,
             signature_bits=self.config.signature_bits,
             label_bits=self.config.label_bits,
             column_first=self.config.column_first_signatures,
             gpn=self.config.gpn,
-            rebuild_occupancy=rebuild_occupancy)
+            rebuild_occupancy=rebuild_occupancy,
+            compact_dead_ratio=compact_dead_ratio)
+        # Commits meter into the same stream so one snapshot covers the
+        # whole update path; the labels keep the costs attributable.
+        self.dynamic = DynamicGraph(graph, meter=self.index.meter)
         self.plan_cache = PlanCache(capacity=cache_capacity)
         # The engine joins straight out of the maintained artifacts.
         self.engine = GSIEngine(
@@ -190,6 +215,7 @@ class StreamEngine:
 
         meter_before = self.index.meter.snapshot()
         rebuilds_before = self.index.rebuilds
+        compactions_before = self.index.compactions
         self.index.apply_commit(commit)
         maintenance = self.index.meter.snapshot().diff(meter_before)
 
@@ -213,13 +239,17 @@ class StreamEngine:
             num_new_vertices=len(commit.new_vertices),
             maintenance=maintenance,
             rebuilds=self.index.rebuilds - rebuilds_before,
+            compactions=self.index.compactions - compactions_before,
+            commit_transactions=commit.commit_transactions,
             plans_invalidated=invalidated,
-            labels_shifted=shifted)
+            labels_shifted=shifted,
+            pcsr=self.index.storage.stats())
+        seed = self._build_batch_seed(commit)
         for qid, reg in self._registered.items():
             q0 = time.perf_counter()
-            created = self._delta_created(reg.query, commit)
+            created = self._delta_created(reg.query, commit, seed)
             destroyed = self._delta_destroyed(reg.query, reg.matches,
-                                              commit)
+                                              seed)
             reg.matches -= destroyed
             reg.matches |= created
             report.query_deltas[qid] = QueryDelta(
@@ -234,14 +264,40 @@ class StreamEngine:
     # Delta matching
     # ------------------------------------------------------------------
 
+    def _build_batch_seed(self, commit: CommitResult) -> _BatchSeed:
+        """Derive the shared candidate-seeding context for one batch.
+
+        Runs once per batch, not once per registered query: the
+        label-grouped inserted edges, the dead-pair set and the touched
+        (seed endpoint) vertices' signature rows are all
+        query-independent — reading those rows is metered here (label
+        ``delta_seed``) exactly once, so seeding transactions scale
+        with the change set, not with the number of registered queries.
+        """
+        by_label: Dict[int, List[Tuple[int, int]]] = {}
+        endpoints: Set[int] = set()
+        for u, v, lab in commit.inserted_edges:
+            by_label.setdefault(lab, []).append((u, v))
+            endpoints.add(u)
+            endpoints.add(v)
+        dead_pairs = {(u, v) for u, v, _ in commit.deleted_edges}
+        table = self.index.signature_table.table
+        seed_rows = {v: table[v] for v in endpoints}
+        if endpoints:
+            per_row = self.index.signatures.row_transactions()
+            self.index.meter.add_gld(per_row * len(endpoints),
+                                     label="delta_seed")
+        return _BatchSeed(inserted_by_label=by_label,
+                          dead_pairs=dead_pairs, seed_rows=seed_rows)
+
     def _delta_destroyed(self, query: LabeledGraph, live: Set[Match],
-                         commit: CommitResult) -> Set[Match]:
+                         seed: _BatchSeed) -> Set[Match]:
         """Live matches that embed a net-deleted edge (exactly the ones
         this batch killed: vertex labels are immutable, so nothing else
         can invalidate an existing match)."""
-        if not commit.deleted_edges or not live:
+        if not seed.dead_pairs or not live:
             return set()
-        dead_pairs = {(u, v) for u, v, _ in commit.deleted_edges}
+        dead_pairs = seed.dead_pairs
         qedges = list(query.edges())
         destroyed = set()
         for m in live:
@@ -253,15 +309,16 @@ class StreamEngine:
                     break
         return destroyed
 
-    def _delta_created(self, query: LabeledGraph,
-                       commit: CommitResult) -> Set[Match]:
+    def _delta_created(self, query: LabeledGraph, commit: CommitResult,
+                       seed: _BatchSeed) -> Set[Match]:
         """Matches that exist on the new snapshot but not the old one.
 
         Every such match embeds a net-inserted edge (or, for
         single-vertex queries, a new vertex), so partial embeddings
         seeded on the inserted edges and extended over the new snapshot
         enumerate them exactly.  Candidate pruning goes through the
-        incrementally maintained signature table.
+        incrementally maintained signature table; the seed endpoints'
+        rows come pre-loaded from the shared :class:`_BatchSeed`.
         """
         graph = commit.snapshot
         nq = query.num_vertices
@@ -270,24 +327,27 @@ class StreamEngine:
             lab = query.vertex_label(0)
             return {(v,) for v in commit.new_vertices
                     if graph.vertex_label(v) == lab}
-        if not commit.inserted_edges:
+        if not seed.inserted_by_label:
             return set()
 
         bits = self.config.signature_bits
         lbits = self.config.label_bits
         table = self.index.signature_table.table
+        seed_rows = seed.seed_rows
         qsigs = [encode_vertex(query, u, bits, lbits) for u in range(nq)]
 
         def candidate(u: int, v: int) -> bool:
-            return (query.vertex_label(u) == graph.vertex_label(v)
-                    and is_candidate(table[v], qsigs[u]))
+            if query.vertex_label(u) != graph.vertex_label(v):
+                return False
+            row = seed_rows.get(v)
+            if row is None:
+                row = table[v]
+            return is_candidate(row, qsigs[u])
 
         qedges = list(query.edges())
         created: Set[Match] = set()
-        for gu, gv, glab in commit.inserted_edges:
-            for qa, qb, qlab in qedges:
-                if qlab != glab:
-                    continue
+        for qa, qb, qlab in qedges:
+            for gu, gv in seed.inserted_by_label.get(qlab, ()):
                 for x, y in ((gu, gv), (gv, gu)):
                     if candidate(qa, x) and candidate(qb, y):
                         self._extend({qa: x, qb: y}, query, graph,

@@ -18,6 +18,7 @@ Use :class:`GraphBuilder` to construct graphs incrementally::
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,6 +26,28 @@ import numpy as np
 from repro.errors import GraphError
 
 Edge = Tuple[int, int, int]  # (u, v, edge_label) with u < v
+
+
+@dataclass(frozen=True)
+class CSRPatchStats:
+    """Work accounting for one :meth:`LabeledGraph.apply_changes` call.
+
+    Only *touched* rows count: the CSR splice streams each changed
+    vertex's old incidence segment in and its new segment out, so these
+    numbers scale with the change set, not with ``|E|``.  (The untouched
+    remainder of the arrays is shared wholesale — on a device that is a
+    buffer reuse / copy-on-write, not a stream.)
+    """
+
+    rows_spliced: int = 0
+    #: incidence words read from the touched rows of the old CSR
+    words_read: int = 0
+    #: incidence words written into the touched rows of the new CSR
+    words_written: int = 0
+
+    @property
+    def touched_words(self) -> int:
+        return self.words_read + self.words_written
 
 
 class LabeledGraph:
@@ -224,6 +247,166 @@ class LabeledGraph:
     def subgraph_of_edges(self, keep: Iterable[Edge]) -> "LabeledGraph":
         """New graph with the same vertex set but only ``keep`` edges."""
         return LabeledGraph(self._vlabels.copy(), keep)
+
+    # ------------------------------------------------------------------
+    # Incremental construction (the O(changes) commit path)
+    # ------------------------------------------------------------------
+
+    def apply_changes(self, inserted: Iterable[Edge],
+                      deleted: Iterable[Edge],
+                      new_vertex_labels: Sequence[int] = (),
+                      ) -> Tuple["LabeledGraph", CSRPatchStats]:
+        """New graph = this graph plus a *net* change set, by CSR splice.
+
+        ``inserted`` and ``deleted`` are ``(u, v, label)`` triples net
+        against this graph (a relabel appears in both).  Only the rows
+        of touched vertices are re-derived — filtered, merged and
+        re-sorted by ``(edge_label, neighbor)`` — and spliced into
+        copies of the CSR arrays; every untouched row is block-copied
+        unchanged.  Work and the returned :class:`CSRPatchStats` scale
+        with the change set, which is what makes
+        :meth:`repro.dynamic.graph.DynamicGraph.commit` O(changes)
+        instead of O(|E|).
+
+        Raises :class:`~repro.errors.GraphError` when a deletion names a
+        missing edge (or the wrong label), an insertion duplicates a
+        surviving edge, or an endpoint is out of range.
+        """
+        n_old = self.num_vertices
+        extra = np.asarray(list(new_vertex_labels), dtype=np.int64)
+        n = n_old + len(extra)
+
+        # --- Normalize + validate the change set (O(changes)). --------
+        del_pairs: Dict[Tuple[int, int], int] = {}
+        for u, v, lab in deleted:
+            u, v, lab = int(u), int(v), int(lab)
+            key = (u, v) if u < v else (v, u)
+            if key in del_pairs:
+                raise GraphError(f"edge {key} deleted twice")
+            have = self._edge_map.get(key)
+            if have is None:
+                raise GraphError(f"no edge between {key[0]} and {key[1]}")
+            if have != lab:
+                raise GraphError(
+                    f"edge {key} carries label {have}, not {lab}")
+            del_pairs[key] = lab
+        ins_pairs: Dict[Tuple[int, int], int] = {}
+        for u, v, lab in inserted:
+            u, v, lab = int(u), int(v), int(lab)
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(
+                    f"edge ({u}, {v}) references a missing vertex")
+            if u == v:
+                raise GraphError(f"self loop at vertex {u} is not allowed")
+            key = (u, v) if u < v else (v, u)
+            if key in ins_pairs:
+                raise GraphError(f"edge {key} inserted twice")
+            if key in self._edge_map and key not in del_pairs:
+                raise GraphError(
+                    f"edge {key} already exists; delete it first to "
+                    f"relabel")
+            ins_pairs[key] = lab
+
+        if not del_pairs and not ins_pairs and not len(extra):
+            return self, CSRPatchStats()
+
+        # --- Per-vertex change lists (O(changes)). --------------------
+        rem_at: Dict[int, set] = {}
+        add_at: Dict[int, List[Tuple[int, int]]] = {}
+        for (lo, hi), _lab in del_pairs.items():
+            rem_at.setdefault(lo, set()).add(hi)
+            rem_at.setdefault(hi, set()).add(lo)
+        for (lo, hi), lab in ins_pairs.items():
+            add_at.setdefault(lo, []).append((lab, hi))
+            add_at.setdefault(hi, []).append((lab, lo))
+        touched = sorted(set(rem_at) | set(add_at)
+                         | set(range(n_old, n)))
+
+        # --- Metadata: labels, edge map, label frequencies. -----------
+        vlabels = (np.concatenate([self._vlabels, extra]) if len(extra)
+                   else self._vlabels)
+        edge_map = dict(self._edge_map)
+        freq = dict(self._edge_label_freq)
+        for key, lab in del_pairs.items():
+            del edge_map[key]
+            freq[lab] -= 1
+            if not freq[lab]:
+                del freq[lab]
+        for key, lab in ins_pairs.items():
+            edge_map[key] = lab
+            freq[lab] = freq.get(lab, 0) + 1
+
+        # --- Offsets: adjust touched degrees, re-prefix-sum. ----------
+        deg = np.empty(n, dtype=np.int64)
+        np.subtract(self._offsets[1:], self._offsets[:-1],
+                    out=deg[:n_old])
+        deg[n_old:] = 0
+        for v in touched:
+            deg[v] += (len(add_at.get(v, ()))
+                       - len(rem_at.get(v, ())))
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(deg, out=offsets[1:])
+
+        # --- Splice rows: bulk-copy untouched runs, rebuild touched. --
+        total = int(offsets[n])
+        nbr = np.empty(total, dtype=np.int64)
+        elab = np.empty(total, dtype=np.int64)
+        words_read = 0
+        words_written = 0
+        prev = 0  # next untouched vertex to copy from
+        for v in touched:
+            if prev < v and prev < n_old:
+                stop = min(v, n_old)
+                o_lo, o_hi = int(self._offsets[prev]), \
+                    int(self._offsets[stop])
+                d_lo = int(offsets[prev])
+                nbr[d_lo:d_lo + (o_hi - o_lo)] = self._nbr[o_lo:o_hi]
+                elab[d_lo:d_lo + (o_hi - o_lo)] = self._elab[o_lo:o_hi]
+            if v < n_old:
+                o_lo, o_hi = int(self._offsets[v]), \
+                    int(self._offsets[v + 1])
+                seg_n = self._nbr[o_lo:o_hi]
+                seg_l = self._elab[o_lo:o_hi]
+                words_read += o_hi - o_lo
+            else:
+                seg_n = seg_l = nbr[:0]
+            rem = rem_at.get(v)
+            if rem:
+                keep = ~np.isin(seg_n,
+                                np.fromiter(rem, dtype=np.int64,
+                                            count=len(rem)))
+                seg_n, seg_l = seg_n[keep], seg_l[keep]
+            adds = add_at.get(v)
+            if adds:
+                add_l = np.array([a[0] for a in adds], dtype=np.int64)
+                add_n = np.array([a[1] for a in adds], dtype=np.int64)
+                seg_n = np.concatenate([seg_n, add_n])
+                seg_l = np.concatenate([seg_l, add_l])
+                order = np.lexsort((seg_n, seg_l))
+                seg_n, seg_l = seg_n[order], seg_l[order]
+            d_lo = int(offsets[v])
+            nbr[d_lo:d_lo + len(seg_n)] = seg_n
+            elab[d_lo:d_lo + len(seg_l)] = seg_l
+            words_written += len(seg_n)
+            prev = v + 1
+        if prev < n_old:
+            o_lo, o_hi = int(self._offsets[prev]), \
+                int(self._offsets[n_old])
+            d_lo = int(offsets[prev])
+            nbr[d_lo:d_lo + (o_hi - o_lo)] = self._nbr[o_lo:o_hi]
+            elab[d_lo:d_lo + (o_hi - o_lo)] = self._elab[o_lo:o_hi]
+
+        patched = object.__new__(LabeledGraph)
+        patched._vlabels = vlabels
+        patched._edge_map = edge_map
+        patched._offsets = offsets
+        patched._nbr = nbr
+        patched._elab = elab
+        patched._edge_label_freq = freq
+        stats = CSRPatchStats(rows_spliced=len(touched),
+                              words_read=words_read,
+                              words_written=words_written)
+        return patched, stats
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

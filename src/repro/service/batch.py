@@ -55,6 +55,9 @@ class BatchReport:
     items: List[BatchItem] = field(default_factory=list)
     wall_clock_ms: float = 0.0
     cache: CacheStats = field(default_factory=CacheStats)
+    #: storage-structure health at batch end (``NeighborStore.stats()``;
+    #: PCSR stores report occupancy / dead words / compactions)
+    storage: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
 
@@ -227,4 +230,5 @@ class BatchEngine:
         wall_ms = (time.perf_counter() - start) * 1000.0
         cache_delta = self.plan_cache.stats.snapshot().diff(stats_before)
         return BatchReport(items=items, wall_clock_ms=wall_ms,
-                           cache=cache_delta)
+                           cache=cache_delta,
+                           storage=self.engine.store.stats())

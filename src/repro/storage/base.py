@@ -50,6 +50,12 @@ class NeighborStore(ABC):
     def space_words(self) -> int:
         """Total 4-byte words the structure occupies (Table II space)."""
 
+    def stats(self) -> dict:
+        """Health/size counters for monitoring surfaces (batch and
+        stream reports).  PCSR-backed stores override this with richer
+        occupancy / dead-space detail."""
+        return {"kind": self.kind, "space_words": self.space_words()}
+
     def streamed_elements(self, v: int, label: int) -> int:
         """Elements a warp actually streams/inspects to produce N(v, l).
 

@@ -401,6 +401,67 @@ class PCSRPartition:
         """ci words orphaned by region relocations since the last build."""
         return self._dead_words
 
+    def dead_ratio(self) -> float:
+        """Fraction of the ci layer that is orphaned dead space."""
+        return self._dead_words / self._ci_len if self._ci_len else 0.0
+
+    def compact(self, meter: Optional[MemoryMeter] = None) -> int:
+        """Slide every live ci region left over the dead space.
+
+        Regions are processed in layout order, so each destination is at
+        or before its source and the move is safe in place; per-region
+        slack is dropped (the next append re-creates it by relocation).
+        Afterwards ``dead_words() == 0`` and the ci layer is exactly the
+        live neighbor lists.  Metered like every other maintenance op
+        (label ``pcsr_compact``).  Returns the number of words
+        reclaimed.
+        """
+        old_len = self._ci_len
+        order = np.argsort(self._region_start, kind="stable")
+        pos = 0
+        moved = 0
+        groups_rewritten = 0
+        for gid in order:
+            gid = int(gid)
+            start = int(self._region_start[gid])
+            end = int(self.groups[gid, self.gpn - 1, 1])
+            used = end - start
+            if pos != start:
+                if used:
+                    self._ci_buf[pos:pos + used] = \
+                        self._ci_buf[start:end].copy()
+                    moved += used
+                delta = pos - start
+                for j in range(self.gpn - 1):
+                    if self.groups[gid, j, 0] == _EMPTY_SLOT:
+                        break
+                    self.groups[gid, j, 1] += delta
+                self.groups[gid, self.gpn - 1, 1] = pos + used
+                groups_rewritten += 1
+            self._region_start[gid] = pos
+            self._region_cap[gid] = used
+            pos += used
+        self._ci_len = pos
+        self._dead_words = 0
+        if meter is not None:
+            meter.add_gld(contiguous_read(moved), label="pcsr_compact")
+            meter.add_gst(contiguous_read(moved) + groups_rewritten)
+        return old_len - pos
+
+    def stats(self) -> Dict[str, float]:
+        """Health counters for this partition (monitoring surface)."""
+        return {
+            "label": self.label,
+            "num_groups": self.num_groups,
+            "keys": self.key_count(),
+            "occupancy": self.occupancy(),
+            "load_factor": self.load_factor(),
+            "ci_words": self._ci_len,
+            "dead_words": self._dead_words,
+            "dead_ratio": self.dead_ratio(),
+            "max_chain_length": self.max_chain_length(),
+        }
+
     def max_chain_length(self) -> int:
         """Longest overflow chain (paper: expected <= 1 + 5log|V|/loglog|V|)."""
         longest = 1
@@ -537,3 +598,24 @@ class PCSRStorage(NeighborStore):
         if not self._parts:
             return 0
         return max(p.max_chain_length() for p in self._parts.values())
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregated PCSR health across partitions, plus per-label
+        detail — the monitoring surface batch/stream reports expose."""
+        per_label = {lab: part.stats()
+                     for lab, part in sorted(self._parts.items())}
+        total_ci = sum(int(s["ci_words"]) for s in per_label.values())
+        total_dead = sum(int(s["dead_words"]) for s in per_label.values())
+        return {
+            "kind": self.kind,
+            "partitions": len(per_label),
+            "space_words": self.space_words(),
+            "total_ci_words": total_ci,
+            "total_dead_words": total_dead,
+            "dead_ratio": total_dead / total_ci if total_ci else 0.0,
+            "max_occupancy": max(
+                (float(s["occupancy"]) for s in per_label.values()),
+                default=0.0),
+            "max_chain_length": self.max_chain_length(),
+            "per_label": per_label,
+        }

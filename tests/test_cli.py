@@ -55,7 +55,8 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "2 continuous queries" in out
-        assert "incremental maintenance" in out
+        assert "O(changes) CSR splice" in out
+        assert "PCSR health" in out
         assert "rebuild-per-batch" in out
 
     def test_stream_rejects_non_pcsr_engine(self):

@@ -1,0 +1,188 @@
+"""PCSR health stats and the dead-space-ratio compaction policy.
+
+Covers the monitoring surface (``PCSRPartition.stats`` /
+``PCSRStorage.stats`` / ``DynamicPCSRStorage.stats``), in-place
+compaction correctness, the automatic trigger in the dynamic store, and
+the stats' exposure through batch and stream reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamic import DynamicPCSRStorage, GraphDelta, StreamEngine
+from repro.dynamic.index import MIN_COMPACT_DEAD_WORDS
+from repro.graph.generators import scale_free_graph
+from repro.graph.labeled_graph import GraphBuilder
+from repro.graph.partition import EdgeLabelPartition
+from repro.gpusim.meter import MemoryMeter
+from repro.service.batch import BatchEngine
+from repro.storage.pcsr import PCSRPartition, PCSRStorage
+
+
+def tiny_partition():
+    adjacency = {
+        0: np.array([1, 2], dtype=np.int64),
+        1: np.array([0], dtype=np.int64),
+        2: np.array([0], dtype=np.int64),
+    }
+    return PCSRPartition(EdgeLabelPartition(7, adjacency), gpn=4)
+
+
+class TestPartitionStats:
+    def test_stats_after_build(self):
+        part = tiny_partition()
+        s = part.stats()
+        assert s["label"] == 7
+        assert s["keys"] == 3
+        assert s["ci_words"] == 4
+        assert s["dead_words"] == 0
+        assert s["dead_ratio"] == 0.0
+        assert s["occupancy"] == pytest.approx(part.occupancy())
+        assert s["max_chain_length"] == part.max_chain_length()
+
+    def test_dead_words_appear_after_relocation(self):
+        part = tiny_partition()
+        # Regions are built with zero slack, so growing any list
+        # relocates its group's region and orphans the old words.
+        part.append_neighbors(0, np.array([9], dtype=np.int64))
+        assert part.dead_words() > 0
+        assert part.dead_ratio() > 0.0
+        assert part.stats()["dead_words"] == part.dead_words()
+
+
+class TestCompaction:
+    def make_dirty(self):
+        part = tiny_partition()
+        for w in (5, 6, 7, 8, 9):
+            part.append_neighbors(0, np.array([w], dtype=np.int64))
+            part.append_neighbors(1, np.array([w], dtype=np.int64))
+        assert part.dead_words() > 0
+        return part
+
+    def test_compact_preserves_content_and_zeroes_dead(self):
+        part = self.make_dirty()
+        before = {v: list(nbrs) for v, nbrs in part.items()}
+        ci_before = part._ci_len
+        dead = part.dead_words()
+        reclaimed = part.compact()
+        assert reclaimed >= dead
+        assert part.dead_words() == 0
+        assert part.dead_ratio() == 0.0
+        assert part._ci_len == ci_before - reclaimed
+        assert {v: list(nbrs) for v, nbrs in part.items()} == before
+        assert part.validate() == []
+
+    def test_compact_is_metered(self):
+        part = self.make_dirty()
+        meter = MemoryMeter()
+        part.compact(meter)
+        assert meter.labeled_gld("pcsr_compact") > 0
+        assert meter.gst > 0
+
+    def test_compact_on_clean_partition_is_a_noop(self):
+        part = tiny_partition()
+        before = {v: list(nbrs) for v, nbrs in part.items()}
+        assert part.compact() == 0
+        assert {v: list(nbrs) for v, nbrs in part.items()} == before
+        assert part.validate() == []
+
+    def test_lookups_survive_compaction(self):
+        part = self.make_dirty()
+        part.compact()
+        assert sorted(part.neighbors(0).tolist()) == [1, 2, 5, 6, 7, 8, 9]
+        assert sorted(part.neighbors(1).tolist()) == [0, 5, 6, 7, 8, 9]
+        assert part.neighbors(99).size == 0
+
+
+class TestAutoCompaction:
+    def churn(self, store, graph, rng, rounds=300):
+        live = {(u, v): lab for u, v, lab in graph.edges()}
+        n = graph.num_vertices
+        for _ in range(rounds):
+            if live and rng.random() < 0.5:
+                (u, v), lab = sorted(live.items())[
+                    int(rng.integers(len(live)))]
+                store.delete_edge(u, v, lab)
+                del live[(u, v)]
+            else:
+                u, v = int(rng.integers(n)), int(rng.integers(n))
+                key = (min(u, v), max(u, v))
+                if u == v or key in live:
+                    continue
+                store.insert_edge(key[0], key[1], 0)
+                live[key] = 0
+        return live
+
+    def test_trigger_fires_and_bounds_dead_ratio(self):
+        graph = scale_free_graph(60, 3, 2, 1, seed=3)
+        store = DynamicPCSRStorage(graph, compact_dead_ratio=0.05)
+        rng = np.random.default_rng(1)
+        live = self.churn(store, graph, rng)
+        assert store.compactions > 0
+        assert store.words_reclaimed > 0
+        for part in store._parts.values():
+            assert (part.dead_words() < MIN_COMPACT_DEAD_WORDS
+                    or part.dead_ratio() <= store.compact_dead_ratio)
+        # Content still exact after all that churn.
+        for (u, v), lab in live.items():
+            assert v in store.neighbors(u, lab)
+            assert u in store.neighbors(v, lab)
+        assert store.validate() == {}
+
+    def test_stats_carry_maintenance_counters(self):
+        graph = scale_free_graph(60, 3, 2, 1, seed=3)
+        store = DynamicPCSRStorage(graph, compact_dead_ratio=0.05)
+        self.churn(store, graph, np.random.default_rng(1))
+        s = store.stats()
+        assert s["compactions"] == store.compactions
+        assert s["rebuilds"] == store.rebuilds
+        assert s["words_reclaimed"] == store.words_reclaimed
+        assert s["incremental_ops"] > 0
+        assert s["compact_dead_ratio"] == 0.05
+        assert s["total_ci_words"] >= s["total_dead_words"] >= 0
+        assert 0.0 <= s["dead_ratio"] < 1.0
+        assert s["per_label"][0]["keys"] > 0
+
+
+class TestStatsSurfaces:
+    def graph(self):
+        b = GraphBuilder()
+        ids = b.add_vertices([0, 1, 0, 1])
+        b.add_edge(ids[0], ids[1], 0)
+        b.add_edge(ids[1], ids[2], 0)
+        b.add_edge(ids[2], ids[3], 1)
+        return b.build()
+
+    def test_static_pcsr_storage_stats(self):
+        graph = self.graph()
+        s = PCSRStorage(graph).stats()
+        assert s["kind"] == "pcsr"
+        assert s["partitions"] == 2
+        assert s["total_dead_words"] == 0
+        assert set(s["per_label"]) == {0, 1}
+
+    def test_batch_report_carries_storage_stats(self):
+        graph = self.graph()
+        engine = BatchEngine(graph, max_workers=1)
+        query = GraphBuilder()
+        q = query.add_vertices([0, 1])
+        query.add_edge(q[0], q[1], 0)
+        report = engine.run_batch([query.build()])
+        assert report.storage  # populated for every storage kind
+        assert "kind" in report.storage
+        if report.storage["kind"].endswith("pcsr"):
+            assert "total_dead_words" in report.storage
+
+    def test_stream_report_carries_pcsr_health(self):
+        graph = self.graph()
+        engine = StreamEngine(graph)
+        report = engine.apply_batch(
+            GraphDelta.for_graph(graph.num_vertices).add_edge(0, 3, 1))
+        assert report.pcsr["kind"] == "dynamic-pcsr"
+        assert report.pcsr["compactions"] == engine.index.compactions
+        assert "total_dead_words" in report.pcsr
+        assert "max_occupancy" in report.pcsr
+        assert report.compactions >= 0
+        assert "compactions=" in report.summary_line()
