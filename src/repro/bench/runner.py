@@ -149,8 +149,14 @@ def run_workload_batched(workload: Workload,
                          cache_capacity: int = 256,
                          budget_ms: Optional[float] = DEFAULT_THRESHOLD_MS,
                          max_rows: Optional[int] = DEFAULT_MAX_ROWS,
+                         executor=None,
                          ) -> Tuple[WorkloadSummary, "BatchReport"]:
     """Run a workload through the batch service.
+
+    ``executor`` (a :class:`~repro.service.executors.QueryExecutor`)
+    selects how the joining phase runs; ``None`` keeps the default
+    thread pool of ``max_workers`` threads.  The caller owns the
+    executor's lifecycle.
 
     Returns the usual :class:`WorkloadSummary` plus the
     :class:`~repro.service.batch.BatchReport` with service-level metrics
@@ -163,7 +169,8 @@ def run_workload_batched(workload: Workload,
                   max_intermediate_rows=max_rows)
     engine = BatchEngine(workload.graph, cfg,
                          cache_capacity=cache_capacity,
-                         max_workers=max_workers)
+                         max_workers=max_workers,
+                         executor=executor)
     report = engine.run_batch(workload.queries)
     summary = summarize_results(report.results, engine_label,
                                 workload.name)

@@ -129,6 +129,8 @@ def cmd_shootout(args: argparse.Namespace) -> int:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.service.executors import make_executor
+
     if args.cache_capacity < 1:
         print("error: --cache-capacity must be >= 1", file=sys.stderr)
         return 2
@@ -138,10 +140,13 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if args.repeat > 1:
         # Re-submit the same query set; repeats hit the plan cache.
         wl.queries = wl.queries * args.repeat
-    summary, report = run_workload_batched(
-        wl, config=GSI_CONFIGS[args.engine](),
-        engine_label=f"{args.engine}-batch",
-        max_workers=args.workers, cache_capacity=args.cache_capacity)
+    with make_executor(args.executor, args.workers) as executor:
+        summary, report = run_workload_batched(
+            wl, config=GSI_CONFIGS[args.engine](),
+            engine_label=f"{args.engine}-batch",
+            max_workers=args.workers,
+            cache_capacity=args.cache_capacity,
+            executor=executor)
     rows = []
     for i, item in enumerate(report.items):
         r = item.result
@@ -151,7 +156,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
                      "hit" if item.plan_cached else "miss"])
     print(render_table(
         f"batch service: {args.engine} on {args.dataset} "
-        f"({args.workers} workers, cache {args.cache_capacity})",
+        f"({args.executor} executor, {args.workers} workers, "
+        f"cache {args.cache_capacity})",
         ["query", "matches", "sim ms", "host ms", "plan"],
         rows,
         note=report.summary_line()))
@@ -165,43 +171,49 @@ def cmd_stream(args: argparse.Namespace) -> int:
         random_update_stream,
     )
     from repro.graph.generators import query_workload
+    from repro.service.executors import make_executor
 
     graph = datasets.load(args.dataset)
-    engine = StreamEngine(graph, GSI_CONFIGS[args.engine](),
-                          compact_dead_ratio=args.compact_dead_ratio)
-    queries = query_workload(graph, args.queries, args.query_vertices,
-                             seed=args.seed)
-    qids = [engine.register(q) for q in queries]
-    initial = sum(len(engine.matches(qid)) for qid in qids)
-
-    stream = random_update_stream(
-        graph, num_batches=args.batches, batch_size=args.batch_size,
-        seed=args.seed, delete_fraction=args.delete_fraction)
     rows = []
     total_tx = 0
     total_commit_tx = 0
     health = {}
-    for delta in stream:
-        report = engine.apply_batch(delta)
-        tx = report.maintenance.gld + report.maintenance.gst
-        total_tx += tx
-        total_commit_tx += report.commit_transactions
-        health = report.pcsr
-        live = sum(d.num_matches for d in report.query_deltas.values())
-        rows.append([report.batch_index,
-                     f"+{report.num_inserted}/-{report.num_deleted}",
-                     report.num_new_vertices,
-                     f"+{report.total_created}/-{report.total_destroyed}",
-                     live, report.commit_transactions, tx,
-                     report.rebuilds, report.compactions,
-                     report.plans_invalidated,
-                     f"{report.wall_ms:.1f}"])
+    with make_executor(args.executor, args.workers) as executor:
+        engine = StreamEngine(graph, GSI_CONFIGS[args.engine](),
+                              compact_dead_ratio=args.compact_dead_ratio,
+                              executor=executor)
+        queries = query_workload(graph, args.queries,
+                                 args.query_vertices, seed=args.seed)
+        qids = [engine.register(q) for q in queries]
+        initial = sum(len(engine.matches(qid)) for qid in qids)
+
+        stream = random_update_stream(
+            graph, num_batches=args.batches, batch_size=args.batch_size,
+            seed=args.seed, delete_fraction=args.delete_fraction)
+        for delta in stream:
+            report = engine.apply_batch(delta)
+            tx = report.maintenance.gld + report.maintenance.gst
+            total_tx += tx
+            total_commit_tx += report.commit_transactions
+            health = report.pcsr
+            live = sum(d.num_matches
+                       for d in report.query_deltas.values())
+            rows.append([report.batch_index,
+                         f"+{report.num_inserted}/-{report.num_deleted}",
+                         report.num_new_vertices,
+                         f"+{report.total_created}/"
+                         f"-{report.total_destroyed}",
+                         live, report.commit_transactions, tx,
+                         report.rebuilds, report.compactions,
+                         report.plans_invalidated,
+                         f"{report.wall_ms:.1f}"])
     rebuild_tx = full_rebuild_transactions(
         engine.graph, signature_bits=engine.config.signature_bits,
         gpn=engine.config.gpn)
     print(render_table(
         f"stream: {args.queries} continuous queries on {args.dataset} "
-        f"({args.batches} batches x {args.batch_size} updates)",
+        f"({args.batches} batches x {args.batch_size} updates, "
+        f"{args.executor} executor)",
         ["batch", "edges", "+V", "matches", "live", "commit tx",
          "maint tx", "rebuilds", "compact", "plans inv", "ms"],
         rows,
@@ -250,6 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--engine", default="gsi-opt",
                    choices=sorted(GSI_CONFIGS))
     b.add_argument("--workers", type=int, default=4)
+    b.add_argument("--executor", default="thread",
+                   choices=["serial", "thread", "process"],
+                   help="how the joining phase runs: in-process loop, "
+                        "thread pool, or process pool (true multi-core)")
     b.add_argument("--cache-capacity", type=int, default=256)
     b.add_argument("--repeat", type=int, default=1,
                    help="submit the query set this many times "
@@ -264,6 +280,11 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["gsi", "gsi-opt"])
     st.add_argument("--batches", type=int, default=5)
     st.add_argument("--batch-size", type=int, default=16)
+    st.add_argument("--workers", type=int, default=4)
+    st.add_argument("--executor", default="serial",
+                    choices=["serial", "thread", "process"],
+                    help="how per-query delta matching runs across the "
+                         "registered continuous queries")
     st.add_argument("--delete-fraction", type=float, default=0.3)
     st.add_argument("--compact-dead-ratio", type=float, default=0.25,
                     help="compact a PCSR partition's ci region in place "

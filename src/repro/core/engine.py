@@ -158,11 +158,17 @@ class GSIEngine:
         """
         if query.num_vertices == 0:
             raise GraphError("empty query")
+        # The plan cache also memoizes candidate-set shapes (host-side
+        # scan results keyed by encoded signature); simulated costs are
+        # charged identically either way.
+        shape_cache = (getattr(plan_cache, "shapes", None)
+                       if plan_cache is not None else None)
         prepared = PreparedQuery(query=query, device=self._make_device())
         try:
             prepared.candidates = filter_candidates(
                 query, self.signature_table, prepared.device,
-                self.config.signature_bits, self.config.label_bits)
+                self.config.signature_bits, self.config.label_bits,
+                shape_cache=shape_cache)
         except BudgetExceeded:
             prepared.timed_out = True
             return prepared

@@ -22,21 +22,49 @@ from repro.gpusim.device import Device
 
 def filter_candidates(query: LabeledGraph, table: SignatureTable,
                       device: Device, signature_bits: int,
-                      label_bits: int = 32) -> Dict[int, np.ndarray]:
+                      label_bits: int = 32,
+                      shape_cache=None) -> Dict[int, np.ndarray]:
     """Compute ``C(u)`` for every query vertex, metering the scan.
 
     Query signatures are computed online (cheap: |V(Q)| encodings); each
     query vertex then launches one scan kernel over the table.
 
-    Returns a dict mapping query vertex id to a sorted candidate array.
+    ``shape_cache`` (a :class:`~repro.service.plan_cache.
+    CandidateShapeCache`) memoizes the *host-side* table scan per
+    encoded signature: repeated query labels reuse the candidate array
+    and scan cost instead of re-scanning.  The memoized cost is still
+    charged to ``device``, so simulated measurements are unchanged.
+
+    Returns a dict mapping query vertex id to a sorted candidate array
+    (read-only when it came from the shape cache).
     """
     candidates: Dict[int, np.ndarray] = {}
+    if shape_cache is not None:
+        # Candidate ids are only meaningful against this table; a memo
+        # previously bound to a different table is dropped wholesale.
+        shape_cache.bind(table)
     for u in range(query.num_vertices):
         sig_u = encode_vertex(query, u, signature_bits, label_bits)
-        cost = table.scan_cost(sig_u)
+        cached = None
+        if shape_cache is not None:
+            key = sig_u.tobytes()
+            cached = shape_cache.lookup(key, owner=table)
+        if cached is None:
+            cost = table.scan_cost(sig_u)
+            cand = None
+        else:
+            cost, cand = cached
+        # Charge the simulated scan before doing the host-side work, so
+        # a budget-exhausted query short-circuits (BudgetExceeded from
+        # run_kernel) without paying the O(|V|) host scan it would have
+        # skipped before the memo existed.
         device.meter.add_gld(cost.gld_transactions, label="filter")
         device.run_kernel(cost.warp_task_cycles, name=f"filter_u{u}")
-        candidates[u] = table.filter(sig_u)
+        if cand is None:
+            cand = table.filter(sig_u)
+            if shape_cache is not None:
+                shape_cache.store(key, cost, cand, owner=table)
+        candidates[u] = cand
     return candidates
 
 

@@ -22,11 +22,31 @@ by the batch must use at least one net-deleted edge, so filtering the
 live match set finds exactly the dead ones.  The differential test
 suite checks the composition of these deltas against the brute-force
 oracle on every committed snapshot.
+
+Per-query delta matching is pure host-side work over batch-constant
+inputs (the committed snapshot, the shared :class:`_BatchSeed`, the
+maintained signature table), so registered queries are embarrassingly
+parallel: the engine fans them out through a pluggable
+:class:`~repro.service.executors.QueryExecutor` — the same executor
+abstraction the batch service uses.  Delta matching is implemented as
+module-level functions over a picklable :class:`_DeltaContext` so a
+process pool can run queries on real cores; results merge back in
+registration order, so every executor produces identical reports.
+
+Process-pool caveat: the batch-constant context (committed snapshot +
+signature table) is pickled to each worker per batch, an O(|G|)
+shipping cost.  A process executor therefore pays off for *many
+registered queries with non-trivial extension work per batch* and loses
+to serial/thread for tiny batches on large graphs — the benchmark's
+``--executor compare`` mode measures exactly this trade-off.  (Shipping
+only the `GraphDelta` to stateful worker-side mirrors would remove the
+cost; see ROADMAP open items.)
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -42,6 +62,7 @@ from repro.dynamic.index import DEFAULT_COMPACT_DEAD_RATIO, DynamicIndex
 from repro.errors import GraphError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.gpusim.meter import MeterSnapshot
+from repro.service.executors import QueryExecutor, SerialExecutor
 from repro.service.plan_cache import PlanCache
 
 Match = Tuple[int, ...]
@@ -80,6 +101,9 @@ class StreamBatchReport:
     labels_shifted: Tuple[int, ...] = ()
     #: PCSR health after this batch (``DynamicPCSRStorage.stats()``)
     pcsr: Dict[str, object] = field(default_factory=dict)
+    #: True when the configured executor failed and delta matching was
+    #: re-run in-process (results stay exact; wall-clock degrades)
+    executor_fallback: bool = False
     wall_ms: float = 0.0
 
     @property
@@ -102,7 +126,9 @@ class StreamBatchReport:
                 f"rebuilds={self.rebuilds} "
                 f"compactions={self.compactions} | "
                 f"plans invalidated={self.plans_invalidated} | "
-                f"{self.wall_ms:.1f} ms")
+                + ("EXECUTOR FELL BACK TO SERIAL | "
+                   if self.executor_fallback else "")
+                + f"{self.wall_ms:.1f} ms")
 
 
 @dataclass
@@ -126,6 +152,188 @@ class _BatchSeed:
     seed_rows: Dict[int, np.ndarray]
 
 
+@dataclass
+class _DeltaContext:
+    """Batch-constant inputs of per-query delta matching.
+
+    One instance per update batch, shared (pickled once per worker
+    chunk under a process executor) by every registered query's
+    created/destroyed computation.  Everything here is read-only for
+    the duration of the batch.
+    """
+
+    snapshot: LabeledGraph
+    new_vertices: Tuple[int, ...]
+    seed: _BatchSeed
+    table: np.ndarray
+    signature_bits: int
+    label_bits: int
+
+
+#: payload per registered query: (query id, query graph, live matches)
+_DeltaTask = Tuple[int, LabeledGraph, Set[Match]]
+
+
+def _query_delta(ctx: _DeltaContext, task: _DeltaTask
+                 ) -> Tuple[int, Set[Match], Set[Match], float]:
+    """One registered query's (created, destroyed) delta for one batch.
+
+    Module-level and side-effect free so every executor — including a
+    process pool — runs the identical code path; the caller applies the
+    returned sets to the live match set.
+    """
+    query_id, query, live = task
+    t0 = time.perf_counter()
+    created = _delta_created(ctx, query)
+    destroyed = _delta_destroyed(ctx, query, live)
+    return (query_id, created, destroyed,
+            (time.perf_counter() - t0) * 1000.0)
+
+
+def _delta_destroyed(ctx: _DeltaContext, query: LabeledGraph,
+                     live: Set[Match]) -> Set[Match]:
+    """Live matches that embed a net-deleted edge (exactly the ones
+    this batch killed: vertex labels are immutable, so nothing else
+    can invalidate an existing match)."""
+    dead_pairs = ctx.seed.dead_pairs
+    if not dead_pairs or not live:
+        return set()
+    qedges = list(query.edges())
+    destroyed = set()
+    for m in live:
+        for a, b, _ in qedges:
+            ga, gb = m[a], m[b]
+            key = (ga, gb) if ga < gb else (gb, ga)
+            if key in dead_pairs:
+                destroyed.add(m)
+                break
+    return destroyed
+
+
+def _delta_created(ctx: _DeltaContext, query: LabeledGraph) -> Set[Match]:
+    """Matches that exist on the new snapshot but not the old one.
+
+    Every such match embeds a net-inserted edge (or, for
+    single-vertex queries, a new vertex), so partial embeddings
+    seeded on the inserted edges and extended over the new snapshot
+    enumerate them exactly.  Candidate pruning goes through the
+    incrementally maintained signature table; the seed endpoints'
+    rows come pre-loaded from the shared :class:`_BatchSeed`.
+    """
+    graph = ctx.snapshot
+    seed = ctx.seed
+    nq = query.num_vertices
+    if query.num_edges == 0:
+        # Connected queries with no edges are single vertices.
+        lab = query.vertex_label(0)
+        return {(v,) for v in ctx.new_vertices
+                if graph.vertex_label(v) == lab}
+    if not seed.inserted_by_label:
+        return set()
+
+    bits = ctx.signature_bits
+    lbits = ctx.label_bits
+    table = ctx.table
+    seed_rows = seed.seed_rows
+    qsigs = [encode_vertex(query, u, bits, lbits) for u in range(nq)]
+
+    def candidate(u: int, v: int) -> bool:
+        if query.vertex_label(u) != graph.vertex_label(v):
+            return False
+        row = seed_rows.get(v)
+        if row is None:
+            row = table[v]
+        return is_candidate(row, qsigs[u])
+
+    qedges = list(query.edges())
+    created: Set[Match] = set()
+    for qa, qb, qlab in qedges:
+        for gu, gv in seed.inserted_by_label.get(qlab, ()):
+            for x, y in ((gu, gv), (gv, gu)):
+                if candidate(qa, x) and candidate(qb, y):
+                    _extend({qa: x, qb: y}, query, graph,
+                            candidate, created)
+    return created
+
+
+def _extend(seed: Dict[int, int], query: LabeledGraph,
+            graph: LabeledGraph, candidate, out: Set[Match]) -> None:
+    """Backtracking completion of a seeded partial embedding.
+
+    Order is BFS from the seeded vertices, so every next query
+    vertex has an already-matched neighbor and candidates come from
+    one ``N(v, l)`` list — the "touching changed vertices" frontier
+    — never a full vertex scan.
+    """
+    nq = query.num_vertices
+    order: List[int] = []
+    seen = set(seed)
+    frontier = list(seed)
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for w in query.neighbors(u):
+                w = int(w)
+                if w not in seen:
+                    seen.add(w)
+                    order.append(w)
+                    nxt.append(w)
+        frontier = nxt
+    # Connected query: BFS from any seed reaches everything.
+    assign = dict(seed)
+    used = set(seed.values())
+    if len(used) < len(seed):
+        return  # seed itself is non-injective
+
+    def consistent(u: int, v: int) -> bool:
+        for w, lab in zip(query.neighbors(u),
+                          query.incident_labels(u)):
+            w = int(w)
+            if w in assign:
+                gw = assign[w]
+                if not graph.has_edge(gw, v) or \
+                        graph.edge_label(gw, v) != int(lab):
+                    return False
+        return True
+
+    # Check the seed pair's own consistency (other query edges
+    # between the two seeded vertices, if any).
+    items = list(seed.items())
+    for u, v in items:
+        if not consistent(u, v):
+            return
+
+    def rec(i: int) -> None:
+        if i == len(order):
+            out.add(tuple(assign[u] for u in range(nq)))
+            return
+        u = order[i]
+        anchor = next(
+            (int(w) for w in query.neighbors(u) if int(w) in assign),
+            None)
+        if anchor is None:
+            return
+        anchor_lab = None
+        for w, lab in zip(query.neighbors(u),
+                          query.incident_labels(u)):
+            if int(w) == anchor:
+                anchor_lab = int(lab)
+                break
+        for v in graph.neighbors_by_label(assign[anchor], anchor_lab):
+            v = int(v)
+            if v in used or not candidate(u, v):
+                continue
+            if not consistent(u, v):
+                continue
+            assign[u] = v
+            used.add(v)
+            rec(i + 1)
+            del assign[u]
+            used.discard(v)
+
+    rec(0)
+
+
 class StreamEngine:
     """Serve continuous subgraph queries over a dynamic graph."""
 
@@ -135,7 +343,8 @@ class StreamEngine:
                  config: Optional[GSIConfig] = None,
                  cache_capacity: int = 256,
                  rebuild_occupancy: float = 1.5,
-                 compact_dead_ratio: float = DEFAULT_COMPACT_DEAD_RATIO
+                 compact_dead_ratio: float = DEFAULT_COMPACT_DEAD_RATIO,
+                 executor: Optional[QueryExecutor] = None
                  ) -> None:
         self.config = config if config is not None else GSIConfig()
         if not self.config.use_pcsr:
@@ -160,8 +369,14 @@ class StreamEngine:
             signature_table=self.index.signature_table,
             store=self.index.storage)
         self._registered: Dict[int, _Registered] = {}
+        # Monotonic, never reused: a stale id held after unregister can
+        # only ever raise, never silently read another query's matches.
         self._next_query_id = 0
         self.batches_applied = 0
+        # Per-query delta matching fans out through the same executor
+        # abstraction as the batch service (serial by default).
+        self.executor = executor if executor is not None \
+            else SerialExecutor()
 
     # ------------------------------------------------------------------
     # Query management
@@ -188,15 +403,34 @@ class StreamEngine:
             matches=set(result.matches), initial=result)
         return qid
 
+    def _registered_or_raise(self, query_id: int) -> _Registered:
+        reg = self._registered.get(query_id)
+        if reg is None:
+            raise KeyError(
+                f"query id {query_id} is not registered (ids are "
+                f"monotonic and never reused after unregister)")
+        return reg
+
     def unregister(self, query_id: int) -> None:
+        """Stop tracking a continuous query.
+
+        The id is retired permanently — ids are monotonic and never
+        reused, so a stale id held across batches raises ``KeyError``
+        from :meth:`matches` / :meth:`initial_result` instead of
+        silently serving some later query's match set.
+        """
+        self._registered_or_raise(query_id)
         del self._registered[query_id]
 
     def matches(self, query_id: int) -> Set[Match]:
-        """Current live match set of a registered query."""
-        return set(self._registered[query_id].matches)
+        """Current live match set of a registered query.
+
+        Raises ``KeyError`` for unregistered (or never-issued) ids.
+        """
+        return set(self._registered_or_raise(query_id).matches)
 
     def initial_result(self, query_id: int) -> MatchResult:
-        return self._registered[query_id].initial
+        return self._registered_or_raise(query_id).initial
 
     @property
     def num_registered(self) -> int:
@@ -227,6 +461,12 @@ class StreamEngine:
             if old_snapshot.edge_label_frequency(lab)
             != commit.snapshot.edge_label_frequency(lab)))
         invalidated = self.plan_cache.invalidate_labels(shifted)
+        # Candidate-shape memos read maintained signature-table rows;
+        # any row change can flip any candidate set, so drop them all
+        # whenever the batch touched the graph.
+        if (commit.inserted_edges or commit.deleted_edges
+                or commit.new_vertices):
+            self.plan_cache.shapes.clear()
 
         # The engine now serves the new snapshot from the same
         # (incrementally updated) artifacts.
@@ -245,17 +485,54 @@ class StreamEngine:
             labels_shifted=shifted,
             pcsr=self.index.storage.stats())
         seed = self._build_batch_seed(commit)
-        for qid, reg in self._registered.items():
-            q0 = time.perf_counter()
-            created = self._delta_created(reg.query, commit, seed)
-            destroyed = self._delta_destroyed(reg.query, reg.matches,
-                                              seed)
+        ctx = _DeltaContext(
+            snapshot=commit.snapshot,
+            new_vertices=tuple(commit.new_vertices),
+            seed=seed,
+            table=self.index.signature_table.table,
+            signature_bits=self.config.signature_bits,
+            label_bits=self.config.label_bits)
+        # Snapshot the registration list: per-query work is handed to
+        # the executor as pure tasks, and merged back by query id in
+        # registration order regardless of completion order.
+        regs = list(self._registered.items())
+        tasks: List[_DeltaTask] = [
+            (qid, reg.query, reg.matches) for qid, reg in regs]
+        try:
+            outcomes = self.executor.map_tasks(_query_delta, tasks,
+                                               shared=ctx)
+        except Exception as exc:  # noqa: BLE001 - the graph/index are
+            # already committed above; live match sets must not be left
+            # behind because a pool died (e.g. BrokenProcessPool after
+            # worker OOM).  Delta matching is side-effect free, so
+            # re-running it in-process keeps the batch exact; a genuine
+            # bug in _query_delta re-raises identically from the serial
+            # run.  The degradation is surfaced, not swallowed: via the
+            # warning and ``StreamBatchReport.executor_fallback``.
+            warnings.warn(
+                f"executor {self.executor.name!r} failed "
+                f"({type(exc).__name__}: {exc}); delta matching for "
+                f"batch {self.batches_applied} re-ran serially",
+                RuntimeWarning, stacklevel=2)
+            report.executor_fallback = True
+            outcomes = SerialExecutor().map_tasks(_query_delta, tasks,
+                                                  shared=ctx)
+        # Validate the whole merge before mutating any live set, so a
+        # misbehaving executor can never leave queries half-updated.
+        if [out[0] for out in outcomes] != [qid for qid, _ in regs]:
+            raise RuntimeError(
+                f"executor {self.executor.name!r} returned results "
+                f"out of order or incomplete "
+                f"({len(outcomes)} results for {len(regs)} queries); "
+                f"no deltas were applied")
+        for (qid, reg), (_, created, destroyed, host_ms) in zip(
+                regs, outcomes):
             reg.matches -= destroyed
             reg.matches |= created
             report.query_deltas[qid] = QueryDelta(
                 query_id=qid, created=created, destroyed=destroyed,
                 num_matches=len(reg.matches),
-                host_ms=(time.perf_counter() - q0) * 1000.0)
+                host_ms=host_ms)
         report.wall_ms = (time.perf_counter() - t0) * 1000.0
         self.batches_applied += 1
         return report
@@ -290,143 +567,3 @@ class StreamEngine:
         return _BatchSeed(inserted_by_label=by_label,
                           dead_pairs=dead_pairs, seed_rows=seed_rows)
 
-    def _delta_destroyed(self, query: LabeledGraph, live: Set[Match],
-                         seed: _BatchSeed) -> Set[Match]:
-        """Live matches that embed a net-deleted edge (exactly the ones
-        this batch killed: vertex labels are immutable, so nothing else
-        can invalidate an existing match)."""
-        if not seed.dead_pairs or not live:
-            return set()
-        dead_pairs = seed.dead_pairs
-        qedges = list(query.edges())
-        destroyed = set()
-        for m in live:
-            for a, b, _ in qedges:
-                ga, gb = m[a], m[b]
-                key = (ga, gb) if ga < gb else (gb, ga)
-                if key in dead_pairs:
-                    destroyed.add(m)
-                    break
-        return destroyed
-
-    def _delta_created(self, query: LabeledGraph, commit: CommitResult,
-                       seed: _BatchSeed) -> Set[Match]:
-        """Matches that exist on the new snapshot but not the old one.
-
-        Every such match embeds a net-inserted edge (or, for
-        single-vertex queries, a new vertex), so partial embeddings
-        seeded on the inserted edges and extended over the new snapshot
-        enumerate them exactly.  Candidate pruning goes through the
-        incrementally maintained signature table; the seed endpoints'
-        rows come pre-loaded from the shared :class:`_BatchSeed`.
-        """
-        graph = commit.snapshot
-        nq = query.num_vertices
-        if query.num_edges == 0:
-            # Connected queries with no edges are single vertices.
-            lab = query.vertex_label(0)
-            return {(v,) for v in commit.new_vertices
-                    if graph.vertex_label(v) == lab}
-        if not seed.inserted_by_label:
-            return set()
-
-        bits = self.config.signature_bits
-        lbits = self.config.label_bits
-        table = self.index.signature_table.table
-        seed_rows = seed.seed_rows
-        qsigs = [encode_vertex(query, u, bits, lbits) for u in range(nq)]
-
-        def candidate(u: int, v: int) -> bool:
-            if query.vertex_label(u) != graph.vertex_label(v):
-                return False
-            row = seed_rows.get(v)
-            if row is None:
-                row = table[v]
-            return is_candidate(row, qsigs[u])
-
-        qedges = list(query.edges())
-        created: Set[Match] = set()
-        for qa, qb, qlab in qedges:
-            for gu, gv in seed.inserted_by_label.get(qlab, ()):
-                for x, y in ((gu, gv), (gv, gu)):
-                    if candidate(qa, x) and candidate(qb, y):
-                        self._extend({qa: x, qb: y}, query, graph,
-                                     candidate, created)
-        return created
-
-    def _extend(self, seed: Dict[int, int], query: LabeledGraph,
-                graph: LabeledGraph, candidate, out: Set[Match]) -> None:
-        """Backtracking completion of a seeded partial embedding.
-
-        Order is BFS from the seeded vertices, so every next query
-        vertex has an already-matched neighbor and candidates come from
-        one ``N(v, l)`` list — the "touching changed vertices" frontier
-        — never a full vertex scan.
-        """
-        nq = query.num_vertices
-        order: List[int] = []
-        seen = set(seed)
-        frontier = list(seed)
-        while frontier:
-            nxt = []
-            for u in frontier:
-                for w in query.neighbors(u):
-                    w = int(w)
-                    if w not in seen:
-                        seen.add(w)
-                        order.append(w)
-                        nxt.append(w)
-            frontier = nxt
-        # Connected query: BFS from any seed reaches everything.
-        assign = dict(seed)
-        used = set(seed.values())
-        if len(used) < len(seed):
-            return  # seed itself is non-injective
-
-        def consistent(u: int, v: int) -> bool:
-            for w, lab in zip(query.neighbors(u),
-                              query.incident_labels(u)):
-                w = int(w)
-                if w in assign:
-                    gw = assign[w]
-                    if not graph.has_edge(gw, v) or \
-                            graph.edge_label(gw, v) != int(lab):
-                        return False
-            return True
-
-        # Check the seed pair's own consistency (other query edges
-        # between the two seeded vertices, if any).
-        items = list(seed.items())
-        for u, v in items:
-            if not consistent(u, v):
-                return
-
-        def rec(i: int) -> None:
-            if i == len(order):
-                out.add(tuple(assign[u] for u in range(nq)))
-                return
-            u = order[i]
-            anchor = next(
-                (int(w) for w in query.neighbors(u) if int(w) in assign),
-                None)
-            if anchor is None:
-                return
-            anchor_lab = None
-            for w, lab in zip(query.neighbors(u),
-                              query.incident_labels(u)):
-                if int(w) == anchor:
-                    anchor_lab = int(lab)
-                    break
-            for v in graph.neighbors_by_label(assign[anchor], anchor_lab):
-                v = int(v)
-                if v in used or not candidate(u, v):
-                    continue
-                if not consistent(u, v):
-                    continue
-                assign[u] = v
-                used.add(v)
-                rec(i + 1)
-                del assign[u]
-                used.discard(v)
-
-        rec(0)

@@ -1,16 +1,40 @@
-"""Service layer: batch execution and plan caching on top of the engine."""
+"""Service layer: batch execution, plan caching, pluggable executors."""
 
 from repro.service.batch import BatchEngine, BatchItem, BatchReport
+from repro.service.executors import (
+    EXECUTOR_KINDS,
+    EngineBuildSpec,
+    EngineHandle,
+    ProcessExecutor,
+    QueryExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.service.fingerprint import QueryFingerprint, query_fingerprint
-from repro.service.plan_cache import CacheStats, PlanCache, remap_plan
+from repro.service.plan_cache import (
+    CacheStats,
+    CandidateShapeCache,
+    PlanCache,
+    remap_plan,
+)
 
 __all__ = [
     "BatchEngine",
     "BatchItem",
     "BatchReport",
     "CacheStats",
+    "CandidateShapeCache",
+    "EXECUTOR_KINDS",
+    "EngineBuildSpec",
+    "EngineHandle",
     "PlanCache",
+    "ProcessExecutor",
+    "QueryExecutor",
     "QueryFingerprint",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "make_executor",
     "query_fingerprint",
     "remap_plan",
 ]

@@ -3,10 +3,17 @@
 A :class:`BatchEngine` owns one :class:`~repro.core.engine.GSIEngine`
 (signature table and storage structure built once) plus a shared
 :class:`~repro.service.plan_cache.PlanCache`, and runs whole batches of
-queries through the engine's ``prepare``/``execute`` path on a worker
-pool.  Per-query :class:`~repro.core.result.MatchResult` objects are
-aggregated into a :class:`BatchReport` carrying latency percentiles,
-plan-cache statistics, and memory-transaction totals.
+queries through the engine's ``prepare``/``execute`` path.  Batches run
+in two phases: every query is *prepared* serially in the calling
+process (filtering + planning through the shared plan cache and
+candidate-shape memo — deterministic cache accounting regardless of
+parallelism), then the prepared queries are *executed* (the joining
+phase, the heavy part) through a pluggable
+:class:`~repro.service.executors.QueryExecutor` — serial, thread pool,
+or process pool — and merged back in submission order.  Per-query
+:class:`~repro.core.result.MatchResult` objects are aggregated into a
+:class:`BatchReport` carrying latency percentiles, plan-cache
+statistics, and memory-transaction totals.
 
 Simulated measurements are untouched by batching: every query still runs
 on its own simulated device, so a resubmitted query reproduces its
@@ -22,16 +29,22 @@ overlap.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import GSIConfig
-from repro.core.engine import GSIEngine
+from repro.core.engine import GSIEngine, PreparedQuery
 from repro.core.result import MatchResult
 from repro.graph.labeled_graph import LabeledGraph
+from repro.service.executors import (
+    EngineHandle,
+    PreparedTask,
+    QueryExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
 from repro.service.plan_cache import CacheStats, PlanCache
 
 DEFAULT_MAX_WORKERS = 4
@@ -58,6 +71,8 @@ class BatchReport:
     #: storage-structure health at batch end (``NeighborStore.stats()``;
     #: PCSR stores report occupancy / dead words / compactions)
     storage: dict = field(default_factory=dict)
+    #: name of the executor that ran the joining phase
+    executor: str = ""
 
     # ------------------------------------------------------------------
 
@@ -113,10 +128,17 @@ class BatchReport:
         return self.num_queries / (self.wall_clock_ms / 1000.0)
 
     def latency_percentile(self, pct: float) -> float:
-        """Percentile of simulated per-query latency, in ms."""
-        if not self.items:
+        """Percentile of simulated per-query latency, in ms.
+
+        Errored items are excluded: a rejected query carries an empty
+        result with near-zero latency, which would skew p50/p95
+        downward and make a failing batch look *faster*.  Failures are
+        reported through :attr:`errors` instead.
+        """
+        values = [item.result.elapsed_ms for item in self.items
+                  if item.error is None]
+        if not values:
             return 0.0
-        values = [item.result.elapsed_ms for item in self.items]
         return float(np.percentile(np.asarray(values), pct))
 
     @property
@@ -133,8 +155,9 @@ class BatchReport:
 
     def summary_line(self) -> str:
         """One-line human summary (CLI and benchmark output)."""
+        via = f" via {self.executor}" if self.executor else ""
         return (f"{self.num_queries} queries in "
-                f"{self.wall_clock_ms:.0f} ms wall "
+                f"{self.wall_clock_ms:.0f} ms wall{via} "
                 f"({self.throughput_qps:.1f} q/s) | "
                 f"sim p50/p90/p99 = {self.p50_ms:.3f}/"
                 f"{self.p90_ms:.3f}/{self.p99_ms:.3f} ms | "
@@ -157,12 +180,22 @@ class BatchEngine:
         Plan-cache size; plans for the ``cache_capacity`` most recently
         used query shapes are kept.
     max_workers:
-        Worker threads per batch.  The engine's offline artifacts are
-        read-only during matching and each query runs on its own
-        simulated device, so queries are embarrassingly parallel.
+        Default worker count when no explicit executor is given (a
+        thread pool is built per batch).  The engine's offline
+        artifacts are read-only during matching and each query runs on
+        its own simulated device, so queries are embarrassingly
+        parallel.
     engine:
         An existing :class:`GSIEngine` to serve from (its graph/config
         take precedence).
+    executor:
+        A :class:`~repro.service.executors.QueryExecutor` running the
+        joining phase — serial, thread pool, or process pool.  The
+        caller owns its lifecycle (``shutdown()``); ``None`` falls back
+        to a per-batch thread pool of ``max_workers`` threads.  A
+        :class:`~repro.service.executors.ProcessExecutor` requires the
+        engine's artifacts to be derivable from ``(graph, config)`` —
+        see the pickling contract in :mod:`repro.service.executors`.
     """
 
     name = "GSI-batch"
@@ -171,7 +204,8 @@ class BatchEngine:
                  config: Optional[GSIConfig] = None,
                  cache_capacity: int = 256,
                  max_workers: int = DEFAULT_MAX_WORKERS,
-                 engine: Optional[GSIEngine] = None) -> None:
+                 engine: Optional[GSIEngine] = None,
+                 executor: Optional[QueryExecutor] = None) -> None:
         if engine is None:
             if graph is None:
                 raise ValueError("need a graph or an engine")
@@ -181,6 +215,8 @@ class BatchEngine:
         self.config = engine.config
         self.plan_cache = PlanCache(capacity=cache_capacity)
         self.max_workers = max(1, max_workers)
+        self.executor = executor
+        self._handle = EngineHandle.for_engine(engine)
 
     # ------------------------------------------------------------------
 
@@ -197,38 +233,87 @@ class BatchEngine:
 
     # ------------------------------------------------------------------
 
-    def _run_one(self, index: int, query: LabeledGraph) -> BatchItem:
-        start = time.perf_counter()
-        try:
-            prepared = self.prepare(query)
-            result = self.execute(prepared)
-            plan_cached = prepared.plan_cached
-            error = None
-        except Exception as exc:  # noqa: BLE001 - one bad query must
-            # never abort the rest of the batch; report it per item.
-            result = MatchResult(engine=self.name)
-            plan_cached = False
-            error = f"{type(exc).__name__}: {exc}"
-        host_ms = (time.perf_counter() - start) * 1000.0
-        return BatchItem(index=index, result=result,
-                         plan_cached=plan_cached,
-                         host_ms=host_ms, error=error)
+    def _resolve_executor(self, max_workers: Optional[int],
+                          executor: Optional[QueryExecutor]
+                          ) -> Tuple[QueryExecutor, bool]:
+        """The executor for one batch, plus whether this call owns it
+        (caller-supplied executors are never shut down here).
 
-    def run_batch(self, queries: Sequence[LabeledGraph],
-                  max_workers: Optional[int] = None) -> BatchReport:
-        """Run ``queries`` concurrently; results keep submission order."""
+        Precedence: an explicit per-call ``executor`` wins, then an
+        explicit per-call ``max_workers`` (which keeps its historical
+        meaning by building a per-batch thread pool even when the
+        service holds a fixed executor), then the constructor executor,
+        then a thread pool of the constructor's ``max_workers``.
+        """
+        if executor is not None:
+            return executor, False
+        if max_workers is None and self.executor is not None:
+            return self.executor, False
         workers = max(1, max_workers if max_workers is not None
                       else self.max_workers)
-        stats_before = self.plan_cache.stats.snapshot()
+        if workers == 1:
+            return SerialExecutor(), True
+        return ThreadExecutor(max_workers=workers), True
+
+    def run_batch(self, queries: Sequence[LabeledGraph],
+                  max_workers: Optional[int] = None,
+                  executor: Optional[QueryExecutor] = None) -> BatchReport:
+        """Serve one batch; results keep submission order.
+
+        Phase 1 prepares every query serially in this process (plan
+        cache and candidate-shape memo accounting is therefore
+        deterministic — identical under every executor); phase 2 runs
+        the joining phase through ``executor`` (argument, then an
+        explicit ``max_workers`` as a per-batch thread pool, then the
+        constructor's executor, then a thread pool of the constructor's
+        ``max_workers``).
+        """
+        chosen, owned = self._resolve_executor(max_workers, executor)
+        stats_before = self.plan_cache.stats_snapshot()
         start = time.perf_counter()
-        if workers == 1 or len(queries) <= 1:
-            items = [self._run_one(i, q) for i, q in enumerate(queries)]
-        else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                items = list(pool.map(self._run_one,
-                                      range(len(queries)), queries))
+
+        items: List[Optional[BatchItem]] = [None] * len(queries)
+        pending: List[PreparedTask] = []
+        prepared_by_index: Dict[int, PreparedQuery] = {}
+        prepare_ms: Dict[int, float] = {}
+        for index, query in enumerate(queries):
+            t0 = time.perf_counter()
+            try:
+                prepared = self.prepare(query)
+            except Exception as exc:  # noqa: BLE001 - one bad query must
+                # never abort the rest of the batch; report it per item.
+                items[index] = BatchItem(
+                    index=index, result=MatchResult(engine=self.name),
+                    plan_cached=False,
+                    host_ms=(time.perf_counter() - t0) * 1000.0,
+                    error=f"{type(exc).__name__}: {exc}")
+                continue
+            prepare_ms[index] = (time.perf_counter() - t0) * 1000.0
+            prepared_by_index[index] = prepared
+            pending.append((index, prepared))
+
+        try:
+            if pending:
+                for done in chosen.execute_prepared(
+                        self._handle, pending, error_label=self.name):
+                    items[done.index] = BatchItem(
+                        index=done.index, result=done.result,
+                        plan_cached=prepared_by_index[
+                            done.index].plan_cached,
+                        host_ms=prepare_ms[done.index] + done.execute_ms,
+                        error=done.error)
+        finally:
+            if owned:  # deterministic teardown of per-batch pools
+                chosen.shutdown()
+
         wall_ms = (time.perf_counter() - start) * 1000.0
-        cache_delta = self.plan_cache.stats.snapshot().diff(stats_before)
+        cache_delta = self.plan_cache.stats_snapshot().diff(stats_before)
+        missing = [i for i, item in enumerate(items) if item is None]
+        if missing:
+            raise RuntimeError(
+                f"executor {chosen.name!r} dropped queries {missing}; "
+                f"execute_prepared must return every submitted task")
         return BatchReport(items=items, wall_clock_ms=wall_ms,
                            cache=cache_delta,
-                           storage=self.engine.store.stats())
+                           storage=self.engine.store.stats(),
+                           executor=chosen.name)

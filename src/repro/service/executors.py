@@ -1,0 +1,438 @@
+"""Pluggable parallel execution for the query services.
+
+The batch service and the stream engine both fan work out over
+embarrassingly parallel per-query units — joining a prepared query, or
+delta-matching one continuous query against a shared batch seed.  This
+module abstracts *how* that fan-out happens behind one
+:class:`QueryExecutor` protocol with three implementations:
+
+* :class:`SerialExecutor` — an in-process loop.  The reference
+  executor: zero concurrency, zero overhead, bit-for-bit deterministic.
+* :class:`ThreadExecutor` — a :class:`~concurrent.futures.
+  ThreadPoolExecutor`.  Overlaps I/O and the numpy kernels that release
+  the GIL; Python-heavy join loops barely overlap.
+* :class:`ProcessExecutor` — a :class:`~concurrent.futures.
+  ProcessPoolExecutor`.  True multi-core parallelism for the
+  Python/numpy-heavy joining phase, at the cost of pickling work units
+  across process boundaries.
+
+All three produce *identical results in submission order*: executors
+change wall-clock only, never match sets, simulated measurements, or
+transaction totals (each query runs on its own simulated device whose
+accounting is deterministic).
+
+Pickling contract (ProcessExecutor)
+-----------------------------------
+
+:meth:`QueryExecutor.execute_prepared` ships
+:class:`~repro.core.engine.PreparedQuery` objects to the workers, so
+everything a prepared query carries must pickle: the query
+:class:`~repro.graph.labeled_graph.LabeledGraph` (numpy arrays), the
+candidate arrays, the :class:`~repro.core.plan.JoinPlan` (tuples), and
+the simulated :class:`~repro.gpusim.device.Device` mid-flight (plain
+counters — no locks, no handles).  The data-graph-sized artifacts are
+*not* shipped per query: each worker process bootstraps its own engine
+exactly once from an :class:`EngineBuildSpec` (graph + config) passed
+through the pool initializer, rebuilding the signature table and
+storage structure locally.  This requires the served engine's artifacts
+to be derivable from ``(graph, config)`` — true for every
+:class:`~repro.core.engine.GSIEngine` built the normal way; callers
+injecting hand-modified artifacts must stick to in-process executors.
+
+When to use which
+-----------------
+
+Process pools win when per-query work is Python-bound and large
+relative to the pickle cost of its inputs/outputs (multi-step joins on
+non-trivial candidate sets, multi-core hosts).  Thread pools win when
+per-query work is dominated by GIL-releasing numpy kernels, or when the
+host has a single core and process bootstrap would be pure overhead.
+Serial is for debugging and as the determinism oracle.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.config import GSIConfig
+from repro.core.engine import GSIEngine, PreparedQuery
+from repro.core.result import MatchResult
+from repro.graph.labeled_graph import LabeledGraph
+
+DEFAULT_EXECUTOR_WORKERS = 4
+
+#: the names accepted by :func:`make_executor` (and the CLI flag)
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class EngineBuildSpec:
+    """Everything needed to reconstruct a serving engine in a worker.
+
+    Workers rebuild the offline artifacts (signature table + storage
+    structure) from the graph and config; both builds are deterministic,
+    so a worker-built engine executes a prepared query bit-for-bit like
+    the parent's engine would.
+    """
+
+    graph: LabeledGraph
+    config: GSIConfig
+
+    def build(self) -> GSIEngine:
+        return GSIEngine(self.graph, self.config)
+
+
+@dataclass
+class EngineHandle:
+    """A live engine plus the spec to rebuild it elsewhere.
+
+    In-process executors execute on ``engine`` directly; the process
+    executor ships ``spec`` to its workers instead.
+    """
+
+    engine: GSIEngine
+    spec: EngineBuildSpec
+
+    @classmethod
+    def for_engine(cls, engine: GSIEngine) -> "EngineHandle":
+        return cls(engine=engine,
+                   spec=EngineBuildSpec(engine.graph, engine.config))
+
+
+@dataclass
+class ExecutedQuery:
+    """Outcome of executing one prepared query (joins a ``BatchItem``)."""
+
+    index: int
+    result: MatchResult
+    error: Optional[str] = None
+    execute_ms: float = 0.0
+
+
+#: (submission index, prepared query) pairs fed to an executor
+PreparedTask = Tuple[int, PreparedQuery]
+
+
+def _execute_one(engine: GSIEngine, index: int, prepared: PreparedQuery,
+                 error_label: str) -> ExecutedQuery:
+    """Execute one prepared query, converting failures to per-item
+    errors (shared by every executor so error semantics are uniform)."""
+    start = time.perf_counter()
+    try:
+        result = engine.execute(prepared)
+        error = None
+    except Exception as exc:  # noqa: BLE001 - one bad query must never
+        # abort the rest of the batch; report it per item.
+        result = MatchResult(engine=error_label)
+        error = f"{type(exc).__name__}: {exc}"
+    return ExecutedQuery(index=index, result=result, error=error,
+                         execute_ms=(time.perf_counter() - start) * 1000.0)
+
+
+class QueryExecutor(ABC):
+    """How per-query work units run: serially, on threads, or processes.
+
+    Two entry points cover both services:
+
+    * :meth:`execute_prepared` — the batch path: run the joining phase
+      of already-prepared queries, returning outcomes in submission
+      order.
+    * :meth:`map_tasks` — the generic path (stream delta matching):
+      apply a module-level function to payloads, sharing one
+      batch-constant context object, results in payload order.
+    """
+
+    name: str = "abstract"
+    workers: int = 1
+
+    @abstractmethod
+    def execute_prepared(self, handle: EngineHandle,
+                         tasks: Sequence[PreparedTask],
+                         error_label: str = "GSI"
+                         ) -> List[ExecutedQuery]:
+        """Run the joining phase of ``tasks``; submission order kept."""
+
+    @abstractmethod
+    def map_tasks(self, fn: Callable[[Any, Any], Any],
+                  payloads: Sequence[Any],
+                  shared: Any = None) -> List[Any]:
+        """``[fn(shared, p) for p in payloads]``, possibly in parallel.
+
+        ``fn`` must be a module-level callable and ``shared``/payloads
+        picklable for the process executor; results keep payload order.
+        """
+
+    def shutdown(self) -> None:
+        """Release pooled resources (idempotent; executor stays usable —
+        pools are recreated lazily on the next call)."""
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class SerialExecutor(QueryExecutor):
+    """The reference executor: a plain in-process loop."""
+
+    name = "serial"
+
+    def execute_prepared(self, handle: EngineHandle,
+                         tasks: Sequence[PreparedTask],
+                         error_label: str = "GSI"
+                         ) -> List[ExecutedQuery]:
+        return [_execute_one(handle.engine, index, prepared, error_label)
+                for index, prepared in tasks]
+
+    def map_tasks(self, fn: Callable[[Any, Any], Any],
+                  payloads: Sequence[Any],
+                  shared: Any = None) -> List[Any]:
+        return [fn(shared, payload) for payload in payloads]
+
+
+class ThreadExecutor(QueryExecutor):
+    """Worker threads; best when the work releases the GIL (numpy).
+
+    The thread pool is created lazily and kept across calls (a stream
+    applies thousands of batches; spawning threads per batch is pure
+    overhead) and released by :meth:`shutdown`.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: int = DEFAULT_EXECUTOR_WORKERS) -> None:
+        self.workers = max(1, max_workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        # Guards lazy creation/teardown when one executor is shared by
+        # concurrent callers (e.g. a service serving parallel requests).
+        self._pool_lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            return self._pool
+
+    def shutdown(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def execute_prepared(self, handle: EngineHandle,
+                         tasks: Sequence[PreparedTask],
+                         error_label: str = "GSI"
+                         ) -> List[ExecutedQuery]:
+        if self.workers == 1 or len(tasks) <= 1:
+            return SerialExecutor().execute_prepared(handle, tasks,
+                                                     error_label)
+        return list(self._ensure_pool().map(
+            lambda task: _execute_one(handle.engine, task[0], task[1],
+                                      error_label),
+            tasks))
+
+    def map_tasks(self, fn: Callable[[Any, Any], Any],
+                  payloads: Sequence[Any],
+                  shared: Any = None) -> List[Any]:
+        if self.workers == 1 or len(payloads) <= 1:
+            return SerialExecutor().map_tasks(fn, payloads, shared)
+        return list(self._ensure_pool().map(lambda p: fn(shared, p),
+                                            payloads))
+
+
+# ----------------------------------------------------------------------
+# Process pool: per-worker engine bootstrap + chunked work shipping
+# ----------------------------------------------------------------------
+
+#: per-worker-process serving engine, built once by the pool initializer
+_WORKER_ENGINE: Optional[GSIEngine] = None
+
+
+def _process_worker_init(spec: Optional[EngineBuildSpec]) -> None:
+    """Pool initializer: bootstrap this worker's engine exactly once.
+
+    The spec is pickled once per worker (not per query); the worker
+    rebuilds the signature table and storage structure locally, so no
+    data-graph-sized artifact ever crosses the process boundary again.
+    """
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = spec.build() if spec is not None else None
+
+
+def _process_execute_chunk(error_label: str,
+                           tasks: List[PreparedTask]
+                           ) -> List[ExecutedQuery]:
+    """Worker-side joining phase over one pickled chunk."""
+    engine = _WORKER_ENGINE
+    if engine is None:
+        raise RuntimeError(
+            "process worker has no engine; the pool was created without "
+            "an EngineBuildSpec")
+    return [_execute_one(engine, index, prepared, error_label)
+            for index, prepared in tasks]
+
+
+def _process_map_chunk(fn: Callable[[Any, Any], Any], shared: Any,
+                       payloads: List[Any]) -> List[Any]:
+    """Worker-side generic map over one pickled chunk (``shared`` is
+    pickled once per chunk, not once per payload)."""
+    return [fn(shared, payload) for payload in payloads]
+
+
+def _process_engine_probe(_shared: Any, _payload: Any) -> Tuple[int, int]:
+    """(pid, id of the worker engine) — lets tests prove the per-worker
+    bootstrap happened once, not once per query."""
+    import os
+
+    return os.getpid(), 0 if _WORKER_ENGINE is None else id(_WORKER_ENGINE)
+
+
+class ProcessExecutor(QueryExecutor):
+    """Worker processes with a one-time per-worker engine bootstrap.
+
+    The pool is created lazily and kept alive across calls, so repeated
+    batches amortize both process spawn and engine reconstruction.  A
+    call with a *different* :class:`EngineBuildSpec` tears the pool down
+    and rebuilds it for the new engine.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count.
+    chunk_size:
+        Work units per pickled chunk; default spreads each call over
+        ``2 x max_workers`` chunks for load balance.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int = DEFAULT_EXECUTOR_WORKERS,
+                 chunk_size: Optional[int] = None) -> None:
+        self.workers = max(1, max_workers)
+        self.chunk_size = chunk_size
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_spec: Optional[EngineBuildSpec] = None
+        # Guards lazy creation/teardown under concurrent callers.  Note
+        # that a spec *change* still tears down the old pool, so one
+        # ProcessExecutor should serve one engine at a time; concurrent
+        # same-spec callers are fine.
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self, spec: Optional[EngineBuildSpec]
+                     ) -> ProcessPoolExecutor:
+        """The live pool, (re)created when the engine spec changes.
+
+        ``spec=None`` (generic :meth:`map_tasks` work) reuses whatever
+        pool exists — a worker engine sitting unused is harmless.
+        """
+        with self._pool_lock:
+            if self._pool is not None and (
+                    spec is None or spec == self._pool_spec):
+                return self._pool
+            old, self._pool = self._pool, None
+            if old is not None:
+                old.shutdown(wait=True)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_process_worker_init, initargs=(spec,))
+            self._pool_spec = spec
+            return self._pool
+
+    def _chunks(self, items: List[Any],
+                max_parts: Optional[int] = None) -> List[List[Any]]:
+        parts = max_parts if max_parts is not None else self.workers * 2
+        size = self.chunk_size or max(1, math.ceil(len(items) / parts))
+        return [items[i:i + size] for i in range(0, len(items), size)]
+
+    def shutdown(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._pool_spec = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+
+    def _run_chunked(self, spec: Optional[EngineBuildSpec],
+                     submit: Callable[[ProcessPoolExecutor, List[Any]],
+                                      Any],
+                     chunks: List[List[Any]]) -> List[List[Any]]:
+        """Submit chunks and gather results in submission order.
+
+        A dead worker (OOM-killed, segfault) breaks the whole pool; the
+        broken pool is discarded and the call retried once on a fresh
+        one, so a long-lived service recovers from transient worker
+        death instead of failing every subsequent batch.
+        """
+        for attempt in (0, 1):
+            try:
+                # submit() also raises BrokenProcessPool when a worker
+                # died while the pool was idle; keep it inside the
+                # retry scope so an idle-broken pool is replaced too.
+                pool = self._ensure_pool(spec)
+                futures = [submit(pool, chunk) for chunk in chunks]
+                return [future.result() for future in futures]
+            except BrokenProcessPool:
+                # Never hand a dead pool to the next call.
+                self.shutdown()
+                if attempt == 1:
+                    raise
+        raise AssertionError("unreachable")
+
+    def execute_prepared(self, handle: EngineHandle,
+                         tasks: Sequence[PreparedTask],
+                         error_label: str = "GSI"
+                         ) -> List[ExecutedQuery]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        results = self._run_chunked(
+            handle.spec,
+            lambda pool, chunk: pool.submit(
+                _process_execute_chunk, error_label, chunk),
+            self._chunks(tasks))
+        executed: List[ExecutedQuery] = [e for res in results for e in res]
+        # Chunks preserve submission order already; the explicit sort
+        # pins the merge contract independent of chunking policy.
+        executed.sort(key=lambda e: e.index)
+        return executed
+
+    def map_tasks(self, fn: Callable[[Any, Any], Any],
+                  payloads: Sequence[Any],
+                  shared: Any = None) -> List[Any]:
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        # One chunk per worker, not 2x: ``shared`` (for stream batches,
+        # the snapshot graph + signature table) is pickled per chunk, so
+        # fewer chunks halve the dominant shipping cost.
+        results = self._run_chunked(
+            None,
+            lambda pool, chunk: pool.submit(
+                _process_map_chunk, fn, shared, chunk),
+            self._chunks(payloads, max_parts=self.workers))
+        return [item for res in results for item in res]
+
+
+def make_executor(kind: str,
+                  max_workers: int = DEFAULT_EXECUTOR_WORKERS
+                  ) -> QueryExecutor:
+    """Build an executor by name (the CLI's ``--executor`` values)."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(max_workers=max_workers)
+    if kind == "process":
+        return ProcessExecutor(max_workers=max_workers)
+    raise ValueError(
+        f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}")

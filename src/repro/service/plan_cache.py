@@ -14,6 +14,7 @@ by every worker of a :class:`~repro.service.batch.BatchEngine`.
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Tuple
@@ -27,13 +28,21 @@ DEFAULT_CAPACITY = 128
 
 @dataclass
 class CacheStats:
-    """Counters accumulated by a :class:`PlanCache`."""
+    """Counters accumulated by a :class:`PlanCache`.
+
+    ``shape_*`` counters track the candidate-shape memo (see
+    :class:`CandidateShapeCache`); they are reported separately and do
+    not enter :attr:`lookups` / :attr:`hit_rate`, which keep their
+    original join-plan meaning.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     uncacheable: int = 0
     invalidations: int = 0
+    shape_hits: int = 0
+    shape_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -55,7 +64,110 @@ class CacheStats:
             misses=self.misses - earlier.misses,
             evictions=self.evictions - earlier.evictions,
             uncacheable=self.uncacheable - earlier.uncacheable,
-            invalidations=self.invalidations - earlier.invalidations)
+            invalidations=self.invalidations - earlier.invalidations,
+            shape_hits=self.shape_hits - earlier.shape_hits,
+            shape_misses=self.shape_misses - earlier.shape_misses)
+
+
+class CandidateShapeCache:
+    """LRU memo of filtering-scan outcomes, keyed by signature bytes.
+
+    Two query vertices with the same encoded signature (same vertex
+    label, same folded incident edge labels) provably produce the same
+    candidate set and the same scan cost against a fixed signature
+    table, so repeated query labels can skip the O(|V|) host-side table
+    scan entirely.  This is a *host* optimization only: the engine still
+    charges the memoized :class:`~repro.core.signature_table.ScanCost`
+    to the query's simulated device, so simulated times and transaction
+    totals are bit-identical with and without the memo.
+
+    Cached candidate arrays are shared across queries and therefore
+    frozen (``writeable=False``); the joining phase never mutates them.
+
+    Entries are only meaningful against the signature table that
+    produced them, in two ways: the memo is *bound* to one table object
+    (a cached plan is valid on any graph, but cached candidate ids are
+    not — :meth:`bind` clears everything when a differently-owned
+    engine starts scanning through a shared cache), and any in-place
+    mutation of the bound table invalidates every entry — owners (the
+    stream engine) must :meth:`clear` on update.
+
+    Thread safe: the owning :class:`PlanCache` passes its own lock so
+    shape and plan bookkeeping serialize together.
+    """
+
+    def __init__(self, capacity: int = 512,
+                 stats: Optional[CacheStats] = None,
+                 lock: Optional[threading.Lock] = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = stats if stats is not None else CacheStats()
+        self._lock = lock if lock is not None else threading.Lock()
+        self._entries: "OrderedDict[bytes, tuple]" = OrderedDict()
+        self._owner: Optional[weakref.ref] = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def bind(self, owner) -> None:
+        """Tie the memo to the signature table it scans.
+
+        Binding to a *different* table drops every entry: candidate
+        vertex ids computed against one table are garbage against
+        another (e.g. one :class:`PlanCache` shared by engines serving
+        different graphs — a safe pattern for plans, which survive the
+        rebinding untouched).
+        """
+        with self._lock:
+            current = self._owner() if self._owner is not None else None
+            if current is not owner:
+                self._entries.clear()
+                self._owner = weakref.ref(owner)
+
+    def _owned_by(self, owner) -> bool:
+        """Ownership check *under the caller's lock*: concurrent scans
+        through differently-owned engines may rebind between a caller's
+        ``bind`` and its lookups/stores, so every operation re-verifies
+        the binding instead of trusting the scan-start bind."""
+        if owner is None:
+            return True  # direct (single-table) use; no binding check
+        return self._owner is not None and self._owner() is owner
+
+    def lookup(self, key: bytes, owner=None):
+        """``(scan_cost, candidates)`` for a signature, or ``None``.
+
+        ``owner`` (the signature table being scanned) guards shared
+        caches: a hit is only served while the memo is bound to it.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or not self._owned_by(owner):
+                self.stats.shape_misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.shape_hits += 1
+            return entry
+
+    def store(self, key: bytes, scan_cost, candidates,
+              owner=None) -> None:
+        candidates.setflags(write=False)  # shared across queries
+        with self._lock:
+            if not self._owned_by(owner):
+                return  # another table rebound mid-scan; don't pollute
+            self._entries[key] = (scan_cost, candidates)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._clear_unlocked()
+
+    def _clear_unlocked(self) -> None:
+        """Drop entries without taking the (non-reentrant) lock — for
+        owners that already hold it, e.g. :meth:`PlanCache.clear`."""
+        self._entries.clear()
 
 
 def remap_plan(plan: JoinPlan, mapping: Sequence[int]) -> JoinPlan:
@@ -93,7 +205,8 @@ class PlanCache:
     """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
-                 node_budget: Optional[int] = None) -> None:
+                 node_budget: Optional[int] = None,
+                 shape_capacity: int = 512) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
@@ -104,6 +217,17 @@ class PlanCache:
         self._plan_labels: dict = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
+        #: memo of per-signature candidate-set shapes (scan results);
+        #: shares this cache's stats object and lock
+        self.shapes = CandidateShapeCache(capacity=shape_capacity,
+                                          stats=self.stats,
+                                          lock=self._lock)
+
+    def stats_snapshot(self) -> CacheStats:
+        """A consistent copy of the counters (taken under the lock, so
+        concurrent workers can't tear a read mid-update)."""
+        with self._lock:
+            return self.stats.snapshot()
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -189,7 +313,8 @@ class PlanCache:
         return dropped
 
     def clear(self) -> None:
-        """Drop every cached plan (stats are kept)."""
+        """Drop every cached plan and candidate shape (stats are kept)."""
         with self._lock:
             self._plans.clear()
             self._plan_labels.clear()
+            self.shapes._clear_unlocked()  # shares this lock

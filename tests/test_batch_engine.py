@@ -9,7 +9,7 @@ from repro.core.engine import GSIEngine
 from repro.bench.runner import run_workload_batched
 from repro.bench.workloads import Workload
 from repro.graph.generators import random_walk_query, scale_free_graph
-from repro.service import BatchEngine
+from repro.service import BatchEngine, SerialExecutor, ThreadExecutor
 
 
 @pytest.fixture(scope="module")
@@ -120,6 +120,57 @@ class TestErrorIsolation:
                                                   service_queries):
         report = BatchEngine(service_graph).run_batch(service_queries)
         assert report.errors == 0
+
+    def test_percentiles_exclude_errored_items(self, service_graph,
+                                               service_queries):
+        """An injected failing query (empty result, ~0 ms) must not drag
+        p50/p95 down; failures are reported via ``errors`` instead."""
+        from repro.graph.labeled_graph import LabeledGraph
+        service = BatchEngine(service_graph)
+        healthy = service.run_batch(service_queries)
+        failing = [LabeledGraph([], [])] * 3  # three ~0ms error items
+        mixed = service.run_batch(list(service_queries) + failing)
+        assert mixed.errors == 3
+        assert mixed.p50_ms == pytest.approx(healthy.p50_ms)
+        assert mixed.latency_percentile(95) == pytest.approx(
+            healthy.latency_percentile(95))
+        assert mixed.p50_ms > 0.0
+
+    def test_all_errored_batch_reports_zero_percentiles(self,
+                                                        service_graph):
+        from repro.graph.labeled_graph import LabeledGraph
+        report = BatchEngine(service_graph).run_batch(
+            [LabeledGraph([], [])] * 2)
+        assert report.errors == 2
+        assert report.p50_ms == 0.0
+        assert report.p99_ms == 0.0
+
+
+class TestExecutorSelection:
+    def test_explicit_executor_overrides_workers(self, service_graph,
+                                                 service_queries):
+        serial = BatchEngine(service_graph, max_workers=8,
+                             executor=SerialExecutor())
+        report = serial.run_batch(service_queries)
+        assert report.executor == "serial"
+
+    def test_run_batch_executor_argument(self, service_graph,
+                                         service_queries):
+        service = BatchEngine(service_graph)
+        report = service.run_batch(service_queries,
+                                   executor=ThreadExecutor(2))
+        assert report.executor == "thread"
+        base = service.run_batch(service_queries)
+        assert base.executor == "thread"  # default: thread pool
+        for a, b in zip(report.results, base.results):
+            assert a.match_set() == b.match_set()
+            assert a.elapsed_ms == b.elapsed_ms
+
+    def test_single_worker_runs_serial(self, service_graph,
+                                       service_queries):
+        report = BatchEngine(service_graph, max_workers=1).run_batch(
+            service_queries)
+        assert report.executor == "serial"
 
 
 class TestConstruction:

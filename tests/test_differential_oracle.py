@@ -65,6 +65,42 @@ class TestSeededSweep:
             assert result.match_set() == brute_force_matches(query, graph)
 
 
+class TestExecutorDeterminism:
+    """The same batch under serial/thread/process executors yields
+    identical match sets, transaction totals, and cache stats — and all
+    of them equal the brute-force oracle."""
+
+    def test_identical_across_executors(self):
+        from repro.service import make_executor
+
+        graph = scale_free_graph(60, 3, 3, 3, seed=21)
+        queries = [random_walk_query(graph, 4, seed=s)
+                   for s in range(4)]
+        queries = queries * 2  # repeats exercise plan + shape caches
+        expected = [brute_force_matches(q, graph) for q in queries]
+
+        reference = None
+        for kind in ("serial", "thread", "process"):
+            with make_executor(kind, 2) as executor:
+                report = BatchEngine(
+                    graph, executor=executor).run_batch(queries)
+            for want, result in zip(expected, report.results):
+                assert result.match_set() == want, (
+                    f"{kind} executor disagrees with the oracle")
+            key = (
+                [r.match_set() for r in report.results],
+                [r.elapsed_ms for r in report.results],
+                report.total_gld, report.total_gst,
+                report.total_kernel_launches,
+                report.cache,
+            )
+            if reference is None:
+                reference = key
+            else:
+                assert key == reference, (
+                    f"{kind} executor is not deterministic vs serial")
+
+
 def _dedup_edges(edge_list):
     seen = {}
     for u, v, lab in edge_list:

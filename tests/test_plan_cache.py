@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.core.engine import GSIEngine
 from repro.core.plan import plan_join_order
 from repro.graph.generators import random_walk_query, scale_free_graph
 from repro.graph.labeled_graph import LabeledGraph, path_query, triangle_query
+from repro.service import BatchEngine
 from repro.service.fingerprint import query_fingerprint, wl_colors
 from repro.service.plan_cache import PlanCache, remap_plan
 
@@ -205,6 +208,184 @@ class TestLabelInvalidation:
         cache.store(fp, plan_join_order(q, graph, sizes))  # no labels
         assert cache.invalidate_labels([99]) == 1
         assert len(cache) == 0
+
+
+class TestConcurrency:
+    """Regression tests for the LRU mutation race: ``move_to_end`` /
+    eviction on the shared ``OrderedDict`` must be lock-protected when
+    many worker threads drive the cache at tiny capacity."""
+
+    def test_hammer_lookup_store_tiny_capacity(self):
+        graph = scale_free_graph(100, 3, 4, 4, seed=6)
+        # More distinct shapes than capacity -> constant eviction churn.
+        queries = [random_walk_query(graph, k, seed=1)
+                   for k in (3, 4, 5, 6, 7, 8)]
+        plans = {k: plan_join_order(
+            q, graph, {u: 1 for u in range(q.num_vertices)})
+            for k, q in enumerate(queries)}
+        cache = PlanCache(capacity=2)
+        rounds = 60
+        failures = []
+
+        def worker(offset: int) -> None:
+            try:
+                for i in range(rounds):
+                    k = (i + offset) % len(queries)
+                    plan, fp = cache.lookup(queries[k])
+                    if plan is None and fp is not None:
+                        cache.store(fp, plans[k])
+                    assert len(cache) <= cache.capacity
+            except Exception as exc:  # noqa: BLE001 - surface in main
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures, failures
+        stats = cache.stats_snapshot()
+        assert stats.lookups == 8 * rounds
+        assert stats.hits + stats.misses == stats.lookups
+        assert len(cache) <= 2
+
+    def test_hammer_service_single_query_path(self, small_graph,
+                                              small_queries):
+        """Concurrent ``BatchEngine.match`` calls (the request-at-a-time
+        serving path) share one tiny cache; results must stay correct
+        and the cache within capacity."""
+        service = BatchEngine(small_graph, cache_capacity=2)
+        expected = [brute_force_matches(q, small_graph)
+                    for q in small_queries]
+        failures = []
+
+        def worker(offset: int) -> None:
+            try:
+                for i in range(10):
+                    k = (i + offset) % len(small_queries)
+                    result = service.match(small_queries[k])
+                    assert result.match_set() == expected[k]
+            except Exception as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures, failures
+        assert len(service.plan_cache) <= 2
+
+    def test_run_batch_tiny_capacity_still_correct(self, small_graph):
+        queries = [random_walk_query(small_graph, k, seed=2)
+                   for k in (3, 4, 5, 6)] * 4
+        service = BatchEngine(small_graph, cache_capacity=2,
+                              max_workers=8)
+        report = service.run_batch(queries)
+        assert report.errors == 0
+        for query, result in zip(queries, report.results):
+            assert result.match_set() == \
+                brute_force_matches(query, small_graph)
+        assert len(service.plan_cache) <= 2
+        assert report.cache.evictions > 0
+
+
+class TestCandidateShapeMemo:
+    """The plan cache's candidate-shape memo: repeated query labels skip
+    the host-side signature-table scan with bit-identical results."""
+
+    def test_shape_hits_on_repeated_shapes(self, small_graph,
+                                           small_queries):
+        engine = GSIEngine(small_graph)
+        cache = PlanCache()
+        for q in small_queries:
+            engine.prepare(q, plan_cache=cache)
+        first = cache.stats_snapshot()
+        assert first.shape_misses > 0
+        for q in small_queries:
+            engine.prepare(q, plan_cache=cache)
+        second = cache.stats_snapshot().diff(first)
+        # Second pass scans nothing: every query vertex is a memo hit.
+        assert second.shape_misses == 0
+        assert second.shape_hits == sum(
+            q.num_vertices for q in small_queries)
+
+    def test_memoized_results_bit_identical(self, small_graph,
+                                            small_queries):
+        cached_engine = GSIEngine(small_graph)
+        plain_engine = GSIEngine(small_graph)
+        cache = PlanCache()
+        for _ in range(2):  # second pass runs fully out of the memo
+            for q in small_queries:
+                hit = cached_engine.execute(
+                    cached_engine.prepare(q, plan_cache=cache))
+                cold = plain_engine.execute(plain_engine.prepare(q))
+                assert hit.match_set() == cold.match_set()
+                assert hit.elapsed_ms == cold.elapsed_ms
+                assert hit.counters == cold.counters
+                assert hit.candidate_sizes == cold.candidate_sizes
+
+    def test_shape_capacity_evicts(self, small_graph, small_queries):
+        cache = PlanCache(shape_capacity=1)
+        engine = GSIEngine(small_graph)
+        for q in small_queries:
+            engine.prepare(q, plan_cache=cache)
+        assert len(cache.shapes) <= 1
+
+    def test_clear_drops_shapes(self, small_graph, small_queries):
+        cache = PlanCache()
+        engine = GSIEngine(small_graph)
+        engine.prepare(small_queries[0], plan_cache=cache)
+        assert len(cache.shapes) > 0
+        cache.clear()
+        assert len(cache.shapes) == 0
+
+    def test_shape_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(shape_capacity=0)
+
+    def test_owner_guard_rejects_stale_binding(self):
+        """Simulates a mid-scan rebind by a concurrent engine: lookups
+        and stores carrying the old owner must miss / be dropped, never
+        serve or pollute the other table's entries."""
+        import numpy as np
+
+        class FakeTable:  # weakref-able stand-in
+            pass
+
+        cache = PlanCache()
+        table_a, table_b = FakeTable(), FakeTable()
+        cand = np.array([1, 2, 3])
+        cache.shapes.bind(table_a)
+        cache.shapes.store(b"sig", "cost-a", cand, owner=table_a)
+        assert cache.shapes.lookup(b"sig", owner=table_a) is not None
+        cache.shapes.bind(table_b)  # concurrent engine rebinds (clears)
+        assert len(cache.shapes) == 0
+        # The first engine's in-flight scan now misses and cannot store.
+        assert cache.shapes.lookup(b"sig", owner=table_a) is None
+        cache.shapes.store(b"sig", "cost-a", cand, owner=table_a)
+        assert cache.shapes.lookup(b"sig", owner=table_b) is None
+        assert len(cache.shapes) == 0
+
+    def test_shared_cache_across_graphs_stays_correct(self):
+        """Sharing one PlanCache between engines over *different* data
+        graphs is safe for plans (valid on any graph) — the shape memo
+        must not leak one graph's candidate ids to the other."""
+        graph_a = scale_free_graph(60, 3, 3, 3, seed=1)
+        graph_b = scale_free_graph(90, 3, 3, 3, seed=2)
+        cache = PlanCache()
+        engine_a = GSIEngine(graph_a)
+        engine_b = GSIEngine(graph_b)
+        for _ in range(2):  # alternate engines through the shared cache
+            for graph, engine in ((graph_a, engine_a),
+                                  (graph_b, engine_b)):
+                q = random_walk_query(graph, 4, seed=3)
+                result = engine.execute(
+                    engine.prepare(q, plan_cache=cache))
+                assert result.match_set() == \
+                    brute_force_matches(q, graph)
 
 
 class TestCachedPlanEquivalence:

@@ -150,6 +150,124 @@ class TestDeltaSemantics:
             StreamEngine(graph, GSIConfig.baseline())
 
 
+class TestQueryIdLifecycle:
+    """Regression: a query id retired by ``unregister`` must never be
+    reused, and reads through a stale id must raise, not silently serve
+    another query's match set."""
+
+    def make_engine(self):
+        graph = scale_free_graph(30, 3, 2, 2, seed=2)
+        return graph, StreamEngine(graph)
+
+    def test_ids_monotonic_and_never_reused(self):
+        graph, engine = self.make_engine()
+        q1 = random_walk_query(graph, 3, seed=0)
+        q2 = random_walk_query(graph, 3, seed=1)
+        first = engine.register(q1)
+        engine.unregister(first)
+        second = engine.register(q2)
+        assert second > first, "retired ids must never come back"
+        third = engine.register(q1)
+        assert third > second
+
+    def test_stale_id_reads_raise(self):
+        graph, engine = self.make_engine()
+        qid = engine.register(random_walk_query(graph, 3, seed=0))
+        engine.unregister(qid)
+        # Even after new registrations and batches, the stale id raises.
+        engine.register(random_walk_query(graph, 3, seed=1))
+        engine.apply_batch(random_update_stream(graph, 1, 4, seed=1)[0])
+        with pytest.raises(KeyError):
+            engine.matches(qid)
+        with pytest.raises(KeyError):
+            engine.initial_result(qid)
+
+    def test_unregister_unknown_id_raises(self):
+        _, engine = self.make_engine()
+        with pytest.raises(KeyError):
+            engine.unregister(0)
+
+    def test_double_unregister_raises(self):
+        graph, engine = self.make_engine()
+        qid = engine.register(random_walk_query(graph, 3, seed=0))
+        engine.unregister(qid)
+        with pytest.raises(KeyError):
+            engine.unregister(qid)
+
+    def test_never_issued_id_raises(self):
+        _, engine = self.make_engine()
+        with pytest.raises(KeyError):
+            engine.matches(99)
+
+
+class TestExecutorParity:
+    """Per-query delta matching through thread/process pools must
+    reproduce the serial reports exactly, batch by batch."""
+
+    def run_with(self, executor):
+        graph = scale_free_graph(40, 3, 3, 3, seed=6)
+        engine = StreamEngine(graph, executor=executor)
+        queries = [random_walk_query(graph, k, seed=s)
+                   for s, k in enumerate((3, 4, 4))]
+        qids = [engine.register(q) for q in queries]
+        trace = []
+        for delta in random_update_stream(graph, 3, 10, seed=4):
+            report = engine.apply_batch(delta)
+            trace.append(sorted(
+                (qid, frozenset(d.created), frozenset(d.destroyed))
+                for qid, d in report.query_deltas.items()))
+        final = [frozenset(engine.matches(qid)) for qid in qids]
+        return trace, final, engine
+
+    def test_thread_and_process_match_serial(self):
+        from repro.service import make_executor
+
+        ref_trace, ref_final, _ = self.run_with(None)
+        for kind in ("thread", "process"):
+            with make_executor(kind, 2) as executor:
+                trace, final, _ = self.run_with(executor)
+            assert trace == ref_trace, f"{kind} deltas diverge"
+            assert final == ref_final, f"{kind} final sets diverge"
+
+    def test_failing_executor_falls_back_to_serial(self):
+        """The graph/index commit precedes delta matching; a pool dying
+        mid-batch (e.g. worker OOM) must not desync the live match
+        sets — the engine re-runs the deltas in-process instead."""
+        from repro.service.executors import SerialExecutor
+
+        class DyingExecutor(SerialExecutor):
+            name = "dying"
+
+            def map_tasks(self, fn, payloads, shared=None):
+                raise RuntimeError("simulated pool death")
+
+        graph = scale_free_graph(40, 3, 3, 3, seed=6)
+        engine = StreamEngine(graph, executor=DyingExecutor())
+        q = random_walk_query(graph, 3, seed=1)
+        qid = engine.register(q)
+        for delta in random_update_stream(graph, 2, 8, seed=3):
+            with pytest.warns(RuntimeWarning, match="dying"):
+                report = engine.apply_batch(delta)
+            assert report.executor_fallback
+            assert "SERIAL" in report.summary_line()
+            assert engine.matches(qid) == \
+                brute_force_matches(q, engine.graph)
+
+    def test_parallel_stream_equals_oracle(self):
+        from repro.service import ThreadExecutor
+
+        graph = scale_free_graph(40, 3, 3, 3, seed=9)
+        engine = StreamEngine(graph, executor=ThreadExecutor(4))
+        queries = [random_walk_query(graph, 3, seed=s)
+                   for s in range(3)]
+        qids = [engine.register(q) for q in queries]
+        for delta in random_update_stream(graph, 3, 8, seed=2):
+            engine.apply_batch(delta)
+            for qid, q in zip(qids, queries):
+                assert engine.matches(qid) == \
+                    brute_force_matches(q, engine.graph)
+
+
 class TestPlanInvalidation:
     def test_shifted_labels_invalidate_cached_plans(self):
         graph = scale_free_graph(40, 3, 3, 3, seed=5)
