@@ -150,6 +150,7 @@ def run_workload_batched(workload: Workload,
                          budget_ms: Optional[float] = DEFAULT_THRESHOLD_MS,
                          max_rows: Optional[int] = DEFAULT_MAX_ROWS,
                          executor=None,
+                         sharded=None,
                          ) -> Tuple[WorkloadSummary, "BatchReport"]:
     """Run a workload through the batch service.
 
@@ -158,19 +159,30 @@ def run_workload_batched(workload: Workload,
     thread pool of ``max_workers`` threads.  The caller owns the
     executor's lifecycle.
 
+    ``sharded`` (a :class:`~repro.shard.engine.ShardedEngine`) serves
+    the workload scatter-gather over its shards instead of from one
+    engine; ``config``/``budget_ms``/``max_rows`` are then taken from
+    the sharded engine's own config (the caller tuned it at
+    construction).
+
     Returns the usual :class:`WorkloadSummary` plus the
     :class:`~repro.service.batch.BatchReport` with service-level metrics
     (latency percentiles, plan-cache hit rate, wall-clock throughput).
     """
     from repro.service.batch import BatchEngine
 
-    base = config if config is not None else GSIConfig()
-    cfg = replace(base, budget_ms=budget_ms,
-                  max_intermediate_rows=max_rows)
-    engine = BatchEngine(workload.graph, cfg,
-                         cache_capacity=cache_capacity,
-                         max_workers=max_workers,
-                         executor=executor)
+    if sharded is not None:
+        engine = BatchEngine(sharded=sharded,
+                             max_workers=max_workers,
+                             executor=executor)
+    else:
+        base = config if config is not None else GSIConfig()
+        cfg = replace(base, budget_ms=budget_ms,
+                      max_intermediate_rows=max_rows)
+        engine = BatchEngine(workload.graph, cfg,
+                             cache_capacity=cache_capacity,
+                             max_workers=max_workers,
+                             executor=executor)
     report = engine.run_batch(workload.queries)
     summary = summarize_results(report.results, engine_label,
                                 workload.name)

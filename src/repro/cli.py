@@ -12,6 +12,13 @@ Commands
 ``batch``
     Serve a workload through the batch service (worker pool + plan
     cache) and print per-query results plus service-level metrics.
+    With ``--shards N`` the workload is served scatter-gather over a
+    partitioned, halo-replicated :class:`~repro.shard.ShardedGraph`
+    instead of one monolithic engine (identical match sets).
+``shard-info``
+    Partition one dataset and print the per-shard layout: owned /
+    halo vertex counts, edges, and the replication overhead the halo
+    costs.
 ``stream``
     Register continuous queries, replay a random update stream through
     the dynamic subsystem, and print per-batch delta-match results plus
@@ -23,6 +30,8 @@ Examples::
     python -m repro.cli match --dataset watdiv --engine gsi-opt --queries 3
     python -m repro.cli shootout --dataset gowalla --queries 3
     python -m repro.cli batch --dataset gowalla --queries 8 --repeat 2
+    python -m repro.cli batch --dataset road --shards 4 --partitioner label
+    python -m repro.cli shard-info --dataset road --shards 8
     python -m repro.cli stream --dataset enron --batches 5 --batch-size 16
 """
 
@@ -128,11 +137,22 @@ def cmd_shootout(args: argparse.Namespace) -> int:
     return 0 if agree else 1
 
 
+def _reject_non_positive(name: str, value: int) -> bool:
+    """Print a clear error for a flag that must be >= 1."""
+    if value is not None and value < 1:
+        print(f"error: {name} must be >= 1, got {value}",
+              file=sys.stderr)
+        return True
+    return False
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     from repro.service.executors import make_executor
 
-    if args.cache_capacity < 1:
-        print("error: --cache-capacity must be >= 1", file=sys.stderr)
+    if (_reject_non_positive("--workers", args.workers)
+            or _reject_non_positive("--cache-capacity",
+                                    args.cache_capacity)
+            or _reject_non_positive("--shards", args.shards)):
         return 2
     wl = Workload.for_dataset(args.dataset, num_queries=args.queries,
                               query_vertices=args.query_vertices,
@@ -140,13 +160,38 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if args.repeat > 1:
         # Re-submit the same query set; repeats hit the plan cache.
         wl.queries = wl.queries * args.repeat
-    with make_executor(args.executor, args.workers) as executor:
+
+    sharded = None
+    if args.shards is not None:
+        from dataclasses import replace
+
+        from repro.bench.runner import (
+            DEFAULT_MAX_ROWS,
+            DEFAULT_THRESHOLD_MS,
+        )
+        from repro.shard import (
+            ShardedEngine,
+            ShardedGraph,
+            halo_hops_for_query_vertices,
+        )
+        cfg = replace(GSI_CONFIGS[args.engine](),
+                      budget_ms=DEFAULT_THRESHOLD_MS,
+                      max_intermediate_rows=DEFAULT_MAX_ROWS)
+        sg = ShardedGraph(
+            wl.graph, args.shards, partitioner=args.partitioner,
+            halo_hops=halo_hops_for_query_vertices(args.query_vertices))
+        sharded = ShardedEngine(sg, cfg,
+                                cache_capacity=args.cache_capacity)
+
+    with make_executor(args.executor, args.workers,
+                       chunking=args.chunking) as executor:
         summary, report = run_workload_batched(
             wl, config=GSI_CONFIGS[args.engine](),
             engine_label=f"{args.engine}-batch",
             max_workers=args.workers,
             cache_capacity=args.cache_capacity,
-            executor=executor)
+            executor=executor,
+            sharded=sharded)
     rows = []
     for i, item in enumerate(report.items):
         r = item.result
@@ -154,13 +199,51 @@ def cmd_batch(args: argparse.Namespace) -> int:
                      "timeout" if r.timed_out else f"{r.elapsed_ms:.3f}",
                      f"{item.host_ms:.1f}",
                      "hit" if item.plan_cached else "miss"])
+    shard_note = ""
+    if report.shard is not None:
+        info = report.shard.info
+        shard_note = (f" | {info.num_shards} shards "
+                      f"({info.partitioner}, halo {info.halo_hops}, "
+                      f"{info.vertex_replication:.2f}x replication), "
+                      f"per-shard tx max/total = "
+                      f"{report.shard.max_shard_transactions}/"
+                      f"{report.shard.total_transactions}")
     print(render_table(
         f"batch service: {args.engine} on {args.dataset} "
         f"({args.executor} executor, {args.workers} workers, "
         f"cache {args.cache_capacity})",
         ["query", "matches", "sim ms", "host ms", "plan"],
         rows,
-        note=report.summary_line()))
+        note=report.summary_line() + shard_note))
+    return 0
+
+
+def cmd_shard_info(args: argparse.Namespace) -> int:
+    from repro.shard import ShardedGraph, halo_hops_for_query_vertices
+
+    if _reject_non_positive("--shards", args.shards):
+        return 2
+    graph = datasets.load(args.dataset)
+    halo = halo_hops_for_query_vertices(args.query_vertices)
+    sg = ShardedGraph(graph, args.shards, partitioner=args.partitioner,
+                      halo_hops=halo)
+    info = sg.info()
+    rows = []
+    for shard in sg.shards:
+        total = shard.num_owned + shard.num_halo
+        rows.append([shard.shard_id, shard.num_owned, shard.num_halo,
+                     total, shard.graph.num_edges,
+                     f"{total / max(1, graph.num_vertices):.2f}"])
+    print(render_table(
+        f"shard layout: {args.dataset} over {args.shards} shards "
+        f"({args.partitioner} partitioner, halo {halo} for "
+        f"{args.query_vertices}-vertex queries)",
+        ["shard", "owned", "halo", "|V|", "|E|", "frac of G"],
+        rows,
+        note=f"replication: {info.vertex_replication:.2f}x vertices, "
+             f"{info.edge_replication:.2f}x edges over "
+             f"|V|={graph.num_vertices} |E|={graph.num_edges}; every "
+             f"query of radius <= {halo} is answered shard-locally"))
     return 0
 
 
@@ -173,6 +256,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
     from repro.graph.generators import query_workload
     from repro.service.executors import make_executor
 
+    if _reject_non_positive("--workers", args.workers):
+        return 2
     graph = datasets.load(args.dataset)
     rows = []
     total_tx = 0
@@ -270,6 +355,29 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--repeat", type=int, default=1,
                    help="submit the query set this many times "
                         "(repeats exercise the plan cache)")
+    b.add_argument("--shards", type=int, default=None,
+                   help="serve scatter-gather over this many "
+                        "partitioned, halo-replicated shards instead "
+                        "of one monolithic engine")
+    b.add_argument("--partitioner", default="hash",
+                   choices=["hash", "label"],
+                   help="vertex ownership: block-hash or edge-label-"
+                        "balancing assignment")
+    b.add_argument("--chunking", default="static",
+                   choices=["static", "cost"],
+                   help="process-executor batch chunking: equal-count "
+                        "slices or candidate-size-balanced bins")
+
+    si = sub.add_parser("shard-info",
+                        help="partition a dataset and print the "
+                             "per-shard layout + replication overhead")
+    si.add_argument("--dataset", default="gowalla",
+                    choices=datasets.all_names())
+    si.add_argument("--shards", type=int, default=4)
+    si.add_argument("--partitioner", default="hash",
+                    choices=["hash", "label"])
+    si.add_argument("--query-vertices", type=int, default=12,
+                    help="query size the halo depth must cover")
 
     st = sub.add_parser("stream",
                         help="continuous queries over an update stream")
@@ -299,6 +407,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "match": cmd_match,
         "shootout": cmd_shootout,
         "batch": cmd_batch,
+        "shard-info": cmd_shard_info,
         "stream": cmd_stream,
     }
     return handlers[args.command](args)

@@ -8,7 +8,11 @@ per-warp task costs over simulated warp slots to produce elapsed time.
 from repro.gpusim import constants
 from repro.gpusim.constants import cpu_ops_to_ms, cycles_to_ms
 from repro.gpusim.device import Device, KernelRecord
-from repro.gpusim.meter import MemoryMeter, MeterSnapshot
+from repro.gpusim.meter import (
+    MemoryMeter,
+    MeterSnapshot,
+    merge_shard_snapshots,
+)
 from repro.gpusim.scheduler import (
     LoadBalanceConfig,
     ScheduleResult,
@@ -33,6 +37,7 @@ __all__ = [
     "KernelRecord",
     "MemoryMeter",
     "MeterSnapshot",
+    "merge_shard_snapshots",
     "LoadBalanceConfig",
     "ScheduleResult",
     "makespan",

@@ -44,6 +44,38 @@ class MeterSnapshot:
                 + self.labeled_gld.get("storage_locate", 0)
                 + self.labeled_gld.get("storage_read", 0))
 
+    @property
+    def transactions(self) -> int:
+        """Total memory transactions (GLD + GST), the sharding-bench
+        per-shard work metric."""
+        return self.gld + self.gst
+
+
+def merge_shard_snapshots(snapshots: "list[MeterSnapshot]",
+                          prefix: str = "shard") -> MeterSnapshot:
+    """Merge per-shard meter snapshots into one attributed snapshot.
+
+    Scalar counters and per-phase GLD labels are summed across shards;
+    additionally each shard's *total* GLD is recorded under
+    ``"{prefix}{i}"`` (and its GST under ``"{prefix}{i}/gst"``), so a
+    merged scatter-gather result still answers "which shard did the
+    work" from its ``labeled_gld`` alone.
+    """
+    merged = MeterSnapshot()
+    labeled: dict = {}
+    for i, snap in enumerate(snapshots):
+        merged.gld += snap.gld
+        merged.gst += snap.gst
+        merged.shared += snap.shared
+        merged.ops += snap.ops
+        merged.kernel_launches += snap.kernel_launches
+        for key, value in snap.labeled_gld.items():
+            labeled[key] = labeled.get(key, 0) + value
+        labeled[f"{prefix}{i}"] = snap.gld
+        labeled[f"{prefix}{i}/gst"] = snap.gst
+    merged.labeled_gld = labeled
+    return merged
+
 
 @dataclass
 class MemoryMeter:

@@ -30,9 +30,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # service does not depend on the shard package at
+    # runtime; a ShardedEngine backend is injected by the caller.
+    from repro.shard.engine import ShardedEngine, ShardReport
 
 from repro.core.config import GSIConfig
 from repro.core.engine import GSIEngine, PreparedQuery
@@ -73,6 +77,10 @@ class BatchReport:
     storage: dict = field(default_factory=dict)
     #: name of the executor that ran the joining phase
     executor: str = ""
+    #: scatter-gather details when a sharded backend served the batch
+    #: (per-shard transactions / storage / replication); ``None`` on
+    #: the single-engine path
+    shard: Optional["ShardReport"] = None
 
     # ------------------------------------------------------------------
 
@@ -196,6 +204,13 @@ class BatchEngine:
         :class:`~repro.service.executors.ProcessExecutor` requires the
         engine's artifacts to be derivable from ``(graph, config)`` —
         see the pickling contract in :mod:`repro.service.executors`.
+    sharded:
+        A :class:`~repro.shard.engine.ShardedEngine` backend.  When
+        supplied, batches are served scatter-gather over its shards
+        (match sets identical to the single-engine path by the
+        ownership/halo argument); ``graph``/``config``/``engine`` are
+        taken from it, the plan cache is its shared cache, and
+        :attr:`BatchReport.shard` carries the per-shard breakdown.
     """
 
     name = "GSI-batch"
@@ -205,10 +220,26 @@ class BatchEngine:
                  cache_capacity: int = 256,
                  max_workers: int = DEFAULT_MAX_WORKERS,
                  engine: Optional[GSIEngine] = None,
-                 executor: Optional[QueryExecutor] = None) -> None:
+                 executor: Optional[QueryExecutor] = None,
+                 sharded: Optional["ShardedEngine"] = None) -> None:
+        self.sharded = sharded
+        if sharded is not None:
+            if engine is not None:
+                raise ValueError(
+                    "pass either a sharded backend or an engine, not "
+                    "both")
+            self.engine = None
+            self.graph = sharded.graph
+            self.config = sharded.config
+            self.plan_cache = sharded.plan_cache
+            self.max_workers = max(1, max_workers)
+            self.executor = executor
+            self._handle = None
+            return
         if engine is None:
             if graph is None:
-                raise ValueError("need a graph or an engine")
+                raise ValueError("need a graph, an engine, or a sharded "
+                                 "backend")
             engine = GSIEngine(graph, config)
         self.engine = engine
         self.graph = engine.graph
@@ -222,13 +253,21 @@ class BatchEngine:
 
     def prepare(self, query: LabeledGraph):
         """Filter + plan one query through the shared plan cache."""
+        if self.sharded is not None:
+            return self.sharded.prepare(query)
         return self.engine.prepare(query, plan_cache=self.plan_cache)
 
     def execute(self, prepared) -> MatchResult:
+        if self.sharded is not None:
+            raise ValueError(
+                "the sharded backend merges per-shard execution; use "
+                "match() or run_batch()")
         return self.engine.execute(prepared)
 
     def match(self, query: LabeledGraph) -> MatchResult:
         """Single-query convenience path (still plan-cached)."""
+        if self.sharded is not None:
+            return self.sharded.match(query)
         return self.execute(self.prepare(query))
 
     # ------------------------------------------------------------------
@@ -269,6 +308,12 @@ class BatchEngine:
         ``max_workers``).
         """
         chosen, owned = self._resolve_executor(max_workers, executor)
+        if self.sharded is not None:
+            try:
+                return self._run_sharded(queries, chosen)
+            finally:
+                if owned:
+                    chosen.shutdown()
         stats_before = self.plan_cache.stats_snapshot()
         start = time.perf_counter()
 
@@ -317,3 +362,22 @@ class BatchEngine:
                            cache=cache_delta,
                            storage=self.engine.store.stats(),
                            executor=chosen.name)
+
+    def _run_sharded(self, queries: Sequence[LabeledGraph],
+                     executor: QueryExecutor) -> BatchReport:
+        """Serve a batch through the sharded backend, translated into
+        the ordinary :class:`BatchReport` shape (the full scatter-gather
+        breakdown rides along as :attr:`BatchReport.shard`)."""
+        shard_report = self.sharded.run_batch(queries, executor=executor)
+        items = [BatchItem(index=item.index, result=item.result,
+                           plan_cached=item.plan_cached,
+                           host_ms=item.host_ms, error=item.error)
+                 for item in shard_report.items]
+        return BatchReport(
+            items=items,
+            wall_clock_ms=shard_report.wall_clock_ms,
+            cache=shard_report.cache,
+            storage={"num_shards": self.sharded.num_shards,
+                     "per_shard": shard_report.storage},
+            executor=shard_report.executor,
+            shard=shard_report)

@@ -71,6 +71,9 @@ DEFAULT_EXECUTOR_WORKERS = 4
 #: the names accepted by :func:`make_executor` (and the CLI flag)
 EXECUTOR_KINDS = ("serial", "thread", "process")
 
+#: how :class:`ProcessExecutor` splits a batch into pickled chunks
+CHUNKING_KINDS = ("static", "cost")
+
 
 @dataclass(frozen=True)
 class EngineBuildSpec:
@@ -249,6 +252,53 @@ class ThreadExecutor(QueryExecutor):
 
 
 # ----------------------------------------------------------------------
+# Chunking policies: how a batch splits into pickled work units
+# ----------------------------------------------------------------------
+
+
+def estimated_task_cost(prepared: PreparedQuery) -> int:
+    """Join-work proxy for one prepared query: total candidate mass.
+
+    The joining phase starts from a candidate set and repeatedly
+    intersects against others, so the summed ``|C(u)|`` is a cheap
+    monotone estimate of how heavy a query is relative to its batch
+    mates.  Queries with no plan (filtering proved them unmatchable, or
+    the budget ran out) cost ~nothing and are scored 1.
+    """
+    sizes = getattr(prepared, "candidate_sizes", None)
+    if not sizes or getattr(prepared, "plan", None) is None:
+        return 1
+    return max(1, int(sum(sizes.values())))
+
+
+def balanced_chunks(items: List[Any], num_chunks: int,
+                    costs: Sequence[int]) -> List[List[Any]]:
+    """Greedy LPT bin packing of ``items`` into ``<= num_chunks`` bins.
+
+    Items are placed heaviest-first onto the currently lightest bin
+    (first lightest on ties, original order on equal cost), so a skewed
+    batch — one huge query plus many small ones — no longer rides in a
+    single static slice that one worker drains alone.  Deterministic;
+    empty bins are dropped, bins keep submission order internally and
+    are ordered by their first item so downstream index-sorted merges
+    see the same contract as static chunking.
+    """
+    if len(costs) != len(items):
+        raise ValueError("need one cost per item")
+    num_chunks = max(1, min(num_chunks, len(items)))
+    order = sorted(range(len(items)), key=lambda i: (-costs[i], i))
+    bins: List[List[int]] = [[] for _ in range(num_chunks)]
+    loads = [0] * num_chunks
+    for i in order:
+        b = loads.index(min(loads))
+        bins[b].append(i)
+        loads[b] += costs[i]
+    chunks = [sorted(b) for b in bins if b]
+    chunks.sort(key=lambda chunk: chunk[0])
+    return [[items[i] for i in chunk] for chunk in chunks]
+
+
+# ----------------------------------------------------------------------
 # Process pool: per-worker engine bootstrap + chunked work shipping
 # ----------------------------------------------------------------------
 
@@ -310,14 +360,29 @@ class ProcessExecutor(QueryExecutor):
     chunk_size:
         Work units per pickled chunk; default spreads each call over
         ``2 x max_workers`` chunks for load balance.
+    chunking:
+        ``"static"`` slices the batch into equal-count chunks
+        (``ceil(n / 2*max_workers)``); ``"cost"`` packs prepared
+        queries into the same number of chunks by
+        :func:`estimated_task_cost` (greedy LPT), so one heavy query in
+        a skewed batch does not pin a whole static slice to a single
+        worker.  Results are identical either way — chunking moves
+        work, never answers.  Generic :meth:`map_tasks` payloads carry
+        no cost estimate and always chunk statically.
     """
 
     name = "process"
 
     def __init__(self, max_workers: int = DEFAULT_EXECUTOR_WORKERS,
-                 chunk_size: Optional[int] = None) -> None:
+                 chunk_size: Optional[int] = None,
+                 chunking: str = "static") -> None:
+        if chunking not in CHUNKING_KINDS:
+            raise ValueError(
+                f"unknown chunking {chunking!r}; expected one of "
+                f"{CHUNKING_KINDS}")
         self.workers = max(1, max_workers)
         self.chunk_size = chunk_size
+        self.chunking = chunking
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_spec: Optional[EngineBuildSpec] = None
         # Guards lazy creation/teardown under concurrent callers.  Note
@@ -353,6 +418,13 @@ class ProcessExecutor(QueryExecutor):
         parts = max_parts if max_parts is not None else self.workers * 2
         size = self.chunk_size or max(1, math.ceil(len(items) / parts))
         return [items[i:i + size] for i in range(0, len(items), size)]
+
+    def _prepared_chunks(self, tasks: List[PreparedTask]) -> List[List[Any]]:
+        """Chunk prepared-query tasks by the configured policy."""
+        if self.chunking != "cost" or self.chunk_size is not None:
+            return self._chunks(tasks)
+        costs = [estimated_task_cost(prepared) for _, prepared in tasks]
+        return balanced_chunks(tasks, self.workers * 2, costs)
 
     def shutdown(self) -> None:
         with self._pool_lock:
@@ -400,7 +472,7 @@ class ProcessExecutor(QueryExecutor):
             handle.spec,
             lambda pool, chunk: pool.submit(
                 _process_execute_chunk, error_label, chunk),
-            self._chunks(tasks))
+            self._prepared_chunks(tasks))
         executed: List[ExecutedQuery] = [e for res in results for e in res]
         # Chunks preserve submission order already; the explicit sort
         # pins the merge contract independent of chunking policy.
@@ -425,14 +497,29 @@ class ProcessExecutor(QueryExecutor):
 
 
 def make_executor(kind: str,
-                  max_workers: int = DEFAULT_EXECUTOR_WORKERS
-                  ) -> QueryExecutor:
-    """Build an executor by name (the CLI's ``--executor`` values)."""
+                  max_workers: int = DEFAULT_EXECUTOR_WORKERS,
+                  chunking: str = "static") -> QueryExecutor:
+    """Build an executor by name (the CLI's ``--executor`` values).
+
+    Arguments are validated eagerly: a non-positive ``max_workers``,
+    an unknown ``kind`` or an unknown ``chunking`` policy raise
+    :class:`ValueError` here, instead of surfacing later as an opaque
+    pool failure mid-batch.  (The executor classes themselves keep
+    their historical clamp-to-1 behavior for direct construction.)
+    """
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"unknown executor kind {kind!r}; expected one of "
+            f"{EXECUTOR_KINDS}")
+    if max_workers <= 0:
+        raise ValueError(
+            f"max_workers must be >= 1, got {max_workers}")
+    if chunking not in CHUNKING_KINDS:
+        raise ValueError(
+            f"unknown chunking {chunking!r}; expected one of "
+            f"{CHUNKING_KINDS}")
     if kind == "serial":
         return SerialExecutor()
     if kind == "thread":
         return ThreadExecutor(max_workers=max_workers)
-    if kind == "process":
-        return ProcessExecutor(max_workers=max_workers)
-    raise ValueError(
-        f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}")
+    return ProcessExecutor(max_workers=max_workers, chunking=chunking)

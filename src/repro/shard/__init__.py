@@ -1,0 +1,46 @@
+"""Sharded graph subsystem: partitioned shards with halo replication
+plus a scatter-gather query coordinator.
+
+See :mod:`repro.shard.sharded_graph` for the replication/ownership
+correctness argument and :mod:`repro.shard.engine` for the coordinator.
+"""
+
+from repro.shard.engine import (
+    ShardedEngine,
+    ShardedItem,
+    ShardedPrepared,
+    ShardQueryStats,
+    ShardReport,
+    query_center,
+)
+from repro.shard.partitioner import (
+    PARTITIONER_KINDS,
+    HashPartitioner,
+    LabelAwarePartitioner,
+    Partitioner,
+    make_partitioner,
+)
+from repro.shard.sharded_graph import (
+    Shard,
+    ShardedGraph,
+    ShardingInfo,
+    halo_hops_for_query_vertices,
+)
+
+__all__ = [
+    "HashPartitioner",
+    "LabelAwarePartitioner",
+    "PARTITIONER_KINDS",
+    "Partitioner",
+    "Shard",
+    "ShardedEngine",
+    "ShardedGraph",
+    "ShardedItem",
+    "ShardedPrepared",
+    "ShardQueryStats",
+    "ShardReport",
+    "ShardingInfo",
+    "halo_hops_for_query_vertices",
+    "make_partitioner",
+    "query_center",
+]

@@ -1,0 +1,544 @@
+"""Scatter-gather query coordinator over a :class:`ShardedGraph`.
+
+A :class:`ShardedEngine` owns one
+:class:`~repro.core.engine.GSIEngine` per shard (each with its own
+shard-local signature table and storage structure) plus one shared
+:class:`~repro.service.plan_cache.PlanCache`.  Serving a query is a
+scatter-gather:
+
+1. **Prepare once** — the query is validated (connected, radius within
+   the halo depth), its anchor vertex (a query center) is fixed, and
+   filtering runs against every shard's signature table.  Join-order
+   planning happens once: the first shard to need a plan populates the
+   shared plan cache and every other shard replays it through the
+   canonical fingerprint (any join order is correct on any shard; only
+   cost accounting could differ, never matches).
+2. **Scatter** — the per-shard prepared queries fan out through the
+   existing :class:`~repro.service.executors.QueryExecutor` layer
+   (serial / thread / process).  Process pools rebuild the per-shard
+   engines once per worker from pickled
+   :class:`~repro.service.executors.EngineBuildSpec` objects and cache
+   them; in-process executors execute on the live engines directly.
+3. **Gather** — shard-local matches are translated back to global
+   vertex ids and deduplicated by **anchor ownership**: a shard only
+   reports a match whose anchor image it owns.  By the halo containment
+   argument (see :mod:`repro.shard.sharded_graph`), this partition of
+   the match set is exact — identical to a single engine over the whole
+   graph.  Per-shard transaction / cache / storage statistics merge
+   into a :class:`ShardReport`; merged per-query counters keep
+   per-shard attribution via
+   :func:`~repro.gpusim.meter.merge_shard_snapshots`.
+
+Simulated semantics: each (query, shard) pair runs on its own simulated
+device, so a merged query's ``elapsed_ms`` is the scatter-gather
+*makespan* — the slowest shard — and its transaction counters are the
+sum over shards.  Only the *match set* is guaranteed identical to the
+single-engine path; simulated totals change shape with the shard count
+(that shift is exactly what :mod:`benchmarks.bench_shard_scaling`
+measures).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import GSIConfig
+from repro.core.engine import GSIEngine, PreparedQuery
+from repro.core.result import MatchResult, PhaseBreakdown
+from repro.errors import GraphError
+from repro.gpusim.meter import merge_shard_snapshots
+from repro.graph.labeled_graph import LabeledGraph
+from repro.service.executors import (
+    EngineBuildSpec,
+    ExecutedQuery,
+    QueryExecutor,
+    SerialExecutor,
+    _execute_one,
+)
+from repro.service.plan_cache import (
+    CacheStats,
+    CandidateShapeCache,
+    PlanCache,
+)
+from repro.shard.sharded_graph import ShardedGraph, ShardingInfo
+
+
+def query_center(query: LabeledGraph) -> Tuple[int, int]:
+    """``(anchor vertex, radius)`` of a connected query graph.
+
+    The anchor is a vertex of minimum eccentricity (lowest id on ties);
+    its eccentricity is the query radius, the halo depth needed to
+    answer the query shard-locally.  Raises
+    :class:`~repro.errors.GraphError` for empty or disconnected
+    queries (a disconnected query has no finite radius, so no halo
+    depth makes shard-local matching complete).
+    """
+    n = query.num_vertices
+    if n == 0:
+        raise GraphError("empty query")
+    best_u, best_ecc = 0, -1
+    for u in range(n):
+        dist = [-1] * n
+        dist[u] = 0
+        todo = deque([u])
+        while todo:
+            v = todo.popleft()
+            for w in query.neighbors(v):
+                w = int(w)
+                if dist[w] < 0:
+                    dist[w] = dist[v] + 1
+                    todo.append(w)
+        if min(dist) < 0:
+            raise GraphError(
+                "sharded execution requires a connected query")
+        ecc = max(dist)
+        if best_ecc < 0 or ecc < best_ecc:
+            best_u, best_ecc = u, ecc
+    return best_u, best_ecc
+
+
+class _ShardPlanView:
+    """Per-shard view of the shared plan cache.
+
+    Join *plans* are shared across shards (a plan is valid on any
+    graph, and the canonical fingerprint replays it), but the
+    candidate-*shape* memo must be per shard: cached candidate ids are
+    only meaningful against the shard's own signature table, and one
+    shared memo would rebind — and therefore clear — on every shard
+    switch, silently degrading every lookup to a miss.  Each view
+    delegates plan lookups/stores to the shared :class:`PlanCache` and
+    owns a private :class:`CandidateShapeCache` bound to its shard,
+    sharing the cache's lock and stats so snapshots stay consistent.
+    """
+
+    def __init__(self, plans: PlanCache) -> None:
+        self._plans = plans
+        self.shapes = CandidateShapeCache(
+            capacity=plans.shapes.capacity, stats=plans.stats,
+            lock=plans._lock)
+
+    def lookup(self, query: LabeledGraph):
+        return self._plans.lookup(query)
+
+    def store(self, fingerprint, plan, edge_labels=None) -> None:
+        self._plans.store(fingerprint, plan, edge_labels=edge_labels)
+
+
+# ----------------------------------------------------------------------
+# Executor fan-out plumbing (mirrors the stream engine's _DeltaContext)
+# ----------------------------------------------------------------------
+
+_EPOCHS = itertools.count(1)
+
+#: per-worker-process cache of shard engines, keyed (epoch, shard id)
+_WORKER_SHARD_ENGINES: Dict[Tuple[int, int], GSIEngine] = {}
+
+
+class _ShardContext:
+    """Batch-constant fan-out context.
+
+    In-process executors use the ``engines`` list directly.  Pickling
+    (the process executor) drops it and ships the per-shard
+    :class:`EngineBuildSpec` tuple instead; a worker builds an engine
+    only for the shards its chunks actually touch — lazily, cached per
+    ``(epoch, shard)`` — so repeated batches against the same
+    :class:`ShardedEngine` re-bootstrap nothing and no worker holds
+    engines for shards it never executes.
+
+    Known shipping trade-off (same one the stream engine documents for
+    its ``_DeltaContext``): the spec tuple — the whole replicated graph
+    — is pickled per chunk per batch, even when the receiving worker
+    already has its engines cached.  Shared-memory segments or
+    initializer-time spec delivery would cut this for large graphs; it
+    rides the existing ROADMAP open item on executor context shipping.
+    """
+
+    def __init__(self, epoch: int, specs: Tuple[EngineBuildSpec, ...],
+                 engines: Optional[List[GSIEngine]]) -> None:
+        self.epoch = epoch
+        self.specs = specs
+        self.engines = engines
+
+    def __getstate__(self) -> dict:
+        return {"epoch": self.epoch, "specs": self.specs}
+
+    def __setstate__(self, state: dict) -> None:
+        self.epoch = state["epoch"]
+        self.specs = state["specs"]
+        self.engines = None
+
+
+def _context_engine(ctx: _ShardContext, shard_id: int) -> GSIEngine:
+    if ctx.engines is not None:
+        return ctx.engines[shard_id]
+    key = (ctx.epoch, shard_id)
+    engine = _WORKER_SHARD_ENGINES.get(key)
+    if engine is None:
+        # One sharded engine per worker at a time keeps memory bounded:
+        # a new epoch evicts every older epoch's engines.
+        stale = [k for k in _WORKER_SHARD_ENGINES if k[0] != ctx.epoch]
+        for k in stale:
+            del _WORKER_SHARD_ENGINES[k]
+        engine = ctx.specs[shard_id].build()
+        _WORKER_SHARD_ENGINES[key] = engine
+    return engine
+
+
+#: fan-out payload: (task index, shard id, prepared query)
+_ShardTask = Tuple[int, int, PreparedQuery]
+
+
+def _execute_shard_task(ctx: _ShardContext,
+                        payload: _ShardTask) -> ExecutedQuery:
+    """Module-level worker function (picklable by reference)."""
+    index, shard_id, prepared = payload
+    return _execute_one(_context_engine(ctx, shard_id), index, prepared,
+                        "GSI-shard")
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ShardQueryStats:
+    """One (query, shard) outcome inside a sharded batch."""
+
+    shard: int
+    #: matches the shard found in its subgraph (before ownership dedup)
+    raw_matches: int
+    #: matches whose anchor the shard owns (what it contributes)
+    owned_matches: int
+    elapsed_ms: float
+    #: simulated memory transactions (GLD + GST) this shard spent
+    transactions: int
+    plan_cached: bool
+    timed_out: bool
+    error: Optional[str] = None
+
+
+@dataclass
+class ShardedItem:
+    """One query's merged outcome (submission order preserved)."""
+
+    index: int
+    result: MatchResult
+    per_shard: List[ShardQueryStats] = field(default_factory=list)
+    plan_cached: bool = False
+    host_ms: float = 0.0
+    error: Optional[str] = None
+
+
+@dataclass
+class ShardReport:
+    """Aggregate outcome of one :meth:`ShardedEngine.run_batch` call."""
+
+    items: List[ShardedItem] = field(default_factory=list)
+    wall_clock_ms: float = 0.0
+    cache: CacheStats = field(default_factory=CacheStats)
+    executor: str = ""
+    #: per-shard simulated transaction totals over the whole batch
+    shard_transactions: List[int] = field(default_factory=list)
+    #: per-shard ``NeighborStore.stats()`` at batch end
+    storage: List[dict] = field(default_factory=list)
+    #: sharding layout / replication statistics
+    info: Optional[ShardingInfo] = None
+
+    @property
+    def results(self) -> List[MatchResult]:
+        return [item.result for item in self.items]
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.items)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for item in self.items if item.error is not None)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(1 for item in self.items if item.result.timed_out)
+
+    @property
+    def total_matches(self) -> int:
+        return sum(item.result.num_matches for item in self.items)
+
+    @property
+    def max_shard_transactions(self) -> int:
+        """The busiest shard's simulated transaction total — the
+        scatter-gather bottleneck the scaling bench tracks."""
+        return max(self.shard_transactions, default=0)
+
+    @property
+    def total_transactions(self) -> int:
+        return sum(self.shard_transactions)
+
+    def summary_line(self) -> str:
+        info = self.info
+        layout = (f"{info.num_shards} shards ({info.partitioner}, "
+                  f"halo {info.halo_hops}, "
+                  f"{info.vertex_replication:.2f}x replication)"
+                  if info is not None else "unsharded")
+        return (f"{self.num_queries} queries over {layout} in "
+                f"{self.wall_clock_ms:.0f} ms wall via {self.executor} | "
+                f"matches={self.total_matches} "
+                f"timeouts={self.timeouts} errors={self.errors} | "
+                f"tx max/total = {self.max_shard_transactions}/"
+                f"{self.total_transactions} | "
+                f"plan cache {self.cache.hits}/{self.cache.lookups} hits")
+
+
+@dataclass
+class ShardedPrepared:
+    """Everything the gather phase needs about one prepared query."""
+
+    query: LabeledGraph
+    anchor_u: int
+    radius: int
+    per_shard: List[PreparedQuery] = field(default_factory=list)
+    plan_cached: bool = False
+    prepare_ms: float = 0.0
+
+
+# ----------------------------------------------------------------------
+
+
+class ShardedEngine:
+    """Scatter-gather subgraph matching over a :class:`ShardedGraph`.
+
+    Parameters
+    ----------
+    sharded:
+        The partitioned graph (shards already materialized).
+    config:
+        Engine configuration applied to every shard engine.
+    cache_capacity:
+        Shared plan-cache size (one cache across all shards — the
+        canonical fingerprint makes one planning pass serve them all).
+    executor:
+        Default :class:`~repro.service.executors.QueryExecutor` for the
+        scatter phase; ``None`` runs shards serially.  The caller owns
+        its lifecycle.
+    """
+
+    name = "GSI-shard"
+
+    def __init__(self, sharded: ShardedGraph,
+                 config: Optional[GSIConfig] = None,
+                 cache_capacity: int = 256,
+                 executor: Optional[QueryExecutor] = None) -> None:
+        self.sharded = sharded
+        self.config = config if config is not None else GSIConfig()
+        self.engines = [GSIEngine(shard.graph, self.config)
+                        for shard in sharded.shards]
+        self.plan_cache = PlanCache(capacity=cache_capacity)
+        # Plans are shared; candidate-shape memos are per shard (see
+        # _ShardPlanView — a shared memo would clear on every switch).
+        self._plan_views = [_ShardPlanView(self.plan_cache)
+                            for _ in self.engines]
+        self.executor = executor
+        self._ctx = _ShardContext(
+            epoch=next(_EPOCHS),
+            specs=tuple(EngineBuildSpec(shard.graph, self.config)
+                        for shard in sharded.shards),
+            engines=self.engines)
+
+    @property
+    def num_shards(self) -> int:
+        return self.sharded.num_shards
+
+    @property
+    def graph(self) -> LabeledGraph:
+        """The full (unsharded) data graph."""
+        return self.sharded.graph
+
+    # ------------------------------------------------------------------
+
+    def prepare(self, query: LabeledGraph) -> ShardedPrepared:
+        """Validate + filter the query on every shard; plan once.
+
+        Raises :class:`~repro.errors.GraphError` when the query is
+        empty, disconnected, or its radius exceeds the sharded graph's
+        halo depth (a deeper halo is required for exact shard-local
+        matching — rebuild the :class:`ShardedGraph` with larger
+        ``halo_hops``).
+        """
+        t0 = time.perf_counter()
+        anchor_u, radius = query_center(query)
+        if radius > self.sharded.halo_hops:
+            raise GraphError(
+                f"query radius {radius} exceeds the sharded graph's "
+                f"halo depth {self.sharded.halo_hops}; rebuild with "
+                f"halo_hops >= {radius} for exact sharded matching")
+        per_shard = [engine.prepare(query, plan_cache=view)
+                     for engine, view in zip(self.engines,
+                                             self._plan_views)]
+        planned = [p.plan_cached for p in per_shard if p.plan is not None]
+        return ShardedPrepared(
+            query=query, anchor_u=anchor_u, radius=radius,
+            per_shard=per_shard,
+            plan_cached=bool(planned) and all(planned),
+            prepare_ms=(time.perf_counter() - t0) * 1000.0)
+
+    # ------------------------------------------------------------------
+
+    def _merge(self, sp: ShardedPrepared,
+               outcomes: Sequence[ExecutedQuery]
+               ) -> Tuple[MatchResult, List[ShardQueryStats],
+                          Optional[str]]:
+        """Gather one query's shard outcomes into a merged result."""
+        merged = MatchResult(engine=self.name)
+        stats: List[ShardQueryStats] = []
+        kept: List[tuple] = []
+        error: Optional[str] = None
+        owner = self.sharded.owner
+        for shard_obj, prepared, out in zip(self.sharded.shards,
+                                            sp.per_shard, outcomes):
+            res = out.result
+            owned_matches = 0
+            if out.error is not None and error is None:
+                error = f"shard {shard_obj.shard_id}: {out.error}"
+            if res.timed_out:
+                merged.timed_out = True
+            if out.error is None:
+                for match in res.matches:
+                    gm = shard_obj.to_global(match)
+                    if owner[gm[sp.anchor_u]] == shard_obj.shard_id:
+                        kept.append(gm)
+                        owned_matches += 1
+            for u, size in res.candidate_sizes.items():
+                merged.candidate_sizes[u] = (
+                    merged.candidate_sizes.get(u, 0) + size)
+            stats.append(ShardQueryStats(
+                shard=shard_obj.shard_id,
+                raw_matches=res.num_matches,
+                owned_matches=owned_matches,
+                elapsed_ms=res.elapsed_ms,
+                transactions=res.counters.transactions,
+                plan_cached=prepared.plan_cached,
+                timed_out=res.timed_out,
+                error=out.error))
+        merged.counters = merge_shard_snapshots(
+            [out.result.counters for out in outcomes])
+        # Scatter-gather latency semantics: the batch is only done when
+        # the slowest shard answers.
+        merged.elapsed_ms = max(
+            (out.result.elapsed_ms for out in outcomes), default=0.0)
+        filter_ms = max((p.filter_ms for p in sp.per_shard), default=0.0)
+        merged.phases = PhaseBreakdown(
+            filter_ms=filter_ms,
+            join_ms=max(0.0, merged.elapsed_ms - filter_ms))
+        if error is not None:
+            # A failed shard breaks the completeness argument; never
+            # return a silently partial match set.
+            merged.matches = []
+        else:
+            merged.matches = sorted(kept)
+        return merged, stats, error
+
+    # ------------------------------------------------------------------
+
+    def match(self, query: LabeledGraph) -> MatchResult:
+        """Single-query scatter-gather (serial, in-process).
+
+        Raises on invalid queries and on shard-side failures; use
+        :meth:`run_batch` for per-item error isolation.
+        """
+        sp = self.prepare(query)
+        outcomes = [
+            _execute_one(engine, s, prepared, self.name)
+            for s, (engine, prepared)
+            in enumerate(zip(self.engines, sp.per_shard))]
+        merged, _, error = self._merge(sp, outcomes)
+        if error is not None:
+            raise RuntimeError(f"sharded match failed: {error}")
+        return merged
+
+    # ------------------------------------------------------------------
+
+    def _resolve_executor(self, executor: Optional[QueryExecutor]
+                          ) -> Tuple[QueryExecutor, bool]:
+        if executor is not None:
+            return executor, False
+        if self.executor is not None:
+            return self.executor, False
+        return SerialExecutor(), True
+
+    def run_batch(self, queries: Sequence[LabeledGraph],
+                  executor: Optional[QueryExecutor] = None) -> ShardReport:
+        """Serve one batch of queries; results keep submission order.
+
+        Phase 1 prepares every query serially in this process (shared
+        plan-cache accounting stays deterministic under every
+        executor); phase 2 scatters all (query, shard) execution tasks
+        through the executor at once — so shard work from different
+        queries overlaps freely — and phase 3 gathers, dedups by anchor
+        ownership, and merges.  A query that fails validation or loses
+        a shard reports a per-item error; the rest of the batch is
+        unaffected.
+        """
+        chosen, owned = self._resolve_executor(executor)
+        stats_before = self.plan_cache.stats_snapshot()
+        start = time.perf_counter()
+        num_shards = self.num_shards
+
+        items: List[Optional[ShardedItem]] = [None] * len(queries)
+        prepared_ok: Dict[int, ShardedPrepared] = {}
+        payloads: List[_ShardTask] = []
+        for index, query in enumerate(queries):
+            try:
+                sp = self.prepare(query)
+            except Exception as exc:  # noqa: BLE001 - one bad query must
+                # never abort the rest of the batch; report it per item.
+                items[index] = ShardedItem(
+                    index=index, result=MatchResult(engine=self.name),
+                    error=f"{type(exc).__name__}: {exc}")
+                continue
+            prepared_ok[index] = sp
+            for s in range(num_shards):
+                payloads.append((index * num_shards + s, s,
+                                 sp.per_shard[s]))
+
+        try:
+            outcomes = (chosen.map_tasks(_execute_shard_task, payloads,
+                                         shared=self._ctx)
+                        if payloads else [])
+        finally:
+            if owned:
+                chosen.shutdown()
+        if len(outcomes) != len(payloads):
+            raise RuntimeError(
+                f"executor {chosen.name!r} returned {len(outcomes)} "
+                f"outcomes for {len(payloads)} tasks")
+        by_index: Dict[int, ExecutedQuery] = {
+            out.index: out for out in outcomes}
+
+        shard_tx = [0] * num_shards
+        for index, sp in prepared_ok.items():
+            shard_outs = [by_index[index * num_shards + s]
+                          for s in range(num_shards)]
+            merged, per_shard, error = self._merge(sp, shard_outs)
+            for stat in per_shard:
+                shard_tx[stat.shard] += stat.transactions
+            items[index] = ShardedItem(
+                index=index, result=merged, per_shard=per_shard,
+                plan_cached=sp.plan_cached,
+                host_ms=sp.prepare_ms + max(
+                    (o.execute_ms for o in shard_outs), default=0.0),
+                error=error)
+
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        return ShardReport(
+            items=items,
+            wall_clock_ms=wall_ms,
+            cache=self.plan_cache.stats_snapshot().diff(stats_before),
+            executor=chosen.name,
+            shard_transactions=shard_tx,
+            storage=[engine.store.stats() for engine in self.engines],
+            info=self.sharded.info())

@@ -63,3 +63,68 @@ class TestCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["stream", "--engine",
                                        "gsi-baseline"])
+
+
+class TestShardedCommands:
+    def test_batch_sharded(self, capsys):
+        rc = main(["batch", "--dataset", "enron", "--queries", "2",
+                   "--query-vertices", "4", "--shards", "2",
+                   "--executor", "serial"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 shards" in out
+        assert "replication" in out
+        assert "per-shard tx" in out
+
+    def test_batch_sharded_matches_unsharded(self, capsys):
+        argv = ["batch", "--dataset", "enron", "--queries", "2",
+                "--query-vertices", "4", "--executor", "serial"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--shards", "3",
+                            "--partitioner", "label"]) == 0
+        sharded = capsys.readouterr().out
+
+        def match_column(out):
+            return [line.split("|")[1].strip()
+                    for line in out.splitlines()
+                    if line.strip() and line.split("|")[0].strip()
+                    .isdigit()]
+
+        assert match_column(plain) == match_column(sharded)
+
+    def test_shard_info(self, capsys):
+        rc = main(["shard-info", "--dataset", "enron", "--shards", "4",
+                   "--query-vertices", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shard layout" in out
+        assert "replication" in out
+
+    def test_batch_chunking_flag(self, capsys):
+        rc = main(["batch", "--dataset", "enron", "--queries", "2",
+                   "--query-vertices", "4", "--executor", "serial",
+                   "--chunking", "cost"])
+        assert rc == 0
+
+    @pytest.mark.parametrize("argv", [
+        ["batch", "--dataset", "enron", "--shards", "0"],
+        ["batch", "--dataset", "enron", "--shards", "-2"],
+        ["batch", "--dataset", "enron", "--workers", "0"],
+        ["batch", "--dataset", "enron", "--workers", "-1"],
+        ["batch", "--dataset", "enron", "--cache-capacity", "0"],
+        ["shard-info", "--dataset", "enron", "--shards", "0"],
+        ["stream", "--dataset", "enron", "--workers", "0"],
+    ])
+    def test_non_positive_arguments_rejected(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "must be >= 1" in err
+
+    def test_bad_partitioner_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch", "--partitioner", "meti"])
+
+    def test_bad_chunking_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch", "--chunking", "rand"])

@@ -1,0 +1,146 @@
+"""Tests for cost-aware executor chunking and argument validation.
+
+Chunking policy moves work between pickled chunks, never answers: the
+regression here is (a) that a skewed batch — one heavy query plus many
+light ones — no longer lands its heavy query in the same static slice
+as a pile of others, and (b) that results stay byte-identical to the
+serial reference under either policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import random_walk_query, scale_free_graph
+from repro.service import BatchEngine, make_executor
+from repro.service.executors import (
+    CHUNKING_KINDS,
+    ProcessExecutor,
+    balanced_chunks,
+    estimated_task_cost,
+)
+
+
+class _FakePrepared:
+    def __init__(self, sizes, plan="plan"):
+        self.candidate_sizes = sizes
+        self.plan = plan
+
+
+class TestEstimatedTaskCost:
+    def test_sums_candidate_mass(self):
+        assert estimated_task_cost(
+            _FakePrepared({0: 10, 1: 5, 2: 1})) == 16
+
+    def test_planless_and_empty_score_one(self):
+        assert estimated_task_cost(_FakePrepared({}, plan=None)) == 1
+        assert estimated_task_cost(_FakePrepared({0: 50}, plan=None)) == 1
+        assert estimated_task_cost(object()) == 1
+
+
+class TestBalancedChunks:
+    def test_skewed_batch_balances_better_than_static(self):
+        # One huge task plus seven tiny ones, two chunks.  A static
+        # equal-count split puts the huge task with three others; LPT
+        # isolates it.
+        costs = [1000, 1, 1, 1, 1, 1, 1, 1]
+        items = list(range(8))
+        chunks = balanced_chunks(items, 2, costs)
+        loads = [sum(costs[i] for i in chunk) for chunk in chunks]
+        static_loads = [sum(costs[0:4]), sum(costs[4:8])]
+        assert max(loads) < max(static_loads)
+        assert max(loads) == 1000  # the heavy task rides alone-ish
+        # Every item appears exactly once.
+        assert sorted(i for chunk in chunks for i in chunk) == items
+
+    def test_deterministic_and_order_contract(self):
+        costs = [5, 3, 8, 1, 9, 2]
+        items = ["a", "b", "c", "d", "e", "f"]
+        first = balanced_chunks(items, 3, costs)
+        second = balanced_chunks(items, 3, costs)
+        assert first == second
+        # Chunks are ordered by first item; items inside a chunk keep
+        # submission order.
+        firsts = [items.index(chunk[0]) for chunk in first]
+        assert firsts == sorted(firsts)
+        for chunk in first:
+            indexes = [items.index(x) for x in chunk]
+            assert indexes == sorted(indexes)
+
+    def test_more_chunks_than_items(self):
+        chunks = balanced_chunks([1, 2], 8, [1, 1])
+        assert sorted(x for c in chunks for x in c) == [1, 2]
+
+    def test_cost_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="one cost per item"):
+            balanced_chunks([1, 2], 2, [1])
+
+
+class TestMakeExecutorValidation:
+    @pytest.mark.parametrize("workers", [0, -1, -100])
+    def test_rejects_non_positive_workers(self, workers):
+        for kind in ("serial", "thread", "process"):
+            with pytest.raises(ValueError, match="max_workers"):
+                make_executor(kind, max_workers=workers)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown executor kind"):
+            make_executor("gpu")
+
+    def test_rejects_unknown_chunking(self):
+        with pytest.raises(ValueError, match="unknown chunking"):
+            make_executor("process", 2, chunking="dynamic")
+        with pytest.raises(ValueError, match="unknown chunking"):
+            ProcessExecutor(chunking="dynamic")
+
+    def test_chunking_kinds_constant(self):
+        assert CHUNKING_KINDS == ("static", "cost")
+
+    def test_cost_chunking_constructs(self):
+        executor = make_executor("process", 2, chunking="cost")
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.chunking == "cost"
+        executor.shutdown()
+
+
+class TestCostChunkingEndToEnd:
+    def test_prepared_chunks_balance_skew(self):
+        executor = ProcessExecutor(max_workers=2, chunking="cost")
+        tasks = [(i, _FakePrepared({0: 500 if i == 0 else 2}))
+                 for i in range(9)]
+        chunks = executor._prepared_chunks(tasks)
+        static = executor._chunks(tasks)
+        heavy_chunk = next(c for c in chunks if c[0][0] == 0)
+        static_heavy = next(c for c in static if any(i == 0
+                                                     for i, _ in c))
+        assert len(heavy_chunk) < len(static_heavy)
+        assert sorted(i for c in chunks for i, _ in c) == list(range(9))
+
+    def test_explicit_chunk_size_wins_over_cost(self):
+        executor = ProcessExecutor(max_workers=2, chunk_size=3,
+                                   chunking="cost")
+        tasks = [(i, _FakePrepared({0: 100 if i == 0 else 1}))
+                 for i in range(6)]
+        chunks = executor._prepared_chunks(tasks)
+        assert [len(c) for c in chunks] == [3, 3]
+
+    def test_skewed_batch_results_identical_across_chunking(self):
+        """A genuinely skewed batch (one dense hub query, several tiny
+        ones) must produce byte-identical reports under static and
+        cost chunking."""
+        graph = scale_free_graph(48, 3, 3, 3, seed=11)
+        queries = ([random_walk_query(graph, 5, seed=1)]
+                   + [random_walk_query(graph, 3, seed=s)
+                      for s in range(2, 8)])
+        reference = None
+        for chunking in CHUNKING_KINDS:
+            with make_executor("process", 2, chunking=chunking) as ex:
+                service = BatchEngine(graph, executor=ex)
+                report = service.run_batch(queries)
+            got = ([sorted(item.result.matches)
+                    for item in report.items],
+                   [item.result.counters.gld for item in report.items],
+                   report.cache.hits)
+            if reference is None:
+                reference = got
+            assert got == reference
