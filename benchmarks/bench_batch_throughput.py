@@ -25,7 +25,7 @@ import time
 
 import pytest
 
-from bench_common import record_report
+from bench_common import record_report, write_bench_json
 from repro.bench.reporting import render_table
 from repro.core.config import GSIConfig
 from repro.core.engine import GSIEngine
@@ -52,7 +52,8 @@ def run_executor_comparison(num_queries: int = EXEC_QUERIES,
                             vertices: int = EXEC_VERTICES,
                             workers: int = EXEC_WORKERS,
                             executors=EXECUTOR_KINDS,
-                            seed: int = 9):
+                            seed: int = 9,
+                            data_plane: str = "shm"):
     """Serve one identical batch under each executor; compare wall-clock.
 
     Each arm gets a fresh :class:`BatchEngine` (so plan/shape caches
@@ -72,7 +73,7 @@ def run_executor_comparison(num_queries: int = EXEC_QUERIES,
     outcomes = {}
     rows = []
     for kind in executors:
-        executor = make_executor(kind, workers)
+        executor = make_executor(kind, workers, data_plane=data_plane)
         try:
             service = BatchEngine(graph, config, max_workers=workers,
                                   executor=executor)
@@ -87,6 +88,7 @@ def run_executor_comparison(num_queries: int = EXEC_QUERIES,
             "report": report,
             "match_sets": [r.match_set() for r in report.results],
             "total_tx": report.total_gld + report.total_gst,
+            "shipment": getattr(executor, "last_shipment", None),
         }
     baseline = executors[0]  # first arm anchors the speedup column
     baseline_ms = outcomes[baseline]["wall_ms"]
@@ -106,6 +108,38 @@ def run_executor_comparison(num_queries: int = EXEC_QUERIES,
              "across executors — executors change wall-clock only; "
              "process-pool speedup needs multiple usable cores")
     return outcomes, table
+
+
+def measure_shipped_bytes(vertices: int = EXEC_VERTICES,
+                          num_queries: int = 8,
+                          workers: int = 2, seed: int = 9):
+    """Per-batch serialized context bytes under both process data planes.
+
+    Runs the same warm batch through a process executor once per plane
+    and reads ``executor.last_shipment``: the pickle plane re-ships the
+    full graph + config every batch, while the shm plane ships a compact
+    segment-name handle whose size is independent of ``|G|``.  Returns a
+    JSON-ready dict with both measurements and their ratio.
+    """
+    graph = scale_free_graph(vertices, 4, 6, 6, seed=seed)
+    config = GSIConfig.gsi_opt()
+    queries = [random_walk_query(graph, 4, seed=s)
+               for s in range(num_queries)]
+    shipped = {}
+    for plane in ("pickle", "shm"):
+        executor = make_executor("process", workers, data_plane=plane)
+        try:
+            service = BatchEngine(graph, config, max_workers=workers,
+                                  executor=executor)
+            service.run_batch(queries)  # cold: pool spawn + first publish
+            service.run_batch(queries)  # warm: steady-state shipment
+            shipped[plane] = dict(executor.last_shipment)
+        finally:
+            executor.shutdown()
+    ratio = (shipped["shm"]["context_bytes"]
+             / max(1, shipped["pickle"]["context_bytes"]))
+    return {"vertices": vertices, "edges": graph.num_edges,
+            "planes": shipped, "shm_over_pickle": ratio}
 
 
 @pytest.fixture(scope="module")
@@ -263,16 +297,29 @@ if __name__ == "__main__":
     parser.add_argument("--queries", type=int, default=EXEC_QUERIES)
     parser.add_argument("--vertices", type=int, default=EXEC_VERTICES)
     parser.add_argument("--workers", type=int, default=EXEC_WORKERS)
+    parser.add_argument("--data-plane", default="shm",
+                        choices=["shm", "pickle"],
+                        help="process-executor data plane (shared "
+                             "memory handles vs legacy full pickling)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write BENCH_batch_throughput.json here "
+                             "(a directory, or an exact .json path)")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="with 'compare': exit nonzero unless "
                              "process beats thread by this factor")
+    parser.add_argument("--assert-shm-ratio", type=float, default=None,
+                        metavar="R",
+                        help="measure warm per-batch shipped bytes "
+                             "under both planes and exit nonzero "
+                             "unless shm < R x pickle")
     cli_args = parser.parse_args()
 
     kinds = (EXECUTOR_KINDS if cli_args.executor == "compare"
              else tuple(dict.fromkeys(("serial", cli_args.executor))))
     outcomes, report_table = run_executor_comparison(
         num_queries=cli_args.queries, vertices=cli_args.vertices,
-        workers=cli_args.workers, executors=kinds)
+        workers=cli_args.workers, executors=kinds,
+        data_plane=cli_args.data_plane)
     print(report_table)
     serial = outcomes["serial"]
     for kind, out in outcomes.items():
@@ -282,11 +329,47 @@ if __name__ == "__main__":
             f"{kind} executor changed transaction totals")
     print("OK: match sets and transaction totals identical across "
           f"executors: {', '.join(outcomes)}")
+
+    payload = {
+        "bench": "batch_throughput",
+        "params": {"queries": cli_args.queries,
+                   "vertices": cli_args.vertices,
+                   "workers": cli_args.workers,
+                   "data_plane": cli_args.data_plane,
+                   "usable_cores": _usable_cores()},
+        "executors": {
+            kind: {"wall_ms": out["wall_ms"],
+                   "total_tx": out["total_tx"],
+                   "matches": out["report"].total_matches,
+                   "shipment": out["shipment"]}
+            for kind, out in outcomes.items()
+        },
+    }
+    failed = False
+    if cli_args.assert_shm_ratio is not None:
+        shipped = measure_shipped_bytes(vertices=cli_args.vertices,
+                                        workers=cli_args.workers)
+        payload["shipped_bytes"] = shipped
+        print(f"warm per-batch context: "
+              f"shm {shipped['planes']['shm']['context_bytes']} B vs "
+              f"pickle {shipped['planes']['pickle']['context_bytes']} B "
+              f"(ratio {shipped['shm_over_pickle']:.4f}, required "
+              f"< {cli_args.assert_shm_ratio:.4f})")
+        if shipped["shm_over_pickle"] >= cli_args.assert_shm_ratio:
+            print("FAIL: shm plane shipped too many bytes per batch")
+            failed = True
     if cli_args.min_speedup is not None and "process" in outcomes \
             and "thread" in outcomes:
         ratio = (outcomes["thread"]["wall_ms"]
                  / outcomes["process"]["wall_ms"])
+        payload["process_vs_thread_speedup"] = ratio
         print(f"process-vs-thread speedup: {ratio:.2f}x "
               f"(required {cli_args.min_speedup:.2f}x)")
         if ratio < cli_args.min_speedup:
-            sys.exit(1)
+            failed = True
+    if cli_args.json is not None:
+        written = write_bench_json("batch_throughput", payload,
+                                   cli_args.json)
+        print(f"wrote {written}")
+    if failed:
+        sys.exit(1)

@@ -13,9 +13,10 @@ test suite's ``tests/conftest.py``.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
-from typing import List
+from typing import Any, List, Optional
 
 _REPORTS: List[str] = []
 _RESULTS_DIR = Path(__file__).parent / "results"
@@ -38,3 +39,26 @@ def record_report(name: str, text: str) -> None:
 def collected_reports() -> List[str]:
     """All tables recorded so far (consumed by the terminal summary)."""
     return list(_REPORTS)
+
+
+def write_bench_json(name: str, payload: Any,
+                     path: Optional[str] = None) -> Path:
+    """Persist a benchmark's machine-readable outcome as JSON.
+
+    ``path`` is the user-supplied ``--json`` argument: a path ending in
+    ``.json`` is used verbatim; anything else is treated as a directory
+    receiving ``BENCH_<name>.json``.  With no ``path`` the file lands in
+    ``benchmarks/results/``.  Returns the path written.
+    """
+    if path is None:
+        target = _RESULTS_DIR / f"BENCH_{name}.json"
+    else:
+        candidate = Path(path)
+        if candidate.suffix == ".json":
+            target = candidate
+        else:
+            target = candidate / f"BENCH_{name}.json"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                                 default=str) + "\n", encoding="utf-8")
+    return target

@@ -17,7 +17,7 @@ from typing import Dict, Tuple
 import numpy as np
 import pytest
 
-from bench_common import record_report
+from bench_common import record_report, write_bench_json
 from repro.bench.reporting import render_table
 from repro.graph.generators import scale_free_graph
 from repro.graph.labeled_graph import LabeledGraph
@@ -52,9 +52,9 @@ def _seed_build(n, edges):
     return src[order], dst[order], lab_arr[order], counts
 
 
-@pytest.fixture(scope="module")
-def build_timing():
-    num_vertices = max(2, TARGET_EDGES // 4)
+def run_graph_build(target_edges: int = TARGET_EDGES):
+    """Time both constructor paths once; returns ``(outcomes, table)``."""
+    num_vertices = max(2, target_edges // 4)
     graph = scale_free_graph(num_vertices, 4, 5, 8, seed=1)
     edges = list(graph.edges())
     vlabels = list(graph.vertex_labels)
@@ -85,9 +85,15 @@ def build_timing():
          ["per-edge seed constructor", f"{loop_ms:.1f}", "1.0x"]],
         note="both paths validate, dedup, lay out the sorted CSR "
              "incidence arrays, and count label frequencies")
+    return ({"vectorized_ms": vectorized_ms, "loop_ms": loop_ms,
+             "graph": rebuilt}, table)
+
+
+@pytest.fixture(scope="module")
+def build_timing():
+    outcomes, table = run_graph_build()
     record_report("graph_build", table)
-    return {"vectorized_ms": vectorized_ms, "loop_ms": loop_ms,
-            "graph": rebuilt}
+    return outcomes
 
 
 def test_vectorized_build_beats_seed_loop(build_timing):
@@ -96,3 +102,37 @@ def test_vectorized_build_beats_seed_loop(build_timing):
 
 def test_benchmark_graph_is_at_scale(build_timing):
     assert build_timing["graph"].num_edges >= 0.9 * TARGET_EDGES
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="graph-construction benchmark (also runs under "
+                    "pytest with assertions)")
+    parser.add_argument("--edges", type=int, default=TARGET_EDGES)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write BENCH_graph_build.json here "
+                             "(a directory, or an exact .json path)")
+    cli_args = parser.parse_args()
+
+    outcomes, report_table = run_graph_build(cli_args.edges)
+    print(report_table)
+    assert outcomes["vectorized_ms"] < outcomes["loop_ms"], (
+        "vectorized constructor must beat the per-edge seed loop")
+    print(f"OK: vectorized build "
+          f"{outcomes['loop_ms'] / outcomes['vectorized_ms']:.1f}x "
+          f"faster on {outcomes['graph'].num_edges} edges")
+    if cli_args.json is not None:
+        payload = {
+            "bench": "graph_build",
+            "params": {"target_edges": cli_args.edges},
+            "edges": outcomes["graph"].num_edges,
+            "vertices": outcomes["graph"].num_vertices,
+            "vectorized_ms": outcomes["vectorized_ms"],
+            "loop_ms": outcomes["loop_ms"],
+            "speedup": outcomes["loop_ms"] / outcomes["vectorized_ms"],
+        }
+        written = write_bench_json("graph_build", payload,
+                                   cli_args.json)
+        print(f"wrote {written}")

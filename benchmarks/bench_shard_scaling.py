@@ -33,7 +33,7 @@ import os
 
 import pytest
 
-from bench_common import record_report
+from bench_common import record_report, write_bench_json
 from repro.bench.reporting import render_table
 from repro.core.engine import GSIEngine
 from repro.graph.generators import mesh_graph, random_walk_query
@@ -156,6 +156,9 @@ if __name__ == "__main__":
                         help="CI smoke size (16x16 mesh, 4 queries)")
     parser.add_argument("--mesh-side", type=int, default=None)
     parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write BENCH_shard_scaling.json here "
+                             "(a directory, or an exact .json path)")
     cli_args = parser.parse_args()
 
     side = cli_args.mesh_side or (16 if cli_args.quick else MESH_SIDE)
@@ -173,3 +176,22 @@ if __name__ == "__main__":
     print(f"OK: all {len(outcomes)} sharded arms byte-identical to the "
           f"single engine; hash per-shard max tx {hash_series} "
           f"strictly decreasing")
+    if cli_args.json is not None:
+        payload = {
+            "bench": "shard_scaling",
+            "params": {"mesh_side": side, "queries": nq,
+                       "halo_hops": HALO_HOPS},
+            "reference_tx": reference["transactions"],
+            "arms": {
+                f"{partitioner}/{shards}": {
+                    "max_shard_tx": out["max_shard_tx"],
+                    "total_tx": out["total_tx"],
+                    "vertex_replication": out["vertex_replication"],
+                    "edge_replication": out["edge_replication"],
+                }
+                for (partitioner, shards), out in outcomes.items()
+            },
+        }
+        written = write_bench_json("shard_scaling", payload,
+                                   cli_args.json)
+        print(f"wrote {written}")

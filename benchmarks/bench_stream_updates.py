@@ -38,7 +38,7 @@ import time
 import numpy as np
 import pytest
 
-from bench_common import record_report
+from bench_common import record_report, write_bench_json
 from repro.bench.reporting import render_table
 from repro.core.engine import GSIEngine
 from repro.dynamic import (
@@ -260,11 +260,12 @@ def commit_heavy_comparison():
 def run_stream_executors(executors=("serial", "thread", "process"),
                          num_batches: int = 4, batch_size: int = 16,
                          vertices: int = 600, num_queries: int = 6,
-                         workers: int = 4):
+                         workers: int = 4, data_plane: str = "shm"):
     """Replay one stream once per executor; assert identical deltas.
 
     Returns ``(outcomes, table)``; outcomes map executor name to wall
-    ms plus the per-batch created/destroyed totals and final match
+    ms plus the per-batch created/destroyed totals, the per-batch
+    shipped context bytes (process executor only), and final match
     sets that must agree across executors.
     """
     from repro.service import make_executor
@@ -276,24 +277,31 @@ def run_stream_executors(executors=("serial", "thread", "process"),
     outcomes = {}
     rows = []
     for kind in executors:
-        executor = make_executor(kind, workers)
+        executor = make_executor(kind, workers, data_plane=data_plane)
+        engine = None
         try:
             engine = StreamEngine(graph, executor=executor)
             qids = [engine.register(q) for q in queries]
             stream = random_update_stream(graph, num_batches,
                                           batch_size, seed=5)
             deltas = []
+            shipped = []
             t0 = time.perf_counter()
             for delta in stream:
                 report = engine.apply_batch(delta)
                 deltas.append((report.total_created,
                                report.total_destroyed))
+                shipment = getattr(executor, "last_shipment", None)
+                shipped.append(None if shipment is None
+                               else shipment["context_bytes"])
             wall_ms = (time.perf_counter() - t0) * 1000.0
             final = [frozenset(engine.matches(qid)) for qid in qids]
         finally:
+            if engine is not None:
+                engine.close()
             executor.shutdown()
         outcomes[kind] = {"wall_ms": wall_ms, "deltas": deltas,
-                          "final": final}
+                          "final": final, "shipped_bytes": shipped}
         rows.append([kind, f"{wall_ms:.0f}",
                      sum(d[0] for d in deltas),
                      sum(d[1] for d in deltas),
@@ -368,6 +376,12 @@ if __name__ == "__main__":
     parser.add_argument("--vertices", type=int, default=600)
     parser.add_argument("--queries", type=int, default=6)
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--data-plane", default="shm",
+                        choices=["shm", "pickle"],
+                        help="process-executor data plane")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write BENCH_stream_updates.json here "
+                             "(a directory, or an exact .json path)")
     cli_args = parser.parse_args()
     if cli_args.executor is not None:
         kinds = (("serial", "thread", "process")
@@ -378,7 +392,8 @@ if __name__ == "__main__":
             executors=kinds, num_batches=cli_args.batches,
             batch_size=cli_args.batch_size,
             vertices=cli_args.vertices,
-            num_queries=cli_args.queries, workers=cli_args.workers)
+            num_queries=cli_args.queries, workers=cli_args.workers,
+            data_plane=cli_args.data_plane)
         print(report_table)
         serial_arm = exec_outcomes["serial"]
         for kind, out in exec_outcomes.items():
@@ -388,10 +403,41 @@ if __name__ == "__main__":
                 f"{kind} executor changed the final match sets")
         print("OK: per-batch deltas and final match sets identical "
               f"across executors: {', '.join(exec_outcomes)}")
+        if cli_args.json is not None:
+            payload = {
+                "bench": "stream_updates",
+                "params": {"batches": cli_args.batches,
+                           "batch_size": cli_args.batch_size,
+                           "vertices": cli_args.vertices,
+                           "queries": cli_args.queries,
+                           "workers": cli_args.workers,
+                           "data_plane": cli_args.data_plane},
+                "executors": {
+                    kind: {"wall_ms": out["wall_ms"],
+                           "created": sum(d[0] for d in out["deltas"]),
+                           "destroyed": sum(d[1]
+                                            for d in out["deltas"]),
+                           "shipped_bytes_per_batch":
+                               out["shipped_bytes"]}
+                    for kind, out in exec_outcomes.items()
+                },
+            }
+            written = write_bench_json("stream_updates", payload,
+                                       cli_args.json)
+            print(f"wrote {written}")
     elif cli_args.commit_heavy:
         _, report_table = run_commit_heavy(cli_args.edges,
                                            cli_args.batches)
         print(report_table)
+        if cli_args.json is not None:
+            written = write_bench_json(
+                "stream_commit_heavy",
+                {"bench": "stream_commit_heavy",
+                 "params": {"edges": cli_args.edges,
+                            "batches": cli_args.batches},
+                 "table": report_table},
+                cli_args.json)
+            print(f"wrote {written}")
     else:
         parser.error("pass --commit-heavy or --executor KIND (the "
                      "stream comparison runs under pytest: python -m "

@@ -184,7 +184,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
                                 cache_capacity=args.cache_capacity)
 
     with make_executor(args.executor, args.workers,
-                       chunking=args.chunking) as executor:
+                       chunking=args.chunking,
+                       data_plane=args.data_plane) as executor:
         summary, report = run_workload_batched(
             wl, config=GSI_CONFIGS[args.engine](),
             engine_label=f"{args.engine}-batch",
@@ -192,6 +193,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
             cache_capacity=args.cache_capacity,
             executor=executor,
             sharded=sharded)
+    if sharded is not None:
+        sharded.close()  # unlink any published shard segments
     rows = []
     for i, item in enumerate(report.items):
         r = item.result
@@ -263,7 +266,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
     total_tx = 0
     total_commit_tx = 0
     health = {}
-    with make_executor(args.executor, args.workers) as executor:
+    with make_executor(args.executor, args.workers,
+                       data_plane=args.data_plane) as executor:
         engine = StreamEngine(graph, GSI_CONFIGS[args.engine](),
                               compact_dead_ratio=args.compact_dead_ratio,
                               executor=executor)
@@ -292,6 +296,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
                          report.rebuilds, report.compactions,
                          report.plans_invalidated,
                          f"{report.wall_ms:.1f}"])
+    engine.close()  # unlink any published snapshot segments
     rebuild_tx = full_rebuild_transactions(
         engine.graph, signature_bits=engine.config.signature_bits,
         gpn=engine.config.gpn)
@@ -367,6 +372,12 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["static", "cost"],
                    help="process-executor batch chunking: equal-count "
                         "slices or candidate-size-balanced bins")
+    b.add_argument("--data-plane", default="shm",
+                   choices=["shm", "pickle"],
+                   help="how the process executor ships the data graph "
+                        "to workers: shared-memory handles (O(handle) "
+                        "bytes per batch) or full pickles (legacy "
+                        "baseline)")
 
     si = sub.add_parser("shard-info",
                         help="partition a dataset and print the "
@@ -393,6 +404,11 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["serial", "thread", "process"],
                     help="how per-query delta matching runs across the "
                          "registered continuous queries")
+    st.add_argument("--data-plane", default="shm",
+                    choices=["shm", "pickle"],
+                    help="how the process executor ships the snapshot "
+                         "to workers: shared-memory handles or full "
+                         "pickles (legacy baseline)")
     st.add_argument("--delete-fraction", type=float, default=0.3)
     st.add_argument("--compact-dead-ratio", type=float, default=0.25,
                     help="compact a PCSR partition's ci region in place "

@@ -33,14 +33,17 @@ module-level functions over a picklable :class:`_DeltaContext` so a
 process pool can run queries on real cores; results merge back in
 registration order, so every executor produces identical reports.
 
-Process-pool caveat: the batch-constant context (committed snapshot +
-signature table) is pickled to each worker per batch, an O(|G|)
-shipping cost.  A process executor therefore pays off for *many
-registered queries with non-trivial extension work per batch* and loses
-to serial/thread for tiny batches on large graphs — the benchmark's
-``--executor compare`` mode measures exactly this trade-off.  (Shipping
-only the `GraphDelta` to stateful worker-side mirrors would remove the
-cost; see ROADMAP open items.)
+Under a process executor on the default shm data plane the
+batch-constant context (committed snapshot + signature table) lives in
+named shared-memory segments (:mod:`repro.storage.shm`): each commit
+publishes the new snapshot as a *patch* over the previous publication —
+only the chunks containing touched vertices allocate new segments, the
+rest are shared by refcount — and what pickles into each worker chunk
+is a :class:`~repro.storage.shm.GraphSnapshotHandle` of O(handle)
+bytes, independent of ``|G|``.  Workers attach read-only by name and
+memoize per epoch.  (On the legacy pickle plane, or for executors
+without a ``data_plane``, the full context still rides in the pickle —
+the benchmark's ``--executor compare`` mode measures the difference.)
 """
 
 from __future__ import annotations
@@ -64,6 +67,14 @@ from repro.graph.labeled_graph import LabeledGraph
 from repro.gpusim.meter import MeterSnapshot
 from repro.service.executors import QueryExecutor, SerialExecutor
 from repro.service.plan_cache import PlanCache
+from repro.storage.shm import (
+    DEFAULT_CHUNK,
+    BlockLease,
+    GraphSnapshotHandle,
+    attach_snapshot,
+    publish_snapshot,
+    publish_snapshot_patch,
+)
 
 Match = Tuple[int, ...]
 
@@ -160,6 +171,14 @@ class _DeltaContext:
     chunk under a process executor) by every registered query's
     created/destroyed computation.  Everything here is read-only for
     the duration of the batch.
+
+    When ``handle`` is set (shm data plane), pickling drops the
+    data-graph-sized members — the committed snapshot and the signature
+    table — and a worker re-derives them by attaching the published
+    shared-memory segments, so the pickled context is O(handle) bytes.
+    The in-process object always keeps the direct references: serial
+    and thread executors (and the serial fallback after a pool failure)
+    never attach.
     """
 
     snapshot: LabeledGraph
@@ -168,6 +187,19 @@ class _DeltaContext:
     table: np.ndarray
     signature_bits: int
     label_bits: int
+    handle: Optional[GraphSnapshotHandle] = None
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        if state.get("handle") is not None:
+            state["snapshot"] = None
+            state["table"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        if self.handle is not None:
+            self.snapshot, self.table = attach_snapshot(self.handle)
 
 
 #: payload per registered query: (query id, query graph, live matches)
@@ -377,6 +409,14 @@ class StreamEngine:
         # abstraction as the batch service (serial by default).
         self.executor = executor if executor is not None \
             else SerialExecutor()
+        # shm data plane: the current snapshot publication (handle +
+        # lease).  Published lazily on the first batch that fans out to
+        # a shm-plane process executor, patched per commit thereafter.
+        self._plane: Optional[
+            Tuple[GraphSnapshotHandle, BlockLease]] = None
+        #: rows per published chunk — the patch-sharing granularity
+        #: (tests shrink it to exercise chunk reuse on small graphs)
+        self.plane_chunk = DEFAULT_CHUNK
 
     # ------------------------------------------------------------------
     # Query management
@@ -491,7 +531,8 @@ class StreamEngine:
             seed=seed,
             table=self.index.signature_table.table,
             signature_bits=self.config.signature_bits,
-            label_bits=self.config.label_bits)
+            label_bits=self.config.label_bits,
+            handle=self._publish_snapshot(commit))
         # Snapshot the registration list: per-query work is handed to
         # the executor as pure tasks, and merged back by query id in
         # registration order regardless of completion order.
@@ -536,6 +577,60 @@ class StreamEngine:
         report.wall_ms = (time.perf_counter() - t0) * 1000.0
         self.batches_applied += 1
         return report
+
+    # ------------------------------------------------------------------
+    # The shm data plane
+    # ------------------------------------------------------------------
+
+    def _uses_shm_plane(self) -> bool:
+        """Whether the configured executor ships contexts by handle."""
+        return (getattr(self.executor, "name", None) == "process"
+                and getattr(self.executor, "data_plane", None) == "shm")
+
+    def _publish_snapshot(self, commit: CommitResult
+                          ) -> Optional[GraphSnapshotHandle]:
+        """Publish this commit's snapshot + signature rows into shared
+        memory, patching the previous publication.
+
+        Only chunks containing a touched vertex allocate new segments;
+        the rest are re-leased from the previous epoch, so steady-state
+        commits cost O(changes) fresh shared memory.  The previous
+        lease is released only *after* the new publication holds its
+        references, which is what keeps the shared chunks alive.
+        Returns ``None`` (and publishes nothing) unless the executor
+        fans out over the shm plane.
+        """
+        if not self._uses_shm_plane():
+            return None
+        epoch = self.batches_applied + 1
+        table = self.index.signature_table.table
+        prev = self._plane
+        if prev is not None and prev[0].graph.chunk == self.plane_chunk:
+            handle, lease = publish_snapshot_patch(
+                prev[0], commit.snapshot, table,
+                commit.touched_vertices, epoch=epoch,
+                chunk=self.plane_chunk)
+        else:
+            handle, lease = publish_snapshot(
+                commit.snapshot, table, epoch=epoch,
+                chunk=self.plane_chunk)
+        self._plane = (handle, lease)
+        if prev is not None:
+            prev[1].release()
+        return handle
+
+    def close(self) -> None:
+        """Release the snapshot publication (idempotent).  The engine
+        stays usable; the next batch republishes in full."""
+        plane, self._plane = self._plane, None
+        if plane is not None:
+            plane[1].release()
+
+    def __enter__(self) -> "StreamEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Delta matching

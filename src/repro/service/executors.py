@@ -21,7 +21,7 @@ change wall-clock only, never match sets, simulated measurements, or
 transaction totals (each query runs on its own simulated device whose
 accounting is deterministic).
 
-Pickling contract (ProcessExecutor)
+Shipping contract (ProcessExecutor)
 -----------------------------------
 
 :meth:`QueryExecutor.execute_prepared` ships
@@ -30,14 +30,29 @@ everything a prepared query carries must pickle: the query
 :class:`~repro.graph.labeled_graph.LabeledGraph` (numpy arrays), the
 candidate arrays, the :class:`~repro.core.plan.JoinPlan` (tuples), and
 the simulated :class:`~repro.gpusim.device.Device` mid-flight (plain
-counters — no locks, no handles).  The data-graph-sized artifacts are
-*not* shipped per query: each worker process bootstraps its own engine
-exactly once from an :class:`EngineBuildSpec` (graph + config) passed
-through the pool initializer, rebuilding the signature table and
-storage structure locally.  This requires the served engine's artifacts
-to be derivable from ``(graph, config)`` — true for every
-:class:`~repro.core.engine.GSIEngine` built the normal way; callers
-injecting hand-modified artifacts must stick to in-process executors.
+counters — no locks, no handles).
+
+The data-graph-sized artifacts never ride in those pickles.  Under the
+default ``"shm"`` data plane the executor publishes the served engine's
+CSR arrays, signature-table rows, and PCSR layers into named
+:mod:`multiprocessing.shared_memory` segments
+(:mod:`repro.storage.shm`) and ships only a compact
+:class:`~repro.storage.shm.EngineArtifactsHandle` — segment names +
+dtypes + shapes + an epoch — inside the :class:`EngineBuildSpec` the
+pool initializer receives.  Workers attach the segments read-only by
+name and memoize the attach per publication, so what crosses the pipe
+is O(handle) bytes regardless of ``|G|``.  The executor owns the
+segments: they are re-published when the engine spec changes and
+unlinked on :meth:`ProcessExecutor.shutdown` (with an ``atexit``
+backstop), including after broken-pool recovery.  Engines whose store
+is a hand-injected subclass fall back to a worker-side deterministic
+store rebuild from the attached graph + config.
+
+The legacy ``"pickle"`` plane (``data_plane="pickle"``) ships the full
+graph inside the spec instead — workers rebuild every artifact locally.
+It remains as the differential baseline for the shm plane and for
+platforms without POSIX shared memory.  Either way a worker-side engine
+executes a prepared query bit-for-bit like the parent's engine would.
 
 When to use which
 -----------------
@@ -52,19 +67,29 @@ Serial is for debugging and as the determinism oracle.
 
 from __future__ import annotations
 
+import itertools
 import math
+import multiprocessing
+import os
+import pickle
 import threading
 import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import GSIConfig
 from repro.core.engine import GSIEngine, PreparedQuery
 from repro.core.result import MatchResult
 from repro.graph.labeled_graph import LabeledGraph
+from repro.storage.shm import (
+    BlockLease,
+    EngineArtifactsHandle,
+    attach_engine,
+    publish_engine,
+)
 
 DEFAULT_EXECUTOR_WORKERS = 4
 
@@ -74,21 +99,41 @@ EXECUTOR_KINDS = ("serial", "thread", "process")
 #: how :class:`ProcessExecutor` splits a batch into pickled chunks
 CHUNKING_KINDS = ("static", "cost")
 
+#: how the data-graph-sized context reaches process workers
+DATA_PLANES = ("shm", "pickle")
+
+#: environment override for the process pool start method (fork/spawn)
+START_METHOD_ENV = "GSI_EXECUTOR_START_METHOD"
+
+#: monotonic epochs for engine publications (bumped per re-publish)
+_PLANE_EPOCHS = itertools.count(1)
+
 
 @dataclass(frozen=True)
 class EngineBuildSpec:
     """Everything needed to reconstruct a serving engine in a worker.
 
-    Workers rebuild the offline artifacts (signature table + storage
-    structure) from the graph and config; both builds are deterministic,
-    so a worker-built engine executes a prepared query bit-for-bit like
-    the parent's engine would.
+    Two forms, one per data plane:
+
+    * ``artifacts`` set (shm plane) — a compact
+      :class:`~repro.storage.shm.EngineArtifactsHandle`; the worker
+      attaches the published shared-memory segments read-only by name.
+      ``graph`` is ``None`` so the spec pickles in O(handle) bytes.
+    * ``graph`` set (pickle plane) — the worker rebuilds the offline
+      artifacts (signature table + storage structure) from the graph
+      and config locally.
+
+    Both builds are deterministic, so a worker-built engine executes a
+    prepared query bit-for-bit like the parent's engine would.
     """
 
-    graph: LabeledGraph
+    graph: Optional[LabeledGraph]
     config: GSIConfig
+    artifacts: Optional[EngineArtifactsHandle] = None
 
     def build(self) -> GSIEngine:
+        if self.artifacts is not None:
+            return attach_engine(self.artifacts, self.config)
         return GSIEngine(self.graph, self.config)
 
 
@@ -369,22 +414,54 @@ class ProcessExecutor(QueryExecutor):
         worker.  Results are identical either way — chunking moves
         work, never answers.  Generic :meth:`map_tasks` payloads carry
         no cost estimate and always chunk statically.
+    data_plane:
+        ``"shm"`` (default) publishes engine artifacts into shared
+        memory and ships handles (see the module docstring's shipping
+        contract); ``"pickle"`` ships the full graph inside the spec —
+        the legacy plane, kept as the differential baseline.
+    start_method:
+        Multiprocessing start method for the pool (``"fork"``,
+        ``"spawn"``, ``"forkserver"``); ``None`` defers to the
+        ``GSI_EXECUTOR_START_METHOD`` environment variable, then the
+        platform default.
+
+    After each call :attr:`last_shipment` holds what actually crossed
+    the pipe — ``{"plane", "call", "context_bytes", "chunks"}`` where
+    ``context_bytes`` is the pickled size of the batch-constant context
+    (the engine spec for :meth:`execute_prepared`, ``shared`` for
+    :meth:`map_tasks`).  Benchmarks persist it to show the per-batch
+    context is O(handle), not O(|G|), once the pool is warm.
     """
 
     name = "process"
 
     def __init__(self, max_workers: int = DEFAULT_EXECUTOR_WORKERS,
                  chunk_size: Optional[int] = None,
-                 chunking: str = "static") -> None:
+                 chunking: str = "static",
+                 data_plane: str = "shm",
+                 start_method: Optional[str] = None) -> None:
         if chunking not in CHUNKING_KINDS:
             raise ValueError(
                 f"unknown chunking {chunking!r}; expected one of "
                 f"{CHUNKING_KINDS}")
+        if data_plane not in DATA_PLANES:
+            raise ValueError(
+                f"unknown data plane {data_plane!r}; expected one of "
+                f"{DATA_PLANES}")
         self.workers = max(1, max_workers)
         self.chunk_size = chunk_size
         self.chunking = chunking
+        self.data_plane = data_plane
+        self.start_method = (start_method
+                             or os.environ.get(START_METHOD_ENV) or None)
+        self.last_shipment: Optional[Dict[str, Any]] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_spec: Optional[EngineBuildSpec] = None
+        # shm plane: the current publication — (source spec, handle
+        # spec) plus the lease keeping its segments alive.
+        self._plane_memo: Optional[
+            Tuple[EngineBuildSpec, EngineBuildSpec]] = None
+        self._plane_lease: Optional[BlockLease] = None
         # Guards lazy creation/teardown under concurrent callers.  Note
         # that a spec *change* still tears down the old pool, so one
         # ProcessExecutor should serve one engine at a time; concurrent
@@ -407,11 +484,46 @@ class ProcessExecutor(QueryExecutor):
             old, self._pool = self._pool, None
             if old is not None:
                 old.shutdown(wait=True)
+            kwargs = {}
+            if self.start_method is not None:
+                kwargs["mp_context"] = multiprocessing.get_context(
+                    self.start_method)
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
-                initializer=_process_worker_init, initargs=(spec,))
+                initializer=_process_worker_init, initargs=(spec,),
+                **kwargs)
             self._pool_spec = spec
             return self._pool
+
+    def _shared_spec(self, handle: EngineHandle) -> EngineBuildSpec:
+        """The spec to ship for ``handle``'s engine under the configured
+        data plane.
+
+        On the shm plane the engine's artifacts are published into
+        shared segments once per engine: the publication is memoized on
+        the source spec, so repeated batches against the same engine
+        reuse both the segments and (via spec equality in
+        :meth:`_ensure_pool`) the worker pool.  A different engine
+        re-publishes under a fresh epoch and releases the old lease —
+        existing worker mappings stay valid on Linux, but new attaches
+        of the retired handles fail loudly.
+        """
+        if self.data_plane != "shm":
+            return handle.spec
+        with self._pool_lock:
+            if (self._plane_memo is not None
+                    and self._plane_memo[0] == handle.spec):
+                return self._plane_memo[1]
+        artifacts, lease = publish_engine(handle.engine,
+                                          epoch=next(_PLANE_EPOCHS))
+        shared = EngineBuildSpec(graph=None, config=handle.spec.config,
+                                 artifacts=artifacts)
+        with self._pool_lock:
+            old_lease, self._plane_lease = self._plane_lease, lease
+            self._plane_memo = (handle.spec, shared)
+        if old_lease is not None:
+            old_lease.release()
+        return shared
 
     def _chunks(self, items: List[Any],
                 max_parts: Optional[int] = None) -> List[List[Any]]:
@@ -427,15 +539,24 @@ class ProcessExecutor(QueryExecutor):
         return balanced_chunks(tasks, self.workers * 2, costs)
 
     def shutdown(self) -> None:
+        """Tear down the pool and unlink any shared segments this
+        executor published (idempotent; executor stays usable — the
+        next call republishes and recreates the pool lazily)."""
         with self._pool_lock:
             pool, self._pool = self._pool, None
             self._pool_spec = None
+            lease, self._plane_lease = self._plane_lease, None
+            self._plane_memo = None
+        if lease is not None:
+            lease.release()
         if pool is not None:
             pool.shutdown(wait=True)
 
     # ------------------------------------------------------------------
 
-    def _run_chunked(self, spec: Optional[EngineBuildSpec],
+    def _run_chunked(self,
+                     spec_factory: Callable[
+                         [], Optional[EngineBuildSpec]],
                      submit: Callable[[ProcessPoolExecutor, List[Any]],
                                       Any],
                      chunks: List[List[Any]]) -> List[List[Any]]:
@@ -444,18 +565,22 @@ class ProcessExecutor(QueryExecutor):
         A dead worker (OOM-killed, segfault) breaks the whole pool; the
         broken pool is discarded and the call retried once on a fresh
         one, so a long-lived service recovers from transient worker
-        death instead of failing every subsequent batch.
+        death instead of failing every subsequent batch.  ``spec_factory``
+        is re-evaluated per attempt: the recovery :meth:`shutdown` also
+        unlinked this executor's shared segments, so the retry must
+        re-publish under fresh names rather than ship stale handles.
         """
         for attempt in (0, 1):
             try:
                 # submit() also raises BrokenProcessPool when a worker
                 # died while the pool was idle; keep it inside the
                 # retry scope so an idle-broken pool is replaced too.
-                pool = self._ensure_pool(spec)
+                pool = self._ensure_pool(spec_factory())
                 futures = [submit(pool, chunk) for chunk in chunks]
                 return [future.result() for future in futures]
             except BrokenProcessPool:
-                # Never hand a dead pool to the next call.
+                # Never hand a dead pool (or retired segments) to the
+                # next call.
                 self.shutdown()
                 if attempt == 1:
                     raise
@@ -468,11 +593,24 @@ class ProcessExecutor(QueryExecutor):
         tasks = list(tasks)
         if not tasks:
             return []
+        shipped_spec: List[EngineBuildSpec] = []
+
+        def spec_factory() -> EngineBuildSpec:
+            spec = self._shared_spec(handle)
+            shipped_spec.append(spec)
+            return spec
+
+        chunks = self._prepared_chunks(tasks)
         results = self._run_chunked(
-            handle.spec,
+            spec_factory,
             lambda pool, chunk: pool.submit(
                 _process_execute_chunk, error_label, chunk),
-            self._prepared_chunks(tasks))
+            chunks)
+        self.last_shipment = {
+            "plane": self.data_plane, "call": "execute_prepared",
+            "context_bytes": len(pickle.dumps(shipped_spec[-1])),
+            "chunks": len(chunks),
+        }
         executed: List[ExecutedQuery] = [e for res in results for e in res]
         # Chunks preserve submission order already; the explicit sort
         # pins the merge contract independent of chunking policy.
@@ -485,27 +623,37 @@ class ProcessExecutor(QueryExecutor):
         payloads = list(payloads)
         if not payloads:
             return []
-        # One chunk per worker, not 2x: ``shared`` (for stream batches,
-        # the snapshot graph + signature table) is pickled per chunk, so
-        # fewer chunks halve the dominant shipping cost.
+        # One chunk per worker, not 2x: ``shared`` (for stream batches
+        # the delta context, for shards the shard context) is pickled
+        # per chunk, so fewer chunks halve the shipping cost — which is
+        # O(handle) when the caller routes the snapshot through the shm
+        # plane, and O(|G|) on the legacy pickle plane.
+        chunks = self._chunks(payloads, max_parts=self.workers)
         results = self._run_chunked(
-            None,
+            lambda: None,
             lambda pool, chunk: pool.submit(
                 _process_map_chunk, fn, shared, chunk),
-            self._chunks(payloads, max_parts=self.workers))
+            chunks)
+        self.last_shipment = {
+            "plane": self.data_plane, "call": "map_tasks",
+            "context_bytes": len(pickle.dumps(shared)),
+            "chunks": len(chunks),
+        }
         return [item for res in results for item in res]
 
 
 def make_executor(kind: str,
                   max_workers: int = DEFAULT_EXECUTOR_WORKERS,
-                  chunking: str = "static") -> QueryExecutor:
+                  chunking: str = "static",
+                  data_plane: str = "shm") -> QueryExecutor:
     """Build an executor by name (the CLI's ``--executor`` values).
 
     Arguments are validated eagerly: a non-positive ``max_workers``,
-    an unknown ``kind`` or an unknown ``chunking`` policy raise
+    an unknown ``kind``, ``chunking`` policy, or ``data_plane`` raise
     :class:`ValueError` here, instead of surfacing later as an opaque
     pool failure mid-batch.  (The executor classes themselves keep
     their historical clamp-to-1 behavior for direct construction.)
+    ``chunking`` and ``data_plane`` only affect the process executor.
     """
     if kind not in EXECUTOR_KINDS:
         raise ValueError(
@@ -518,8 +666,13 @@ def make_executor(kind: str,
         raise ValueError(
             f"unknown chunking {chunking!r}; expected one of "
             f"{CHUNKING_KINDS}")
+    if data_plane not in DATA_PLANES:
+        raise ValueError(
+            f"unknown data plane {data_plane!r}; expected one of "
+            f"{DATA_PLANES}")
     if kind == "serial":
         return SerialExecutor()
     if kind == "thread":
         return ThreadExecutor(max_workers=max_workers)
-    return ProcessExecutor(max_workers=max_workers, chunking=chunking)
+    return ProcessExecutor(max_workers=max_workers, chunking=chunking,
+                           data_plane=data_plane)

@@ -15,10 +15,14 @@ scatter-gather:
    cost accounting could differ, never matches).
 2. **Scatter** — the per-shard prepared queries fan out through the
    existing :class:`~repro.service.executors.QueryExecutor` layer
-   (serial / thread / process).  Process pools rebuild the per-shard
-   engines once per worker from pickled
-   :class:`~repro.service.executors.EngineBuildSpec` objects and cache
-   them; in-process executors execute on the live engines directly.
+   (serial / thread / process).  Process pools bootstrap the per-shard
+   engines once per worker from
+   :class:`~repro.service.executors.EngineBuildSpec` objects — on the
+   default shm data plane those carry shared-memory handles the worker
+   attaches read-only (:mod:`repro.storage.shm`), so the per-batch
+   context pickles in O(handle) bytes — and cache them per
+   ``(epoch, shard)``; in-process executors execute on the live
+   engines directly.
 3. **Gather** — shard-local matches are translated back to global
    vertex ids and deduplicated by **anchor ownership**: a shard only
    reports a match whose anchor image it owns.  By the halo containment
@@ -65,6 +69,7 @@ from repro.service.plan_cache import (
     PlanCache,
 )
 from repro.shard.sharded_graph import ShardedGraph, ShardingInfo
+from repro.storage.shm import BlockLease, publish_engine
 
 
 def query_center(query: LabeledGraph) -> Tuple[int, int]:
@@ -149,12 +154,16 @@ class _ShardContext:
     :class:`ShardedEngine` re-bootstrap nothing and no worker holds
     engines for shards it never executes.
 
-    Known shipping trade-off (same one the stream engine documents for
-    its ``_DeltaContext``): the spec tuple — the whole replicated graph
-    — is pickled per chunk per batch, even when the receiving worker
-    already has its engines cached.  Shared-memory segments or
-    initializer-time spec delivery would cut this for large graphs; it
-    rides the existing ROADMAP open item on executor context shipping.
+    On the default shm data plane the specs carry
+    :class:`~repro.storage.shm.EngineArtifactsHandle` objects instead
+    of graphs (see :meth:`ShardedEngine._shm_context`), so the context
+    pickles in O(handle) bytes per chunk per batch regardless of the
+    replicated graph size; workers attach the published segments
+    read-only by name.  :meth:`ShardedEngine.rebuild` bumps the epoch
+    and retires the old publication, so a worker holding stale handles
+    re-attaches (or fails loudly with
+    :class:`~repro.storage.shm.StaleHandleError`) instead of silently
+    reading superseded arrays.
     """
 
     def __init__(self, epoch: int, specs: Tuple[EngineBuildSpec, ...],
@@ -348,6 +357,10 @@ class ShardedEngine:
             specs=tuple(EngineBuildSpec(shard.graph, self.config)
                         for shard in sharded.shards),
             engines=self.engines)
+        # shm data plane: the current per-shard publication (handle
+        # specs + one lease per shard), built lazily per epoch.
+        self._plane: Optional[
+            Tuple[_ShardContext, List[BlockLease]]] = None
 
     @property
     def num_shards(self) -> int:
@@ -357,6 +370,68 @@ class ShardedEngine:
     def graph(self) -> LabeledGraph:
         """The full (unsharded) data graph."""
         return self.sharded.graph
+
+    # ------------------------------------------------------------------
+    # The shm data plane + engine lifecycle
+    # ------------------------------------------------------------------
+
+    def _shm_context(self) -> _ShardContext:
+        """The fan-out context with every shard's artifacts published
+        into shared memory, built once per epoch and reused until
+        :meth:`rebuild` or :meth:`close` retires it."""
+        if (self._plane is not None
+                and self._plane[0].epoch == self._ctx.epoch):
+            return self._plane[0]
+        old = self._plane
+        specs: List[EngineBuildSpec] = []
+        leases: List[BlockLease] = []
+        for engine in self.engines:
+            artifacts, lease = publish_engine(engine,
+                                              epoch=self._ctx.epoch)
+            specs.append(EngineBuildSpec(
+                graph=None, config=self.config, artifacts=artifacts))
+            leases.append(lease)
+        ctx = _ShardContext(epoch=self._ctx.epoch, specs=tuple(specs),
+                            engines=self.engines)
+        self._plane = (ctx, leases)
+        if old is not None:
+            for lease in old[1]:
+                lease.release()
+        return ctx
+
+    def rebuild(self) -> None:
+        """Rebuild every shard engine under a fresh fan-out epoch.
+
+        The old publication is unlinked, so worker-side engines cached
+        against the previous epoch are evicted on the next task and a
+        stale handle can only re-attach the *new* publication or raise
+        :class:`~repro.storage.shm.StaleHandleError` — never silently
+        serve superseded arrays.
+        """
+        self.close()
+        self.engines = [GSIEngine(shard.graph, self.config)
+                        for shard in self.sharded.shards]
+        self._plan_views = [_ShardPlanView(self.plan_cache)
+                            for _ in self.engines]
+        self._ctx = _ShardContext(
+            epoch=next(_EPOCHS),
+            specs=tuple(EngineBuildSpec(shard.graph, self.config)
+                        for shard in self.sharded.shards),
+            engines=self.engines)
+
+    def close(self) -> None:
+        """Release the shard publication (idempotent).  The engine
+        stays usable; the next shm-plane batch republishes."""
+        plane, self._plane = self._plane, None
+        if plane is not None:
+            for lease in plane[1]:
+                lease.release()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
 
@@ -505,9 +580,15 @@ class ShardedEngine:
                 payloads.append((index * num_shards + s, s,
                                  sp.per_shard[s]))
 
+        # Process executors on the shm plane get the handle-based
+        # context (published lazily, reused across batches until a
+        # rebuild); everything else fans out over the live engines.
+        uses_shm = (getattr(chosen, "name", None) == "process"
+                    and getattr(chosen, "data_plane", None) == "shm")
+        ctx = self._shm_context() if uses_shm else self._ctx
         try:
             outcomes = (chosen.map_tasks(_execute_shard_task, payloads,
-                                         shared=self._ctx)
+                                         shared=ctx)
                         if payloads else [])
         finally:
             if owned:
