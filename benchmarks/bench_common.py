@@ -13,10 +13,13 @@ test suite's ``tests/conftest.py``.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
 from pathlib import Path
-from typing import Any, List, Optional
+from typing import Any, Awaitable, Callable, List, Optional, Sequence
+
+import numpy as np
 
 _REPORTS: List[str] = []
 _RESULTS_DIR = Path(__file__).parent / "results"
@@ -62,3 +65,92 @@ def write_bench_json(name: str, payload: Any,
     target.write_text(json.dumps(payload, indent=2, sort_keys=True,
                                  default=str) + "\n", encoding="utf-8")
     return target
+
+
+# ----------------------------------------------------------------------
+# Traffic generators (shared by the serving / traffic benchmarks)
+# ----------------------------------------------------------------------
+
+
+def poisson_arrival_times(rate_qps: float, num: int,
+                          seed: int = 0) -> List[float]:
+    """Absolute arrival offsets (seconds) of a Poisson process.
+
+    Interarrival gaps are i.i.d. exponential with mean ``1/rate_qps``;
+    the returned offsets are their running sum starting at 0.0.  This
+    is the *open-loop* arrival model: clients fire on a clock,
+    regardless of whether earlier requests completed, so queueing delay
+    is visible instead of self-throttled away.
+    """
+    if rate_qps <= 0:
+        raise ValueError(f"rate_qps must be > 0, got {rate_qps}")
+    if num < 0:
+        raise ValueError(f"num must be >= 0, got {num}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_qps, size=num)
+    return np.concatenate([[0.0], np.cumsum(gaps)[:-1]]).tolist() \
+        if num else []
+
+
+def zipf_indices(num_items: int, num_picks: int, seed: int = 0,
+                 exponent: float = 1.1) -> List[int]:
+    """``num_picks`` indices into ``0..num_items-1``, Zipf-skewed.
+
+    The classic skewed-repetition workload: a few hot query shapes
+    dominate (what plan caches and in-flight dedup feed on) with a long
+    tail of cold ones.  ``exponent`` controls the skew (larger =
+    hotter head).
+    """
+    if num_items < 1:
+        raise ValueError(f"num_items must be >= 1, got {num_items}")
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / np.arange(1, num_items + 1, dtype=np.float64) \
+        ** exponent
+    weights /= weights.sum()
+    return rng.choice(num_items, size=num_picks, p=weights).tolist()
+
+
+async def run_closed_loop(submit: Callable[[Any], Awaitable[Any]],
+                          items: Sequence[Any],
+                          concurrency: int) -> List[Any]:
+    """Closed-loop load: ``concurrency`` clients, each back-to-back.
+
+    Client ``c`` owns items ``c, c+concurrency, ...`` and submits them
+    sequentially, awaiting each response before the next request — the
+    think-time-zero closed-loop model, where offered load self-throttles
+    to the service's capacity.  Returns responses in item order.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    results: List[Any] = [None] * len(items)
+
+    async def client(start: int) -> None:
+        for i in range(start, len(items), concurrency):
+            results[i] = await submit(items[i])
+
+    await asyncio.gather(*[client(c) for c in range(concurrency)])
+    return results
+
+
+async def run_open_loop(submit: Callable[[Any], Awaitable[Any]],
+                        items: Sequence[Any],
+                        arrival_times: Sequence[float]) -> List[Any]:
+    """Open-loop load: item ``i`` fires at ``arrival_times[i]``.
+
+    Arrivals are scheduled on the loop clock (offsets relative to call
+    time, e.g. from :func:`poisson_arrival_times`) and never wait for
+    earlier responses.  Returns responses in item order.
+    """
+    if len(items) != len(arrival_times):
+        raise ValueError("need one arrival time per item")
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+
+    async def fire(i: int) -> Any:
+        delay = start + arrival_times[i] - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        return await submit(items[i])
+
+    return list(await asyncio.gather(
+        *[fire(i) for i in range(len(items))]))

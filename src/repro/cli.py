@@ -23,6 +23,13 @@ Commands
     Register continuous queries, replay a random update stream through
     the dynamic subsystem, and print per-batch delta-match results plus
     incremental-maintenance costs.
+``serve``
+    Run the always-on serving front end: an asyncio NDJSON-over-TCP
+    server that micro-batches arriving queries by deadline, dedups
+    in-flight identical queries, applies admission control and
+    per-tenant quotas, and reports SLO metrics via the ``stats`` RPC
+    (see :mod:`repro.serve`).  Runs until interrupted; prints the
+    metrics summary on shutdown.
 
 Examples::
 
@@ -33,6 +40,7 @@ Examples::
     python -m repro.cli batch --dataset road --shards 4 --partitioner label
     python -m repro.cli shard-info --dataset road --shards 8
     python -m repro.cli stream --dataset enron --batches 5 --batch-size 16
+    python -m repro.cli serve --dataset gowalla --port 8471 --max-batch 16
 """
 
 from __future__ import annotations
@@ -250,6 +258,74 @@ def cmd_shard_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _reject_non_positive_float(name: str, value) -> bool:
+    """Print a clear error for a flag that must be > 0."""
+    if value is not None and value <= 0:
+        print(f"error: {name} must be > 0, got {value}",
+              file=sys.stderr)
+        return True
+    return False
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import signal
+
+    from repro.serve import GSIServer
+    from repro.service import BatchEngine
+    from repro.service.executors import make_executor
+
+    if (_reject_non_positive("--port", args.port)
+            or _reject_non_positive("--max-batch", args.max_batch)
+            or _reject_non_positive("--max-pending", args.max_pending)
+            or _reject_non_positive("--workers", args.workers)
+            or _reject_non_positive("--cache-capacity",
+                                    args.cache_capacity)
+            or _reject_non_positive_float("--max-delay-ms",
+                                          args.max_delay_ms)
+            or _reject_non_positive_float("--quota-rate",
+                                          args.quota_rate)
+            or _reject_non_positive_float("--quota-burst",
+                                          args.quota_burst)):
+        return 2
+    graph = datasets.load(args.dataset)
+
+    async def _run() -> None:
+        with make_executor(args.executor, args.workers,
+                           data_plane=args.data_plane) as executor:
+            engine = BatchEngine(graph, GSI_CONFIGS[args.engine](),
+                                 cache_capacity=args.cache_capacity,
+                                 executor=executor)
+            server = GSIServer(
+                engine, max_batch=args.max_batch,
+                max_delay_ms=args.max_delay_ms,
+                max_pending=args.max_pending,
+                quota_rate=args.quota_rate,
+                quota_burst=args.quota_burst,
+                host=args.host, port=args.port)
+            async with server:
+                print(f"serving {args.dataset} ({args.engine}, "
+                      f"{args.executor} executor) on "
+                      f"{args.host}:{server.bound_port} | "
+                      f"max_batch={args.max_batch} "
+                      f"max_delay_ms={args.max_delay_ms} "
+                      f"max_pending={args.max_pending} "
+                      f"quota={args.quota_rate or 'off'}",
+                      flush=True)
+                stop = asyncio.Event()
+                loop = asyncio.get_running_loop()
+                for sig in (signal.SIGINT, signal.SIGTERM):
+                    loop.add_signal_handler(sig, stop.set)
+                await stop.wait()
+                print("shutting down: draining pending batches...",
+                      flush=True)
+            print(json.dumps(server.stats(), indent=2, sort_keys=True))
+
+    asyncio.run(_run())
+    return 0
+
+
 def cmd_stream(args: argparse.Namespace) -> int:
     from repro.dynamic import (
         StreamEngine,
@@ -413,6 +489,40 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--compact-dead-ratio", type=float, default=0.25,
                     help="compact a PCSR partition's ci region in place "
                          "when dead words exceed this fraction")
+
+    sv = sub.add_parser("serve",
+                        help="run the always-on serving front end "
+                             "(asyncio NDJSON-over-TCP micro-batching "
+                             "server)")
+    sv.add_argument("--dataset", default="gowalla",
+                    choices=datasets.all_names())
+    sv.add_argument("--engine", default="gsi-opt",
+                    choices=sorted(GSI_CONFIGS))
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8471)
+    sv.add_argument("--max-batch", type=int, default=16,
+                    help="dispatch a micro-batch once this many "
+                         "distinct queries are pending")
+    sv.add_argument("--max-delay-ms", type=float, default=2.0,
+                    help="deadline: the oldest pending query waits at "
+                         "most this long before its batch dispatches")
+    sv.add_argument("--max-pending", type=int, default=256,
+                    help="admission bound; beyond it requests are shed "
+                         "with an 'overloaded' status")
+    sv.add_argument("--quota-rate", type=float, default=None,
+                    help="per-tenant token-bucket refill (queries/s); "
+                         "omit to disable quotas")
+    sv.add_argument("--quota-burst", type=float, default=None,
+                    help="per-tenant token-bucket capacity (defaults "
+                         "to max(1, quota-rate))")
+    sv.add_argument("--workers", type=int, default=4)
+    sv.add_argument("--executor", default="thread",
+                    choices=["serial", "thread", "process"],
+                    help="how each micro-batch's joining phase runs")
+    sv.add_argument("--cache-capacity", type=int, default=256)
+    sv.add_argument("--data-plane", default="shm",
+                    choices=["shm", "pickle"],
+                    help="process-executor data plane")
     return parser
 
 
@@ -425,6 +535,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "batch": cmd_batch,
         "shard-info": cmd_shard_info,
         "stream": cmd_stream,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -50,6 +50,18 @@ class MeterSnapshot:
         per-shard work metric."""
         return self.gld + self.gst
 
+    def to_dict(self) -> dict:
+        """JSON-serializable counter dump (plain ints, string keys)."""
+        return {
+            "gld": int(self.gld),
+            "gst": int(self.gst),
+            "shared": int(self.shared),
+            "ops": int(self.ops),
+            "kernel_launches": int(self.kernel_launches),
+            "labeled_gld": {str(k): int(v)
+                            for k, v in self.labeled_gld.items()},
+        }
+
 
 def merge_shard_snapshots(snapshots: "list[MeterSnapshot]",
                           prefix: str = "shard") -> MeterSnapshot:

@@ -1,0 +1,218 @@
+"""SLO metrics for the serving subsystem.
+
+One :class:`ServerMetrics` instance aggregates everything an operator
+asks a long-lived server: per-tenant end-to-end latency percentiles
+(p50/p95/p99 over a bounded reservoir), live queue depth, the
+micro-batch size histogram, dedup / load-shed / quota counters, and the
+cumulative :class:`~repro.service.plan_cache.CacheStats`, storage
+health, and simulated-transaction totals carried by each batch's
+:class:`~repro.service.batch.BatchReport`.
+
+Thread safety: the server's asyncio loop records admissions and
+completions while the batch runner thread records batch reports, so
+every mutation takes the internal lock.  :meth:`to_dict` snapshots
+under the same lock and returns only JSON-serializable types (it is the
+payload of the ``stats`` RPC verbatim).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.service.batch import BatchReport, json_sanitize
+from repro.service.plan_cache import CacheStats
+
+#: per-tenant latency samples kept for percentile estimates; a bounded
+#: sliding window so a week-old latency spike ages out of the SLO view
+DEFAULT_RESERVOIR = 4096
+
+
+def latency_percentiles(samples: List[float]) -> Dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` over ``samples`` (ms)."""
+    if not samples:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    arr = np.asarray(samples, dtype=np.float64)
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+
+class _TenantSeries:
+    """One tenant's bounded latency reservoir plus request counters."""
+
+    __slots__ = ("latencies_ms", "completed", "errors", "deduped",
+                 "shed", "quota_rejected", "reservoir")
+
+    def __init__(self, reservoir: int) -> None:
+        self.latencies_ms: List[float] = []
+        self.completed = 0
+        self.errors = 0
+        self.deduped = 0
+        self.shed = 0
+        self.quota_rejected = 0
+        self.reservoir = reservoir
+
+    def record_latency(self, latency_ms: float) -> None:
+        self.latencies_ms.append(float(latency_ms))
+        if len(self.latencies_ms) > self.reservoir:
+            # drop the oldest half in one splice (amortized O(1))
+            del self.latencies_ms[:self.reservoir // 2]
+
+    def to_dict(self) -> dict:
+        return {
+            "completed": self.completed,
+            "errors": self.errors,
+            "deduped": self.deduped,
+            "shed": self.shed,
+            "quota_rejected": self.quota_rejected,
+            "latency_ms": latency_percentiles(self.latencies_ms),
+        }
+
+
+class ServerMetrics:
+    """Aggregated serving statistics, exposed via the ``stats`` RPC."""
+
+    def __init__(self, reservoir: int = DEFAULT_RESERVOIR) -> None:
+        if reservoir < 2:
+            raise ValueError(f"reservoir must be >= 2, got {reservoir}")
+        self._lock = threading.Lock()
+        self._reservoir = reservoir
+        self._tenants: Dict[str, _TenantSeries] = {}
+        # request-plane counters
+        self.received = 0
+        self.admitted = 0
+        self.completed = 0
+        self.errors = 0
+        self.deduped = 0
+        self.shed = 0
+        self.quota_rejected = 0
+        # execution-plane aggregates
+        self.batches = 0
+        self.executed_queries = 0
+        self.batch_size_histogram: Dict[int, int] = {}
+        self.cache = CacheStats()
+        self.total_gld = 0
+        self.total_gst = 0
+        self.total_simulated_ms = 0.0
+        self.last_storage: dict = {}
+        # live gauge, set by the server as its queue moves
+        self.queue_depth = 0
+        self.max_queue_depth = 0
+
+    # ------------------------------------------------------------------
+
+    def _tenant(self, tenant: str) -> _TenantSeries:
+        series = self._tenants.get(tenant)
+        if series is None:
+            series = self._tenants[tenant] = _TenantSeries(
+                self._reservoir)
+        return series
+
+    def record_received(self, tenant: str) -> None:
+        with self._lock:
+            self.received += 1
+            self._tenant(tenant)
+
+    def record_admitted(self, tenant: str, deduped: bool) -> None:
+        with self._lock:
+            self.admitted += 1
+            if deduped:
+                self.deduped += 1
+                self._tenant(tenant).deduped += 1
+
+    def record_shed(self, tenant: str) -> None:
+        with self._lock:
+            self.shed += 1
+            self._tenant(tenant).shed += 1
+
+    def record_quota_rejected(self, tenant: str) -> None:
+        with self._lock:
+            self.quota_rejected += 1
+            self._tenant(tenant).quota_rejected += 1
+
+    def record_completed(self, tenant: str, latency_ms: float,
+                         error: bool) -> None:
+        with self._lock:
+            series = self._tenant(tenant)
+            series.completed += 1
+            series.record_latency(latency_ms)
+            self.completed += 1
+            if error:
+                self.errors += 1
+                series.errors += 1
+
+    def record_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self.queue_depth = depth
+            self.max_queue_depth = max(self.max_queue_depth, depth)
+
+    def record_batch(self, report: BatchReport) -> None:
+        """Fold one executed micro-batch's report into the aggregates."""
+        with self._lock:
+            self.batches += 1
+            self.executed_queries += report.num_queries
+            size = report.num_queries
+            self.batch_size_histogram[size] = \
+                self.batch_size_histogram.get(size, 0) + 1
+            self.cache = self.cache.merge(report.cache)
+            self.total_gld += report.total_gld
+            self.total_gst += report.total_gst
+            self.total_simulated_ms += report.total_simulated_ms
+            self.last_storage = report.storage
+
+    # ------------------------------------------------------------------
+
+    def dedup_rate(self) -> float:
+        """Deduped requests over all admitted requests."""
+        with self._lock:
+            total = self.admitted
+            return self.deduped / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        """One JSON-serializable snapshot (the ``stats`` RPC payload)."""
+        with self._lock:
+            mean_batch = (self.executed_queries / self.batches
+                          if self.batches else 0.0)
+            all_latencies: List[float] = []
+            for series in self._tenants.values():
+                all_latencies.extend(series.latencies_ms)
+            return json_sanitize({
+                "requests": {
+                    "received": self.received,
+                    "admitted": self.admitted,
+                    "completed": self.completed,
+                    "errors": self.errors,
+                    "deduped": self.deduped,
+                    "shed": self.shed,
+                    "quota_rejected": self.quota_rejected,
+                },
+                "queue": {
+                    "depth": self.queue_depth,
+                    "max_depth": self.max_queue_depth,
+                },
+                "batches": {
+                    "executed": self.batches,
+                    "executed_queries": self.executed_queries,
+                    "mean_size": mean_batch,
+                    "size_histogram": {
+                        str(k): v for k, v in
+                        sorted(self.batch_size_histogram.items())},
+                },
+                "latency_ms": latency_percentiles(all_latencies),
+                "tenants": {name: series.to_dict()
+                            for name, series in
+                            sorted(self._tenants.items())},
+                "cache": self.cache.to_dict(),
+                "transactions": {
+                    "gld": self.total_gld,
+                    "gst": self.total_gst,
+                    "total": self.total_gld + self.total_gst,
+                },
+                "total_simulated_ms": self.total_simulated_ms,
+                "storage": self.last_storage,
+            })
+
+
+__all__ = ["ServerMetrics", "latency_percentiles", "DEFAULT_RESERVOIR"]

@@ -1,6 +1,11 @@
 """Service layer: batch execution, plan caching, pluggable executors."""
 
-from repro.service.batch import BatchEngine, BatchItem, BatchReport
+from repro.service.batch import (
+    BatchEngine,
+    BatchItem,
+    BatchReport,
+    json_sanitize,
+)
 from repro.service.executors import (
     EXECUTOR_KINDS,
     EngineBuildSpec,
@@ -34,6 +39,7 @@ __all__ = [
     "QueryFingerprint",
     "SerialExecutor",
     "ThreadExecutor",
+    "json_sanitize",
     "make_executor",
     "query_fingerprint",
     "remap_plan",

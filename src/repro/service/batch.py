@@ -54,6 +54,30 @@ from repro.service.plan_cache import CacheStats, PlanCache
 DEFAULT_MAX_WORKERS = 4
 
 
+def json_sanitize(value):
+    """Recursively coerce a stats structure into plain JSON types.
+
+    Storage and shard stats dicts mix numpy scalars and integer keys
+    (e.g. PCSR ``per_label``) into otherwise plain dicts; ``json.dumps``
+    rejects the former and silently stringifies the latter only at the
+    top level.  Every ``to_dict`` report path funnels through here so
+    serialized reports are valid JSON end to end.
+    """
+    if isinstance(value, dict):
+        return {str(k): json_sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_sanitize(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [json_sanitize(v) for v in value.tolist()]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value
+
+
 @dataclass
 class BatchItem:
     """One query's outcome inside a batch (submission order preserved)."""
@@ -160,6 +184,51 @@ class BatchReport:
     @property
     def p99_ms(self) -> float:
         return self.latency_percentile(99)
+
+    def to_dict(self) -> dict:
+        """The report as one JSON-serializable dict.
+
+        This is the shape the serving metrics layer aggregates and the
+        bench ``--json`` outputs persist: service-level latency
+        percentiles, plan-cache counters, simulated transaction totals,
+        storage health, and (when present) the per-shard summary.
+        """
+        shard = None
+        if self.shard is not None:
+            info = self.shard.info
+            shard = {
+                "max_shard_transactions":
+                    int(self.shard.max_shard_transactions),
+                "total_transactions": int(self.shard.total_transactions),
+            }
+            if info is not None:
+                shard.update({
+                    "num_shards": int(info.num_shards),
+                    "partitioner": info.partitioner,
+                    "halo_hops": int(info.halo_hops),
+                    "vertex_replication":
+                        float(info.vertex_replication),
+                })
+        return json_sanitize({
+            "num_queries": self.num_queries,
+            "wall_clock_ms": float(self.wall_clock_ms),
+            "throughput_qps": float(self.throughput_qps),
+            "total_matches": self.total_matches,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "plan_cache_hits": self.plan_cache_hits,
+            "p50_ms": self.p50_ms,
+            "p90_ms": self.p90_ms,
+            "p99_ms": self.p99_ms,
+            "total_simulated_ms": self.total_simulated_ms,
+            "total_gld": self.total_gld,
+            "total_gst": self.total_gst,
+            "total_kernel_launches": self.total_kernel_launches,
+            "cache": self.cache.to_dict(),
+            "storage": self.storage,
+            "executor": self.executor,
+            "shard": shard,
+        })
 
     def summary_line(self) -> str:
         """One-line human summary (CLI and benchmark output)."""

@@ -57,6 +57,32 @@ class CacheStats:
     def snapshot(self) -> "CacheStats":
         return replace(self)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable counter dump (the server metrics layer and
+        bench ``--json`` outputs both consume this shape)."""
+        return {
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+            "evictions": int(self.evictions),
+            "uncacheable": int(self.uncacheable),
+            "invalidations": int(self.invalidations),
+            "shape_hits": int(self.shape_hits),
+            "shape_misses": int(self.shape_misses),
+            "lookups": int(self.lookups),
+            "hit_rate": float(self.hit_rate),
+        }
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Counter-wise sum (aggregating per-batch deltas over time)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            uncacheable=self.uncacheable + other.uncacheable,
+            invalidations=self.invalidations + other.invalidations,
+            shape_hits=self.shape_hits + other.shape_hits,
+            shape_misses=self.shape_misses + other.shape_misses)
+
     def diff(self, earlier: "CacheStats") -> "CacheStats":
         """Counters accumulated since ``earlier``."""
         return CacheStats(
