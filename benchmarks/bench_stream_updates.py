@@ -158,6 +158,122 @@ def test_both_arms_agree(stream_comparison):
 
 
 # ----------------------------------------------------------------------
+# Bulk mode: GPMA-style batched PCSR maintenance vs per-edge updates
+# ----------------------------------------------------------------------
+
+BULK_BATCH_SIZES = [32, 128, 512]
+
+
+def run_bulk_updates(batch_sizes=tuple(BULK_BATCH_SIZES),
+                     num_batches: int = 4, vertices: int = 1200,
+                     repeats: int = 2):
+    """Drive identical committed deltas through both PCSR update paths.
+
+    The per-edge arm walks a group chain and shifts one region per
+    edge (:meth:`DynamicPCSRStorage.insert_edge` / ``delete_edge``);
+    the bulk arm groups each batch by label and key and applies it with
+    :meth:`DynamicPCSRStorage.apply_batch` — one chain walk per touched
+    key and one merge per affected group (GPMA-style).  Returns
+    ``(outcomes, table)``; final adjacency must be identical and the
+    bulk arm must never cost *more* simulated transactions.
+    """
+    from repro.dynamic.index import DynamicPCSRStorage
+
+    graph = scale_free_graph(vertices, 4, 5, 2, seed=13)
+    outcomes = {}
+    rows = []
+    for batch_size in batch_sizes:
+        dyn = DynamicGraph(graph)
+        commits = []
+        for delta in random_update_stream(graph,
+                                          num_batches=num_batches,
+                                          batch_size=batch_size,
+                                          seed=batch_size):
+            dyn.apply(delta)
+            commit = dyn.commit()
+            commits.append((list(commit.inserted_edges),
+                            list(commit.deleted_edges)))
+
+        arms = {}
+        for arm in ("per-edge", "bulk"):
+            best_ms = None
+            for _ in range(repeats):
+                store = DynamicPCSRStorage(graph)
+                t0 = time.perf_counter()
+                for inserted, deleted in commits:
+                    if arm == "bulk":
+                        store.apply_batch(inserted, deleted)
+                    else:
+                        for u, v, lab in deleted:
+                            store.delete_edge(u, v, lab)
+                        for u, v, lab in inserted:
+                            store.insert_edge(u, v, lab)
+                wall = (time.perf_counter() - t0) * 1000.0
+                best_ms = wall if best_ms is None else min(best_ms,
+                                                           wall)
+            snap = store.meter.snapshot()
+            assert not store.validate(), store.validate()
+            arms[arm] = {
+                "wall_ms": best_ms,
+                "tx": snap.gld + snap.gst,
+                "adjacency": {
+                    lab: {int(v): tuple(a.tolist())
+                          for v, a in part.items()}
+                    for lab, part in store._parts.items()},
+            }
+        assert arms["bulk"]["adjacency"] == \
+            arms["per-edge"]["adjacency"], (
+            f"batch={batch_size}: bulk and per-edge adjacency differ")
+        outcomes[batch_size] = arms
+        rows.append([
+            batch_size,
+            f"{arms['per-edge']['wall_ms']:.1f}",
+            f"{arms['bulk']['wall_ms']:.1f}",
+            f"{arms['per-edge']['wall_ms'] / arms['bulk']['wall_ms']:.2f}x",
+            arms["per-edge"]["tx"], arms["bulk"]["tx"],
+            f"{arms['per-edge']['tx'] / max(1, arms['bulk']['tx']):.2f}x",
+        ])
+    table = render_table(
+        f"per-edge vs bulk (GPMA-style) PCSR maintenance "
+        f"(|V|={vertices}, 2 edge labels, {num_batches} batches per "
+        f"stream, best of {repeats})",
+        ["batch size", "per-edge ms", "bulk ms", "wall win",
+         "per-edge tx", "bulk tx", "tx win"],
+        rows,
+        note="identical committed deltas, identical final adjacency; "
+             "bulk amortizes chain walks and region merges across the "
+             "batch, so its edge grows with batch size")
+    return outcomes, table
+
+
+@pytest.fixture(scope="module")
+def bulk_update_comparison():
+    outcomes, table = run_bulk_updates(num_batches=3)
+    record_report("stream_bulk_updates", table)
+    return outcomes
+
+
+def test_bulk_never_costs_more_transactions(bulk_update_comparison):
+    for batch_size, arms in bulk_update_comparison.items():
+        assert arms["bulk"]["tx"] <= arms["per-edge"]["tx"], (
+            f"batch={batch_size}: bulk maintenance must not cost more "
+            f"simulated transactions ({arms['bulk']['tx']} vs "
+            f"{arms['per-edge']['tx']})")
+
+
+def test_bulk_beats_per_edge_wall_clock_on_large_batches(
+        bulk_update_comparison):
+    # Acceptance: at the largest batch size the amortized merge must
+    # win host wall-clock (small sparse batches may not amortize).
+    largest = max(bulk_update_comparison)
+    arms = bulk_update_comparison[largest]
+    assert arms["bulk"]["wall_ms"] < arms["per-edge"]["wall_ms"], (
+        f"batch={largest}: bulk must beat per-edge wall-clock "
+        f"({arms['bulk']['wall_ms']:.1f}ms vs "
+        f"{arms['per-edge']['wall_ms']:.1f}ms)")
+
+
+# ----------------------------------------------------------------------
 # Commit-heavy mode: the snapshot-commit path in isolation
 # ----------------------------------------------------------------------
 
@@ -365,6 +481,9 @@ if __name__ == "__main__":
     parser.add_argument("--commit-heavy", action="store_true",
                         help="run the commit-path comparison "
                              "(O(changes) splice vs full rebuild)")
+    parser.add_argument("--bulk", action="store_true",
+                        help="run the per-edge vs bulk (GPMA-style) "
+                             "PCSR maintenance comparison")
     parser.add_argument("--executor", default=None,
                         choices=["serial", "thread", "process",
                                  "compare"],
@@ -425,6 +544,34 @@ if __name__ == "__main__":
             written = write_bench_json("stream_updates", payload,
                                        cli_args.json)
             print(f"wrote {written}")
+    elif cli_args.bulk:
+        bulk_outcomes, report_table = run_bulk_updates(
+            num_batches=cli_args.batches,
+            vertices=cli_args.vertices)
+        print(report_table)
+        largest = max(bulk_outcomes)
+        big = bulk_outcomes[largest]
+        assert big["bulk"]["wall_ms"] < big["per-edge"]["wall_ms"], (
+            f"bulk lost wall-clock at batch={largest}")
+        for arms in bulk_outcomes.values():
+            assert arms["bulk"]["tx"] <= arms["per-edge"]["tx"]
+        print("OK: identical adjacency; bulk tx <= per-edge at every "
+              f"batch size and wall-clock wins at batch={largest}")
+        if cli_args.json is not None:
+            payload = {
+                "bench": "stream_bulk_updates",
+                "params": {"batches": cli_args.batches,
+                           "vertices": cli_args.vertices},
+                "batch_sizes": {
+                    str(bs): {arm: {"wall_ms": arms[arm]["wall_ms"],
+                                    "tx": arms[arm]["tx"]}
+                              for arm in ("per-edge", "bulk")}
+                    for bs, arms in bulk_outcomes.items()
+                },
+            }
+            written = write_bench_json("stream_bulk_updates", payload,
+                                       cli_args.json)
+            print(f"wrote {written}")
     elif cli_args.commit_heavy:
         _, report_table = run_commit_heavy(cli_args.edges,
                                            cli_args.batches)
@@ -439,6 +586,6 @@ if __name__ == "__main__":
                 cli_args.json)
             print(f"wrote {written}")
     else:
-        parser.error("pass --commit-heavy or --executor KIND (the "
-                     "stream comparison runs under pytest: python -m "
-                     "pytest benchmarks/bench_stream_updates.py)")
+        parser.error("pass --bulk, --commit-heavy or --executor KIND "
+                     "(the stream comparison runs under pytest: python "
+                     "-m pytest benchmarks/bench_stream_updates.py)")

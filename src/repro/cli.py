@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.bench.reporting import render_table
@@ -71,9 +72,21 @@ GSI_CONFIGS = {
 }
 
 
-def _engine_factory(name: str):
+def _engine_config(args: argparse.Namespace) -> GSIConfig:
+    """The selected preset, with the CLI join-kernel override applied."""
+    cfg = GSI_CONFIGS[args.engine]()
+    join_kernel = getattr(args, "join_kernel", None)
+    if join_kernel is not None:
+        cfg = replace(cfg, join_kernel=join_kernel)
+    return cfg
+
+
+def _engine_factory(name: str, join_kernel: Optional[str] = None):
     if name in GSI_CONFIGS:
-        return gsi_factory(GSI_CONFIGS[name]())
+        cfg = GSI_CONFIGS[name]()
+        if join_kernel is not None:
+            cfg = replace(cfg, join_kernel=join_kernel)
+        return gsi_factory(cfg)
     return baseline_factory(name)
 
 
@@ -98,7 +111,8 @@ def cmd_match(args: argparse.Namespace) -> int:
     wl = Workload.for_dataset(args.dataset, num_queries=args.queries,
                               query_vertices=args.query_vertices,
                               seed=args.seed)
-    factory = _engine_factory(args.engine)
+    factory = _engine_factory(args.engine,
+                              getattr(args, "join_kernel", None))
     summary = run_workload(factory, wl, engine_label=args.engine)
     rows = []
     for i, r in enumerate(summary.results):
@@ -124,8 +138,9 @@ def cmd_shootout(args: argparse.Namespace) -> int:
     reference: Optional[int] = None
     agree = True
     for engine in args.engines:
-        summary = run_workload(_engine_factory(engine), wl,
-                               engine_label=engine)
+        summary = run_workload(
+            _engine_factory(engine, getattr(args, "join_kernel", None)),
+            wl, engine_label=engine)
         if summary.timed_out:
             rows.append([engine, "-", "-", "timeout"])
             continue
@@ -171,7 +186,6 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
     sharded = None
     if args.shards is not None:
-        from dataclasses import replace
 
         from repro.bench.runner import (
             DEFAULT_MAX_ROWS,
@@ -182,7 +196,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
             ShardedGraph,
             halo_hops_for_query_vertices,
         )
-        cfg = replace(GSI_CONFIGS[args.engine](),
+        cfg = replace(_engine_config(args),
                       budget_ms=DEFAULT_THRESHOLD_MS,
                       max_intermediate_rows=DEFAULT_MAX_ROWS)
         sg = ShardedGraph(
@@ -195,7 +209,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
                        chunking=args.chunking,
                        data_plane=args.data_plane) as executor:
         summary, report = run_workload_batched(
-            wl, config=GSI_CONFIGS[args.engine](),
+            wl, config=_engine_config(args),
             engine_label=f"{args.engine}-batch",
             max_workers=args.workers,
             cache_capacity=args.cache_capacity,
@@ -294,7 +308,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     async def _run() -> None:
         with make_executor(args.executor, args.workers,
                            data_plane=args.data_plane) as executor:
-            engine = BatchEngine(graph, GSI_CONFIGS[args.engine](),
+            engine = BatchEngine(graph, _engine_config(args),
                                  cache_capacity=args.cache_capacity,
                                  executor=executor)
             server = GSIServer(
@@ -344,7 +358,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
     health = {}
     with make_executor(args.executor, args.workers,
                        data_plane=args.data_plane) as executor:
-        engine = StreamEngine(graph, GSI_CONFIGS[args.engine](),
+        engine = StreamEngine(graph, _engine_config(args),
                               compact_dead_ratio=args.compact_dead_ratio,
                               executor=executor)
         queries = query_workload(graph, args.queries,
@@ -412,15 +426,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--query-vertices", type=int, default=12)
         p.add_argument("--seed", type=int, default=42)
 
+    def add_join_kernel_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--join-kernel", default=None,
+                       choices=["rows", "vector", "numba"],
+                       help="host-side join lane (default: config/"
+                            "GSI_JOIN_KERNEL); all lanes give identical "
+                            "matches and simulated transactions")
+
     m = sub.add_parser("match", help="run one engine on one workload")
     add_workload_args(m)
     m.add_argument("--engine", default="gsi-opt", choices=ENGINE_CHOICES)
+    add_join_kernel_arg(m)
 
     s = sub.add_parser("shootout", help="compare engines on one workload")
     add_workload_args(s)
     s.add_argument("--engines", nargs="+", default=["vf3", "gpsm",
                                                     "gunrock", "gsi-opt"],
                    choices=ENGINE_CHOICES)
+    add_join_kernel_arg(s)
 
     b = sub.add_parser("batch",
                        help="serve one workload via the batch service")
@@ -433,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="how the joining phase runs: in-process loop, "
                         "thread pool, or process pool (true multi-core)")
     b.add_argument("--cache-capacity", type=int, default=256)
+    add_join_kernel_arg(b)
     b.add_argument("--repeat", type=int, default=1,
                    help="submit the query set this many times "
                         "(repeats exercise the plan cache)")
@@ -489,6 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--compact-dead-ratio", type=float, default=0.25,
                     help="compact a PCSR partition's ci region in place "
                          "when dead words exceed this fraction")
+    add_join_kernel_arg(st)
 
     sv = sub.add_parser("serve",
                         help="run the always-on serving front end "
@@ -520,6 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["serial", "thread", "process"],
                     help="how each micro-batch's joining phase runs")
     sv.add_argument("--cache-capacity", type=int, default=256)
+    add_join_kernel_arg(sv)
     sv.add_argument("--data-plane", default="shm",
                     choices=["shm", "pickle"],
                     help="process-executor data plane")

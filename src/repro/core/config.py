@@ -14,12 +14,14 @@ config makes each toggle explicit so a benchmark is a config sweep:
 ``label_bits``            K      (fixed to 32 in the paper)
 ``gpn``                   group size of PCSR (16 -> 128 B groups)
 ``w1, w3``                load-balance thresholds (Tables IX-X)
+``join_kernel``           host-side join lane: per-row or vectorized
 ========================  =======================================
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.errors import ConfigError
@@ -56,6 +58,16 @@ class GSIConfig:
     budget_ms: Optional[float] = None
     max_intermediate_rows: Optional[int] = None
 
+    # --- host execution lane (does not change metered costs) ---
+    # "rows" iterates the intermediate table row by row; "vector" runs
+    # each edge pass as bulk NumPy ops over the whole table; "numba"
+    # additionally JIT-compiles the inner membership probes when numba
+    # is installed (silently equivalent to "vector" otherwise).  All
+    # lanes produce byte-identical match sets and meter totals.  The
+    # default can be steered fleet-wide via ``GSI_JOIN_KERNEL``.
+    join_kernel: str = field(default_factory=lambda: os.environ.get(
+        "GSI_JOIN_KERNEL", "rows"))
+
     def __post_init__(self) -> None:
         n, k = self.signature_bits, self.label_bits
         if n % 32 != 0 or not 32 < n <= 512:
@@ -70,6 +82,10 @@ class GSIConfig:
         if self.use_load_balance and not (self.w1 > self.w2 > self.w3 > 32):
             raise ConfigError(
                 f"need W1 > W2 > W3 > 32, got {self.w1}/{self.w2}/{self.w3}")
+        if self.join_kernel not in ("rows", "vector", "numba"):
+            raise ConfigError(
+                f"join_kernel must be 'rows', 'vector' or 'numba', "
+                f"got {self.join_kernel!r}")
 
     # ------------------------------------------------------------------
     # Named presets from the paper

@@ -39,6 +39,10 @@ from repro.storage.base import NeighborStore
 
 Row = Tuple[int, ...]
 
+#: Placeholder for rows whose buffer the first edge pass has not filled
+#: yet; never read (edge 0 always assigns before any refine consumes it).
+_UNFILLED_BUF = np.empty(0, dtype=np.int64)
+
 
 @dataclass
 class JoinContext:
@@ -64,7 +68,11 @@ class JoinContext:
         key = (v, label)
         hit = self.neighbor_cache.get(key)
         if hit is None:
-            arr = np.sort(self.store.neighbors(v, label))
+            # np.unique = sort + dedup: downstream set ops assume the
+            # sorted-unique contract (``intersect1d(assume_unique=True)``
+            # in refine_edge), so enforce it here rather than trusting
+            # every store to never surface a duplicate after churn.
+            arr = np.unique(self.store.neighbors(v, label))
             locate = self.store.locate_transactions(v, label)
             read_tx = self.store.read_transactions(v, label)
             streamed = self.store.streamed_elements(v, label)
@@ -109,7 +117,7 @@ def _edge_pass(ctx: JoinContext, rows_np: np.ndarray, col_of: Dict[int, int],
     engine = ctx.set_engine
     dr = ctx.config.use_duplicate_removal
     out: List[np.ndarray] = (
-        [None] * num_rows if bufs is None else list(bufs))  # type: ignore
+        [_UNFILLED_BUF] * num_rows if bufs is None else list(bufs))
 
     for edge_idx, (u_prime, label) in enumerate(edges):
         col = col_of[u_prime]
@@ -267,6 +275,11 @@ def run_join_phase(ctx: JoinContext, plan: JoinPlan,
                    candidates: Dict[int, np.ndarray]) -> List[Row]:
     """Execute the full join loop; returns rows aligned with
     ``plan.order`` (caller reorders to query-vertex order)."""
+    if ctx.config.join_kernel != "rows":
+        # Vectorized lane: byte-identical results and meter totals,
+        # bulk NumPy host execution (repro.core.kernels).
+        from repro.core.kernels import run_join_phase_vector
+        return run_join_phase_vector(ctx, plan, candidates)
     start = plan.start_vertex
     start_cands = candidates[start]
     # Materializing M = C(u_start): one coalesced copy.

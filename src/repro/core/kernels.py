@@ -1,0 +1,415 @@
+"""Vectorized join lane: whole edge passes as bulk NumPy ops.
+
+:mod:`repro.core.join` executes one Python iteration per
+intermediate-table row.  That is faithful to the warp-per-row mental
+model but dominates host wall-clock once tables grow.  This module is a
+drop-in replacement for the join phase (selected via
+``GSIConfig.join_kernel``) that executes each edge pass over the *whole*
+table at once:
+
+* rows are grouped by their bound vertex (``np.unique``), so each
+  distinct ``(v, label)`` neighbor list is fetched and concatenated
+  exactly once — duplicate-removal sharing falls out of the grouping;
+* ``(N(v, l) \\ m_i) ∩ C(u)`` and the refine intersections run as
+  vectorized sorted-set operations over the flattened buffers, built on
+  the same primitives (`CandidateSet.contains_mask`, sorted
+  ``searchsorted`` probes) the per-row lane uses;
+* per-row :class:`~repro.core.set_ops.RowCost` fields are derived from
+  length arrays with the exact formulas of ``SetOpEngine``, so metered
+  transaction totals, kernel cycle lists (hence simulated latency and
+  budget-abort points) and match sets stay **byte-identical** to the
+  per-row lane.  The differential tests assert this.
+
+The optional ``"numba"`` lane JIT-compiles the membership probes when
+numba is installed and silently degrades to the NumPy lane otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.plan import JoinPlan, JoinStep, select_first_edge
+from repro.core.set_ops import CandidateSet
+from repro.errors import BudgetExceeded
+from repro.gpusim.constants import (
+    CYCLES_PER_GLD,
+    CYCLES_PER_GST,
+    CYCLES_PER_OP,
+    CYCLES_PER_SHARED,
+    ELEMENTS_PER_TRANSACTION,
+    WARPS_PER_BLOCK,
+)
+from repro.gpusim.transactions import contiguous_read
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.core.join import JoinContext, Row
+
+try:  # optional JIT lane; the container may not ship numba
+    import numba  # type: ignore
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - absence is the common case
+    numba = None
+    HAVE_NUMBA = False
+
+
+# ----------------------------------------------------------------------
+# Vectorized cost primitives (elementwise twins of gpusim.transactions)
+# ----------------------------------------------------------------------
+
+
+def _cr_vec(n: np.ndarray) -> np.ndarray:
+    """Elementwise ``contiguous_read``: ceil(n / 32) transactions."""
+    return (n + ELEMENTS_PER_TRANSACTION - 1) // ELEMENTS_PER_TRANSACTION
+
+
+def _write_cost_vec(n: np.ndarray, write_cache: bool) -> np.ndarray:
+    """Elementwise ``SetOpEngine._write_cost``."""
+    return _cr_vec(n) if write_cache else n
+
+
+# ----------------------------------------------------------------------
+# Functional building blocks
+# ----------------------------------------------------------------------
+
+
+def _shared_hit_mask(vcol: np.ndarray) -> np.ndarray:
+    """Duplicate-removal hits: rows whose bound vertex already occurred
+    earlier within the same ``WARPS_PER_BLOCK`` block (Alg. 5's
+    first-occurrence stager keeps its own global read)."""
+    num_rows = len(vcol)
+    idx = np.arange(num_rows, dtype=np.int64)
+    block_id = idx // WARPS_PER_BLOCK
+    order = np.lexsort((idx, vcol, block_id))
+    first = np.ones(num_rows, dtype=bool)
+    if num_rows > 1:
+        sb, sv = block_id[order], vcol[order]
+        first[1:] = (sb[1:] != sb[:-1]) | (sv[1:] != sv[:-1])
+    hit = np.empty(num_rows, dtype=bool)
+    hit[order] = ~first
+    return hit
+
+
+if HAVE_NUMBA:  # pragma: no cover - only with numba installed
+
+    @numba.njit(cache=True)
+    def _membership_jit(values, seg_of, seg_starts, seg_lens, concat):
+        out = np.zeros(values.shape[0], dtype=np.bool_)
+        for i in range(values.shape[0]):
+            start = seg_starts[seg_of[i]]
+            n = seg_lens[seg_of[i]]
+            lo, hi, v = 0, n, values[i]
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if concat[start + mid] < v:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            out[i] = lo < n and concat[start + lo] == v
+        return out
+
+
+def _segment_membership(values: np.ndarray, seg_of: np.ndarray,
+                        seg_starts: np.ndarray, seg_lens: np.ndarray,
+                        concat: np.ndarray, use_numba: bool) -> np.ndarray:
+    """``values[i] ∈ segment[seg_of[i]]`` for sorted-unique segments.
+
+    Equivalent to per-row ``np.intersect1d(buf, nbrs,
+    assume_unique=True)`` membership; the buffers stay sorted-unique, so
+    filtering by this mask reproduces the intersection exactly.
+    """
+    if use_numba and HAVE_NUMBA:  # pragma: no cover - numba optional
+        return _membership_jit(values, seg_of, seg_starts, seg_lens, concat)
+    out = np.zeros(len(values), dtype=bool)
+    if len(values) == 0:
+        return out
+    order = np.argsort(seg_of, kind="stable")
+    sorted_seg = seg_of[order]
+    bounds = np.flatnonzero(sorted_seg[1:] != sorted_seg[:-1]) + 1
+    for run in np.split(order, bounds):
+        seg = int(seg_of[run[0]])
+        n = int(seg_lens[seg])
+        if n == 0:
+            continue
+        segment = concat[seg_starts[seg]:seg_starts[seg] + n]
+        vals = values[run]
+        pos = np.minimum(np.searchsorted(segment, vals), n - 1)
+        out[run] = segment[pos] == vals
+    return out
+
+
+# ----------------------------------------------------------------------
+# Edge pass
+# ----------------------------------------------------------------------
+
+
+def _distinct_neighbors(ctx: "JoinContext", vcol: np.ndarray, label: int):
+    """Fetch each distinct vertex's neighbor list once (shared memo with
+    the per-row lane) and return grouped arrays."""
+    uniq, inv = np.unique(vcol, return_inverse=True)
+    num_uniq = len(uniq)
+    locate_u = np.empty(num_uniq, dtype=np.int64)
+    read_u = np.empty(num_uniq, dtype=np.int64)
+    streamed_u = np.empty(num_uniq, dtype=np.int64)
+    len_u = np.empty(num_uniq, dtype=np.int64)
+    lists: List[np.ndarray] = []
+    for k in range(num_uniq):
+        nbrs, locate, read_tx, streamed = ctx.neighbors(int(uniq[k]), label)
+        lists.append(nbrs)
+        locate_u[k] = locate
+        read_u[k] = read_tx
+        streamed_u[k] = streamed
+        len_u[k] = len(nbrs)
+    starts_u = np.zeros(num_uniq + 1, dtype=np.int64)
+    np.cumsum(len_u, out=starts_u[1:])
+    concat = (np.concatenate(lists) if lists
+              else np.empty(0, dtype=np.int64))
+    return inv, concat, starts_u, locate_u, read_u, streamed_u, len_u
+
+
+def _meter_and_launch(ctx: "JoinContext", gld: np.ndarray, gst: np.ndarray,
+                      shared: np.ndarray, ops: np.ndarray,
+                      launches: int, units: np.ndarray, name: str) -> None:
+    """Bulk twin of ``_run_edge_kernel``: meter totals are plain sums, and
+    the per-row cycle list is passed in the same row order, so scheduling
+    (and any ``BudgetExceeded`` point) is identical."""
+    device = ctx.device
+    device.meter.add_gld(int(gld.sum()), label="join")
+    device.meter.add_gst(int(gst.sum()))
+    device.meter.add_shared(int(shared.sum()))
+    device.meter.add_ops(int(ops.sum()))
+    if launches:
+        device.launch_overhead(launches)
+    cycles = (gld * CYCLES_PER_GLD + gst * CYCLES_PER_GST
+              + shared * CYCLES_PER_SHARED + ops * CYCLES_PER_OP)
+    device.run_kernel(cycles.tolist(), name=name,
+                      lb=ctx.config.load_balance_config(),
+                      task_units=units.astype(np.float64).tolist())
+
+
+def _edge_pass_vector(ctx: "JoinContext", rows_np: np.ndarray,
+                      col_of: Dict[int, int],
+                      edges: List[Tuple[int, int]], cand: CandidateSet,
+                      count_only: bool, step_name: str
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """All linking-edge kernels over the whole table at once.
+
+    Returns ``(flat, counts)``: the per-row buffers concatenated in row
+    order plus their lengths.
+    """
+    num_rows, width = rows_np.shape
+    engine = ctx.set_engine
+    friendly = engine.friendly
+    write_cache = engine.write_cache
+    dr = ctx.config.use_duplicate_removal
+    use_numba = ctx.config.join_kernel == "numba"
+    probe_factor = cand.probe_gld(1, friendly)
+
+    flat = np.empty(0, dtype=np.int64)
+    counts = np.zeros(num_rows, dtype=np.int64)
+    for edge_idx, (u_prime, label) in enumerate(edges):
+        vcol = rows_np[:, col_of[u_prime]]
+        (inv, concat, starts_u, locate_u, read_u, streamed_u,
+         len_u) = _distinct_neighbors(ctx, vcol, label)
+        locate_r, read_r = locate_u[inv], read_u[inv]
+        streamed_r = streamed_u[inv]
+        shared_hit = (_shared_hit_mask(vcol) if dr
+                      else np.zeros(num_rows, dtype=bool))
+        locread = locate_r + read_r
+        gld = np.where(shared_hit, 0, locread)
+        shared = np.where(shared_hit, locread,
+                          read_r if friendly else 0)
+        launches = 0
+
+        if edge_idx == 0:
+            # buf_i = (N(v, l0) \ m_i) ∩ C(u), all rows at once: expand
+            # each row's neighbor list by gathering from the per-vertex
+            # concatenation, then mask per element.
+            nlen_r = len_u[inv]
+            total = int(nlen_r.sum())
+            row_of = np.repeat(np.arange(num_rows, dtype=np.int64), nlen_r)
+            head = np.zeros(num_rows + 1, dtype=np.int64)
+            np.cumsum(nlen_r, out=head[1:])
+            gather = (np.arange(total, dtype=np.int64) - head[:-1][row_of]
+                      + starts_u[inv][row_of])
+            vals = concat[gather]
+            in_row = np.zeros(total, dtype=bool)
+            for j in range(width):
+                in_row |= vals == rows_np[row_of, j]
+            keep_mask = ~in_row
+            buf_mask = keep_mask & cand.contains_mask(concat)[gather]
+            len_keep = np.bincount(row_of, weights=keep_mask,
+                                   minlength=num_rows).astype(np.int64)
+            counts = np.bincount(row_of, weights=buf_mask,
+                                 minlength=num_rows).astype(np.int64)
+            flat = vals[buf_mask]
+
+            units = streamed_r
+            row_read = contiguous_read(width)
+            if friendly:
+                shared = shared + row_read
+            else:
+                gld = gld + row_read
+                launches += num_rows
+            ops = streamed_r + width
+            if friendly:
+                gst = np.zeros(num_rows, dtype=np.int64)
+            else:
+                mid = _cr_vec(len_keep)
+                gst = mid.copy()
+                gld = gld + mid
+                launches += num_rows
+            gld = gld + len_keep * probe_factor
+            ops = ops + len_keep
+            gst = gst + _write_cost_vec(counts, write_cache)
+            if write_cache:
+                shared = shared + (counts > 0)
+        else:
+            # buf_i = buf_i ∩ N(v, l): one membership probe per element.
+            counts_in = counts
+            row_of = np.repeat(np.arange(num_rows, dtype=np.int64),
+                               counts_in)
+            member = _segment_membership(flat, inv[row_of], starts_u,
+                                         len_u, concat, use_numba)
+            counts = np.bincount(row_of, weights=member,
+                                 minlength=num_rows).astype(np.int64)
+            flat = flat[member]
+
+            units = counts_in + streamed_r
+            gld = gld + _cr_vec(counts_in)
+            if not friendly:
+                launches += num_rows
+            ops = counts_in + streamed_r
+            gst = _write_cost_vec(counts, write_cache)
+
+        if dr:
+            ops = ops + 4  # Alg. 5 synchronization overhead
+        if count_only:
+            gst = np.zeros(num_rows, dtype=np.int64)
+        _meter_and_launch(ctx, gld, gst, shared, ops, launches, units,
+                          name=f"{step_name}_e{edge_idx}")
+    return flat, counts
+
+
+# ----------------------------------------------------------------------
+# Prealloc / link / two-step materialization
+# ----------------------------------------------------------------------
+
+
+def _prealloc_vector(ctx: "JoinContext", rows_np: np.ndarray,
+                     col0: int, label0: int, step_name: str) -> None:
+    """Algorithm 4's capacity bounds + GBA scan, grouped by vertex."""
+    vcol = rows_np[:, col0]
+    inv, _, _, locate_u, _, _, len_u = _distinct_neighbors(
+        ctx, vcol, label0)
+    locate_r = locate_u[inv]
+    caps = len_u[inv]
+    ctx.device.meter.add_gld(int(locate_r.sum()), label="join")
+    tasks = (locate_r * CYCLES_PER_GLD).tolist()
+    ctx.device.exclusive_prefix_sum(
+        caps, name=f"{step_name}_prealloc_scan", fused_tasks=tasks)
+
+
+def _materialize(rows_np: np.ndarray, flat: np.ndarray,
+                 counts: np.ndarray) -> np.ndarray:
+    """``m_i (+) z`` for every surviving z, as one bulk repeat+stack."""
+    width = rows_np.shape[1]
+    new_rows = np.empty((len(flat), width + 1), dtype=np.int64)
+    new_rows[:, :width] = np.repeat(rows_np, counts, axis=0)
+    new_rows[:, width] = flat
+    return new_rows
+
+
+def _link_vector(ctx: "JoinContext", rows_np: np.ndarray, flat: np.ndarray,
+                 counts: np.ndarray, step_name: str) -> np.ndarray:
+    """Alg. 3 lines 14-21 over the whole table."""
+    ctx.device.exclusive_prefix_sum(counts, name=f"{step_name}_offsets")
+    width = rows_np.shape[1]
+    use_cache = ctx.config.use_write_cache and ctx.config.use_gpu_set_ops
+    nz = counts > 0
+    gld = np.where(nz, contiguous_read(width) + _cr_vec(counts), 0)
+    written = (width + 1) * counts
+    gst = np.where(nz, _write_cost_vec(written, use_cache), 0)
+    ctx.device.meter.add_gld(int(gld.sum()), label="join")
+    ctx.device.meter.add_gst(int(gst.sum()))
+    cycles = gld * CYCLES_PER_GLD + gst * CYCLES_PER_GST
+    ctx.device.run_kernel(cycles.tolist(), name=f"{step_name}_link",
+                          lb=ctx.config.load_balance_config(),
+                          task_units=counts.astype(np.float64).tolist())
+    return _materialize(rows_np, flat, counts)
+
+
+def _two_step_vector(ctx: "JoinContext", rows_np: np.ndarray,
+                     flat: np.ndarray, counts: np.ndarray,
+                     step_name: str) -> np.ndarray:
+    """Two-step scheme's assembly: writes were charged in the repeated
+    pass, only the offsets scan and batched stores land here."""
+    ctx.device.exclusive_prefix_sum(counts, name=f"{step_name}_offsets")
+    width = rows_np.shape[1]
+    written = (width + 1) * counts[counts > 0]
+    ctx.device.meter.add_gst(int(_cr_vec(written).sum()))
+    return _materialize(rows_np, flat, counts)
+
+
+# ----------------------------------------------------------------------
+# Step / phase drivers (mirror execute_join_step / run_join_phase)
+# ----------------------------------------------------------------------
+
+
+def execute_join_step_vector(ctx: "JoinContext", rows_np: np.ndarray,
+                             columns: List[int], step: JoinStep,
+                             cand: CandidateSet) -> np.ndarray:
+    """One Alg. 3 invocation over an ndarray intermediate table."""
+    if rows_np.shape[0] == 0 or len(cand) == 0:
+        return np.empty((0, rows_np.shape[1] + 1), dtype=np.int64)
+    if ctx.config.max_intermediate_rows is not None and \
+            rows_np.shape[0] > ctx.config.max_intermediate_rows:
+        raise BudgetExceeded(
+            f"intermediate table exceeded {ctx.config.max_intermediate_rows} rows")
+
+    col_of = {qv: j for j, qv in enumerate(columns)}
+    step_name = f"join_u{step.vertex}"
+    first = select_first_edge(step, ctx.graph)
+    edges = [first] + [e for e in step.linking_edges if e != first]
+
+    if ctx.config.use_gpu_set_ops:
+        bitset_words = (ctx.graph.num_vertices + 31) // 32
+        ctx.device.memset_cycles(bitset_words)
+
+    if ctx.config.use_prealloc_combine:
+        _prealloc_vector(ctx, rows_np, col_of[first[0]], first[1], step_name)
+        flat, counts = _edge_pass_vector(ctx, rows_np, col_of, edges, cand,
+                                         count_only=False,
+                                         step_name=step_name)
+        return _link_vector(ctx, rows_np, flat, counts, step_name)
+
+    _edge_pass_vector(ctx, rows_np, col_of, edges, cand, count_only=True,
+                      step_name=step_name + "_count")
+    flat, counts = _edge_pass_vector(ctx, rows_np, col_of, edges, cand,
+                                     count_only=False,
+                                     step_name=step_name + "_write")
+    return _two_step_vector(ctx, rows_np, flat, counts, step_name)
+
+
+def run_join_phase_vector(ctx: "JoinContext", plan: JoinPlan,
+                          candidates: Dict[int, np.ndarray]
+                          ) -> List["Row"]:
+    """Vectorized twin of ``run_join_phase``; same rows, same meters."""
+    start_cands = candidates[plan.start_vertex]
+    tx = contiguous_read(len(start_cands))
+    ctx.device.meter.add_gld(tx, label="join")
+    ctx.device.meter.add_gst(tx)
+    ctx.device.run_kernel([float(tx * CYCLES_PER_GLD)], name="init_m")
+
+    rows_np = np.asarray(start_cands, dtype=np.int64).reshape(-1, 1)
+    columns = [plan.start_vertex]
+    for step in plan.steps:
+        cand = CandidateSet(np.asarray(candidates[step.vertex],
+                                       dtype=np.int64))
+        rows_np = execute_join_step_vector(ctx, rows_np, columns, step, cand)
+        columns.append(step.vertex)
+        if rows_np.shape[0] == 0:
+            break
+    return [tuple(int(x) for x in row) for row in rows_np]

@@ -179,8 +179,8 @@ class SetOpEngine:
         buf = keep[cand.contains_mask(keep)]
 
         cost.gst += self._write_cost(len(buf))
-        if self.write_cache:
-            cost.shared += len(buf) and 1
+        if self.write_cache and len(buf):
+            cost.shared += 1  # one shared-memory staging slot for the cache
         return buf, cost
 
     def refine_edge(self, buf: np.ndarray, nbrs: np.ndarray,

@@ -131,10 +131,14 @@ class DynamicPCSRStorage(PCSRStorage):
     def __init__(self, graph: LabeledGraph, gpn: int = 16,
                  rebuild_occupancy: float = DEFAULT_REBUILD_OCCUPANCY,
                  compact_dead_ratio: float = DEFAULT_COMPACT_DEAD_RATIO,
-                 meter: Optional[MemoryMeter] = None) -> None:
+                 meter: Optional[MemoryMeter] = None,
+                 compact_max_groups: Optional[int] = None) -> None:
         super().__init__(graph, gpn=gpn)
         self.rebuild_occupancy = rebuild_occupancy
         self.compact_dead_ratio = compact_dead_ratio
+        #: bound on region moves per compaction call (None = full sweep);
+        #: bounds worst-case pause at the cost of deferred reclamation
+        self.compact_max_groups = compact_max_groups
         self.meter = meter if meter is not None else MemoryMeter()
         self.rebuilds = 0
         self.incremental_ops = 0
@@ -176,7 +180,8 @@ class DynamicPCSRStorage(PCSRStorage):
             return
         if (part.dead_words() >= MIN_COMPACT_DEAD_WORDS
                 and part.dead_ratio() > self.compact_dead_ratio):
-            self.words_reclaimed += part.compact(self.meter)
+            self.words_reclaimed += part.compact(
+                self.meter, max_groups=self.compact_max_groups)
             self.compactions += 1
 
     def insert_edge(self, u: int, v: int, label: int) -> None:
@@ -230,6 +235,79 @@ class DynamicPCSRStorage(PCSRStorage):
         self.incremental_ops += 2
         self._maybe_compact(label)
 
+    @staticmethod
+    def _delta_by_label(inserted_edges, deleted_edges):
+        """Group undirected edge lists into per-label, per-key deltas."""
+        adds: Dict[int, Dict[int, list]] = {}
+        dels: Dict[int, Dict[int, list]] = {}
+        for bucket, edges in ((dels, deleted_edges),
+                              (adds, inserted_edges)):
+            for u, v, lab in edges:
+                per_key = bucket.setdefault(lab, {})
+                per_key.setdefault(u, []).append(v)
+                per_key.setdefault(v, []).append(u)
+        return adds, dels
+
+    def apply_batch(self, inserted_edges, deleted_edges) -> None:
+        """Apply one committed batch with bulk per-partition merges.
+
+        The per-edge path walks a group chain and shifts a region for
+        *every* edge; this groups the batch by label and key and calls
+        :meth:`PCSRPartition.apply_bulk` — one chain walk per touched
+        key, one merge + rewrite per affected group region.  Policy
+        (occupancy rebuilds, Claim-1 fallback, compaction) is identical
+        to the per-edge path.
+        """
+        adds, dels = self._delta_by_label(inserted_edges, deleted_edges)
+        for lab in sorted(set(adds) | set(dels)):
+            ins = {v: np.asarray(lst, dtype=np.int64)
+                   for v, lst in adds.get(lab, {}).items()}
+            rem = {v: np.asarray(lst, dtype=np.int64)
+                   for v, lst in dels.get(lab, {}).items()}
+            part = self._parts.get(lab)
+            if part is None:
+                if rem:
+                    raise KeyError(f"no partition for edge label {lab}")
+                adjacency = {v: np.unique(arr) for v, arr in ins.items()}
+                self._parts[lab] = PCSRPartition(
+                    EdgeLabelPartition(lab, adjacency), gpn=self.gpn)
+                self.meter.add_gst(
+                    contiguous_read(self._parts[lab].groups.size)
+                    + contiguous_read(len(self._parts[lab].ci)))
+                continue
+            # Cheap upper bound first (every insert key new); only pay
+            # the exact chain walks when that bound crosses the policy.
+            new_keys = len(ins)
+            if new_keys and ((part.key_count() + new_keys)
+                             / part.num_groups > self.rebuild_occupancy):
+                new_keys = sum(1 for v in ins
+                               if part._find_key(v)[1] < 0)
+            if new_keys and ((part.key_count() + new_keys)
+                             / part.num_groups > self.rebuild_occupancy):
+                self._rebuild_partition(
+                    lab, self._merged_adjacency(lab, ins, rem))
+            elif part.apply_bulk(ins, rem, self.meter):
+                self.incremental_ops += (sum(map(len, ins.values()))
+                                         + sum(map(len, rem.values())))
+            else:
+                # Claim-1 starvation; apply_bulk left the partition
+                # untouched, so the delta still applies cleanly here.
+                self._rebuild_partition(
+                    lab, self._merged_adjacency(lab, ins, rem))
+            self._maybe_compact(lab)
+
+    def _merged_adjacency(self, label: int, ins: Dict[int, np.ndarray],
+                          rem: Dict[int, np.ndarray]
+                          ) -> Dict[int, np.ndarray]:
+        """Current adjacency of one partition with a delta applied."""
+        adjacency = self._current_adjacency(label)
+        for v, arr in rem.items():
+            cur = adjacency.get(v, EMPTY)
+            adjacency[v] = cur[~np.isin(cur, arr)]
+        for v, arr in ins.items():
+            adjacency[v] = np.union1d(adjacency.get(v, EMPTY), arr)
+        return adjacency
+
     def stats(self) -> Dict[str, object]:
         """PCSR health plus maintenance counters (compactions fired,
         rebuilds, words reclaimed) for reports and the CLI."""
@@ -258,9 +336,14 @@ class DynamicIndex:
                  label_bits: int = 32, column_first: bool = True,
                  gpn: int = 16,
                  rebuild_occupancy: float = DEFAULT_REBUILD_OCCUPANCY,
-                 compact_dead_ratio: float = DEFAULT_COMPACT_DEAD_RATIO
+                 compact_dead_ratio: float = DEFAULT_COMPACT_DEAD_RATIO,
+                 bulk_updates: bool = True,
+                 compact_max_groups: Optional[int] = None
                  ) -> None:
         self.meter = MemoryMeter()
+        #: route commits through PCSRPartition.apply_bulk (one merge per
+        #: group region) instead of per-edge maintenance calls
+        self.bulk_updates = bulk_updates
         self.signature_table = SignatureTable.build(
             graph, signature_bits, label_bits, column_first=column_first)
         self.signatures = DynamicSignatureTable(
@@ -269,7 +352,7 @@ class DynamicIndex:
         self.storage = DynamicPCSRStorage(
             graph, gpn=gpn, rebuild_occupancy=rebuild_occupancy,
             compact_dead_ratio=compact_dead_ratio,
-            meter=self.meter)
+            meter=self.meter, compact_max_groups=compact_max_groups)
 
     def apply_commit(self, commit: CommitResult) -> None:
         """Maintain every artifact for one committed batch.
@@ -277,10 +360,14 @@ class DynamicIndex:
         Deletions apply before insertions so freed ci slack is
         reusable within the same batch.
         """
-        for u, v, lab in commit.deleted_edges:
-            self.storage.delete_edge(u, v, lab)
-        for u, v, lab in commit.inserted_edges:
-            self.storage.insert_edge(u, v, lab)
+        if self.bulk_updates:
+            self.storage.apply_batch(commit.inserted_edges,
+                                     commit.deleted_edges)
+        else:
+            for u, v, lab in commit.deleted_edges:
+                self.storage.delete_edge(u, v, lab)
+            for u, v, lab in commit.inserted_edges:
+                self.storage.insert_edge(u, v, lab)
         self.signatures.apply(commit.snapshot, commit.touched_vertices)
 
     @property

@@ -376,6 +376,324 @@ class PCSRPartition:
                           label="pcsr_maintain")
             meter.add_gst(1 + contiguous_read(group_end - 1 - begin - pos))
 
+    def _merge_delta(self, v: int, current: np.ndarray,
+                     adds: Optional[np.ndarray],
+                     removes: Optional[np.ndarray]) -> np.ndarray:
+        """``(current \\ removes) ∪ adds`` as a new sorted-unique array;
+        raises (before any structural mutation) if a remove target is
+        absent, matching :meth:`remove_neighbor`.
+
+        Deltas are typically one or two edges per key, so this leans on
+        binary search (``current`` is sorted-unique) instead of the
+        much heavier ``isin``/``union1d`` set machinery.
+        """
+        merged = current
+        if removes is not None and len(removes):
+            rem = np.asarray(removes, dtype=np.int64)
+            if len(rem) > 1:
+                rem = np.unique(rem)
+            if not len(merged):
+                raise StorageError(
+                    f"{int(rem[0])} is not a neighbor of {v}")
+            pos = np.searchsorted(merged, rem)
+            present = merged[np.minimum(pos, len(merged) - 1)] == rem
+            if not present.all():
+                missing = int(rem[int(np.argmin(present))])
+                raise StorageError(f"{missing} is not a neighbor of {v}")
+            merged = np.delete(merged, pos)
+        if adds is not None and len(adds):
+            add = np.asarray(adds, dtype=np.int64)
+            if len(add) > 1:
+                add = np.unique(add)
+            pos = np.searchsorted(merged, add)
+            if len(merged):
+                fresh = (pos >= len(merged)) \
+                    | (merged[np.minimum(pos, len(merged) - 1)] != add)
+            else:
+                fresh = np.ones(len(add), dtype=bool)
+            if fresh.any():
+                merged = np.insert(merged, pos[fresh], add[fresh])
+        if merged is current:
+            merged = current.copy()
+        return merged
+
+    def _bulk_merge(self, touched: List[int],
+                    located: Dict[int, Tuple[int, int]],
+                    inserts: Dict[int, np.ndarray],
+                    deletes: Dict[int, np.ndarray]
+                    ) -> Dict[int, np.ndarray]:
+        """Merged neighbor lists for every touched key, computed as one
+        global sorted merge over ``i * M + w`` pair codes.  Read-only:
+        raises :class:`StorageError` on a delete of an absent neighbor
+        without having mutated anything."""
+        cur_arrays: List[np.ndarray] = []
+        cur_owner: List[int] = []
+        rem_arrays: List[np.ndarray] = []
+        rem_owner: List[int] = []
+        add_arrays: List[np.ndarray] = []
+        add_owner: List[int] = []
+        top = 0
+        for i, v in enumerate(touched):
+            if v in located:
+                gid, j = located[v]
+                begin, end = self._slot_extent(gid, j)
+                seg = self._ci_buf[begin:end]
+                if len(seg):
+                    cur_arrays.append(seg)
+                    cur_owner.append(i)
+                    top = max(top, int(seg[-1]))
+            for bucket, arrays, owners in ((deletes, rem_arrays,
+                                            rem_owner),
+                                           (inserts, add_arrays,
+                                            add_owner)):
+                arr = bucket.get(v)
+                if arr is not None and len(arr):
+                    arr = np.asarray(arr, dtype=np.int64)
+                    arrays.append(arr)
+                    owners.append(i)
+                    top = max(top, int(arr.max()))
+        M = top + 1
+        if len(touched) > (2 ** 62) // max(M, 1):
+            # Pair codes would overflow int64; take the per-key path.
+            out: Dict[int, np.ndarray] = {}
+            for v in touched:
+                if v in located:
+                    gid, j = located[v]
+                    begin, end = self._slot_extent(gid, j)
+                    current = self._ci_buf[begin:end]
+                else:
+                    current = EMPTY
+                out[v] = self._merge_delta(v, current, inserts.get(v),
+                                           deletes.get(v))
+            return out
+
+        def codes(arrays: List[np.ndarray], owners: List[int],
+                  presorted: bool) -> np.ndarray:
+            if not arrays:
+                return EMPTY
+            code = (np.repeat(np.asarray(owners, dtype=np.int64),
+                              [len(a) for a in arrays]) * M
+                    + np.concatenate(arrays))
+            return code if presorted else np.sort(code)
+
+        cur_code = codes(cur_arrays, cur_owner, presorted=True)
+        rem_code = codes(rem_arrays, rem_owner, presorted=False)
+        add_code = codes(add_arrays, add_owner, presorted=False)
+
+        if len(rem_code):
+            pos = (np.searchsorted(cur_code, rem_code)
+                   if len(cur_code) else None)
+            present = (cur_code[np.minimum(pos, len(cur_code) - 1)]
+                       == rem_code if pos is not None
+                       else np.zeros(len(rem_code), dtype=bool))
+            if not present.all():
+                bad = int(rem_code[int(np.argmin(present))])
+                raise StorageError(f"{bad % M} is not a neighbor of "
+                                   f"{touched[bad // M]}")
+            keep = np.ones(len(cur_code), dtype=bool)
+            keep[pos] = False
+            kept = cur_code[keep]
+        else:
+            kept = cur_code
+        if len(add_code):
+            add_code = np.unique(add_code)
+            if len(kept):
+                pos = np.searchsorted(kept, add_code)
+                fresh = (kept[np.minimum(pos, len(kept) - 1)]
+                         != add_code)
+            else:
+                pos = np.zeros(len(add_code), dtype=np.int64)
+                fresh = np.ones(len(add_code), dtype=bool)
+            merged_code = np.insert(kept, pos[fresh], add_code[fresh])
+        else:
+            merged_code = kept
+        counts = np.bincount(merged_code // M, minlength=len(touched))
+        vals = merged_code % M
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        return {v: vals[bounds[i]:bounds[i + 1]]
+                for i, v in enumerate(touched)}
+
+    def apply_bulk(self, inserts: Dict[int, np.ndarray],
+                   deletes: Dict[int, np.ndarray],
+                   meter: Optional[MemoryMeter] = None) -> bool:
+        """Apply a whole batch delta in one pass (GPMA-style bulk update).
+
+        ``inserts`` / ``deletes`` map keys to neighbor arrays to merge in
+        or strip out.  Instead of one chain walk plus one region
+        shift/relocation per edge, this walks each touched key's chain
+        once, then performs a single sorted merge + rewrite per affected
+        group region — the bulk analogue of segment-wise GPMA updates.
+
+        Returns ``False`` (with the partition **unmodified**) when new
+        keys cannot be placed without violating Claim 1; the caller
+        rebuilds, exactly as for :meth:`insert_key`.  Raises
+        :class:`StorageError` (also before mutating) when a delete
+        targets a missing key or neighbor.
+        """
+        touched = sorted(set(inserts) | set(deletes))
+        if not touched:
+            return True
+        gpn = self.gpn
+        capacity = gpn - 1
+
+        # Phase 1: one chain walk per touched key.
+        reads = 0
+        located: Dict[int, Tuple[int, int]] = {}
+        new_keys: List[int] = []
+        for v in touched:
+            r, gid, j = self._find_key(v)
+            reads += r
+            if gid >= 0:
+                located[v] = (gid, j)
+            elif v in deletes:
+                raise StorageError(f"key {v} not present in partition")
+            else:
+                new_keys.append(v)
+        if meter is not None:
+            meter.add_gld(reads, label="pcsr_maintain")
+
+        # Phase 2 (dry run): place new keys along their home chains,
+        # extending through empty groups when full — without mutating,
+        # so Claim-1 starvation leaves the structure untouched.
+        pending: Dict[int, int] = {}
+        planned_next: Dict[int, int] = {}
+        pool = set(self._empty_pool) if new_keys else set()
+        placements: List[Tuple[int, int]] = []  # (v, target gid)
+        for v in new_keys:
+            cur = default_hash(v, self.num_groups)
+            target = -1
+            while True:
+                free = (capacity - self._keys_per_group[cur]
+                        - pending.get(cur, 0))
+                if free > 0:
+                    target = cur
+                    break
+                nxt = planned_next.get(
+                    cur, int(self.groups[cur, gpn - 1, 0]))
+                if nxt == _NO_OVERFLOW:
+                    break
+                cur = nxt
+            if target < 0:
+                if not pool:
+                    return False  # nothing mutated yet; caller rebuilds
+                target = pool.pop()
+                planned_next[cur] = target
+            pending[target] = pending.get(target, 0) + 1
+            placements.append((v, target))
+            pool.discard(target)
+
+        # Phase 3 (still read-only): one global sorted merge across all
+        # touched keys, raising on bad deletes before any write happens.
+        # (key-index, neighbor) pairs are encoded as ``i * M + w``; the
+        # per-key ci segments are sorted-unique and visited in index
+        # order, so the current stream is already globally sorted and
+        # every per-key set-op collapses into a handful of whole-batch
+        # array ops — the GPMA bulk merge proper.
+        merged = self._bulk_merge(touched, located, inserts, deletes)
+
+        # Phase 4: commit — chain extensions, then one rewrite per
+        # affected group region.
+        gst = 0
+        for last, target in planned_next.items():
+            self.groups[last, gpn - 1, 0] = target
+            self._grow_ci(0)
+            self._region_start[target] = self._ci_len
+            self._region_cap[target] = 0
+            self.groups[target, gpn - 1, 1] = self._ci_len
+            self._empty_pool.discard(target)
+            gst += 1  # rewrite of the chained-from group
+        new_by_gid: Dict[int, List[int]] = {}
+        for v, target in placements:
+            self._empty_pool.discard(target)
+            new_by_gid.setdefault(target, []).append(v)
+
+        affected = sorted({gid for gid, _ in located.values()}
+                          | set(new_by_gid))
+        moved_read = 0
+        for gid in affected:
+            # Fast path: one touched key, no new keys, region slack
+            # suffices — shift the tail in place instead of rewriting
+            # the whole region (the common sparse-batch shape).  The
+            # metered cost is the same either way: the bulk model
+            # charges a region merge per affected group.
+            new_here = new_by_gid.get(gid, ())
+            nkeys = int(self._keys_per_group[gid])
+            touched_slots = [j for j in range(nkeys)
+                             if int(self.groups[gid, j, 0]) in merged]
+            if not new_here and len(touched_slots) == 1:
+                j = touched_slots[0]
+                arr = merged[int(self.groups[gid, j, 0])]
+                begin, end = self._slot_extent(gid, j)
+                delta = len(arr) - (end - begin)
+                old_used = (int(self.groups[gid, gpn - 1, 1])
+                            - int(self._region_start[gid]))
+                if delta > 0 and self._region_slack(gid) < delta:
+                    # Metered below with the same region-merge formula
+                    # as the general path, so the accounting does not
+                    # depend on which branch ran.
+                    self._relocate_group(gid, max(delta, len(arr)),
+                                         None)
+                    begin, end = self._slot_extent(gid, j)
+                group_end = int(self.groups[gid, gpn - 1, 1])
+                if delta:
+                    tail = self._ci_buf[end:group_end].copy()
+                    self._ci_buf[end + delta:group_end + delta] = tail
+                    for k in range(j + 1, gpn - 1):
+                        if self.groups[gid, k, 0] == _EMPTY_SLOT:
+                            break
+                        self.groups[gid, k, 1] += delta
+                    self.groups[gid, gpn - 1, 1] = group_end + delta
+                if len(arr):
+                    self._ci_buf[begin:begin + len(arr)] = arr
+                moved_read += contiguous_read(old_used)
+                gst += contiguous_read(old_used + delta) + 1
+                continue
+            keys: List[int] = []
+            arrays: List[np.ndarray] = []
+            for j in range(self._keys_per_group[gid]):
+                v = int(self.groups[gid, j, 0])
+                keys.append(v)
+                if v in merged:
+                    arrays.append(merged[v])
+                else:
+                    begin, end = self._slot_extent(gid, j)
+                    arrays.append(self._ci_buf[begin:end])
+            for v in new_by_gid.get(gid, ()):
+                keys.append(v)
+                arrays.append(merged[v])
+            old_start = int(self._region_start[gid])
+            old_used = int(self.groups[gid, gpn - 1, 1]) - old_start
+            lens = np.array([len(a) for a in arrays], dtype=np.int64)
+            total = int(lens.sum())
+            # Concatenate into a fresh buffer first: the sources may be
+            # views into the very region being rewritten.
+            region = (np.concatenate(arrays) if total
+                      else np.empty(0, dtype=np.int64))
+            if total <= self._region_cap[gid]:
+                pos = old_start
+            else:
+                new_cap = total + max(total, 4)
+                self._grow_ci(new_cap)
+                pos = self._ci_len
+                self._dead_words += int(self._region_cap[gid])
+                self._region_start[gid] = pos
+                self._region_cap[gid] = new_cap
+                self._ci_len = pos + new_cap
+            self._ci_buf[pos:pos + total] = region
+            n = len(keys)
+            if n:
+                self.groups[gid, :n, 0] = keys
+                self.groups[gid, :n, 1] = pos + np.concatenate(
+                    ([0], np.cumsum(lens[:-1])))
+            self.groups[gid, gpn - 1, 1] = pos + total
+            self._keys_per_group[gid] = n
+            moved_read += contiguous_read(old_used)
+            gst += contiguous_read(total) + 1
+        if meter is not None:
+            meter.add_gld(moved_read, label="pcsr_maintain")
+            meter.add_gst(gst)
+        return True
+
     def items(self) -> Iterator[Tuple[int, np.ndarray]]:
         """Iterate ``(key, neighbor array)`` straight off the structure
         (rebuilds and tests read the partition back through this)."""
@@ -405,28 +723,41 @@ class PCSRPartition:
         """Fraction of the ci layer that is orphaned dead space."""
         return self._dead_words / self._ci_len if self._ci_len else 0.0
 
-    def compact(self, meter: Optional[MemoryMeter] = None) -> int:
-        """Slide every live ci region left over the dead space.
+    def compact(self, meter: Optional[MemoryMeter] = None,
+                max_groups: Optional[int] = None) -> int:
+        """Slide live ci regions left over the dead space.
 
         Regions are processed in layout order, so each destination is at
         or before its source and the move is safe in place; per-region
         slack is dropped (the next append re-creates it by relocation).
-        Afterwards ``dead_words() == 0`` and the ci layer is exactly the
-        live neighbor lists.  Metered like every other maintenance op
+        After a full sweep ``dead_words() == 0`` and the ci layer is
+        exactly the live neighbor lists.
+
+        ``max_groups`` bounds the pause: at most that many region
+        *moves* are performed per call (already-packed prefix regions
+        are skipped for free), and the sweep stops early once the budget
+        is spent.  A bounded call leaves the structure fully valid —
+        a packed prefix followed by untouched regions — and returns 0;
+        repeated calls make progress until one completes the sweep and
+        reclaims the tail.  Metered like every other maintenance op
         (label ``pcsr_compact``).  Returns the number of words
-        reclaimed.
+        reclaimed (0 unless the sweep completed).
         """
         old_len = self._ci_len
         order = np.argsort(self._region_start, kind="stable")
         pos = 0
         moved = 0
         groups_rewritten = 0
+        complete = True
         for gid in order:
             gid = int(gid)
             start = int(self._region_start[gid])
             end = int(self.groups[gid, self.gpn - 1, 1])
             used = end - start
             if pos != start:
+                if max_groups is not None and groups_rewritten >= max_groups:
+                    complete = False
+                    break
                 if used:
                     self._ci_buf[pos:pos + used] = \
                         self._ci_buf[start:end].copy()
@@ -441,11 +772,13 @@ class PCSRPartition:
             self._region_start[gid] = pos
             self._region_cap[gid] = used
             pos += used
-        self._ci_len = pos
-        self._dead_words = 0
         if meter is not None:
             meter.add_gld(contiguous_read(moved), label="pcsr_compact")
             meter.add_gst(contiguous_read(moved) + groups_rewritten)
+        if not complete:
+            return 0
+        self._ci_len = pos
+        self._dead_words = 0
         return old_len - pos
 
     def stats(self) -> Dict[str, float]:

@@ -1,0 +1,257 @@
+"""Bulk PCSR updates (GPMA-style), partial compaction, and the
+sorted-unique neighbor contract under churn."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GSIConfig
+from repro.core.join import JoinContext
+from repro.core.set_ops import SetOpEngine
+from repro.errors import StorageError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.partition import EdgeLabelPartition, partition_by_edge_label
+from repro.gpusim.device import Device
+from repro.gpusim.meter import MemoryMeter
+from repro.storage.pcsr import PCSRPartition
+
+
+def build_partition(edges, n=None, gpn=16):
+    n = n if n is not None else (max(max(u, v) for u, v, _ in edges) + 1
+                                 if edges else 1)
+    g = LabeledGraph([0] * n, edges)
+    parts = partition_by_edge_label(g)
+    return {lab: PCSRPartition(p, gpn=gpn) for lab, p in parts.items()}
+
+
+def random_edges(rng, num_vertices, num_edges):
+    seen = set()
+    while len(seen) < num_edges:
+        u, v = (int(x) for x in rng.integers(0, num_vertices, size=2))
+        if u != v:
+            seen.add((min(u, v), max(u, v), 0))
+    return sorted(seen)
+
+
+def as_dicts(pairs):
+    """(u, v) pairs -> symmetric {key: np.ndarray} delta."""
+    out = {}
+    for u, v in pairs:
+        out.setdefault(u, []).append(v)
+        out.setdefault(v, []).append(u)
+    return {k: np.asarray(sorted(vs), dtype=np.int64)
+            for k, vs in out.items()}
+
+
+class TestApplyBulkDifferential:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_per_edge_path(self, seed):
+        rng = np.random.default_rng(seed)
+        base = random_edges(rng, 40, 120)
+        part_bulk = build_partition(base)[0]
+        part_edge = build_partition(base)[0]
+        existing = {(u, v) for u, v, _ in base}
+
+        for _ in range(6):
+            removable = sorted(existing)
+            picks = rng.choice(len(removable),
+                               size=min(5, len(removable)),
+                               replace=False)
+            removes = [removable[i] for i in picks]
+            adds = []
+            while len(adds) < 8:
+                u, v = (int(x) for x in rng.integers(0, 40, size=2))
+                e = (min(u, v), max(u, v))
+                if u != v and e not in existing and e not in adds:
+                    adds.append(e)
+            existing -= set(removes)
+            existing |= set(adds)
+
+            meter = MemoryMeter()
+            assert part_bulk.apply_bulk(as_dicts(adds),
+                                        as_dicts(removes), meter)
+            edge_meter = MemoryMeter()
+            for u, v in removes:
+                part_edge.remove_neighbor(u, v, edge_meter)
+                part_edge.remove_neighbor(v, u, edge_meter)
+            for u, v in adds:
+                for a, b in ((u, v), (v, u)):
+                    arr = np.array([b], dtype=np.int64)
+                    if part_edge._find_key(a)[1] >= 0:
+                        part_edge.append_neighbors(a, arr, edge_meter)
+                    else:
+                        assert part_edge.insert_key(a, arr, edge_meter)
+
+            assert part_bulk.validate() == []
+            assert part_edge.validate() == []
+            got = {v: a.tolist() for v, a in part_bulk.items()}
+            want = {v: a.tolist() for v, a in part_edge.items()}
+            # per-edge keeps emptied keys with [] extents; bulk merges
+            # to the same lists for every live key
+            want = {v: a for v, a in want.items() if a}
+            got = {v: a for v, a in got.items() if a}
+            assert got == want
+            bulk_snap = meter.snapshot()
+            edge_snap = edge_meter.snapshot()
+            assert (bulk_snap.gld + bulk_snap.gst
+                    <= edge_snap.gld + edge_snap.gst)
+
+    def test_multiple_edges_same_key_one_merge(self):
+        part = build_partition([(0, 1, 0), (0, 2, 0)])[0]
+        meter = MemoryMeter()
+        assert part.apply_bulk(
+            {0: np.array([3, 4, 5]), 3: np.array([0]),
+             4: np.array([0]), 5: np.array([0])}, {}, meter)
+        assert part.validate() == []
+        assert list(part.neighbors(0)) == [1, 2, 3, 4, 5]
+        assert list(part.neighbors(4)) == [0]
+
+    def test_new_key_insertion(self):
+        part = build_partition([(0, 1, 0)])[0]
+        assert part.apply_bulk({7: np.array([0]), 0: np.array([7])},
+                               {})
+        assert list(part.neighbors(7)) == [0]
+        assert list(part.neighbors(0)) == [1, 7]
+        assert part.validate() == []
+
+    def test_mixed_insert_delete_same_key(self):
+        part = build_partition([(0, 1, 0), (0, 2, 0)])[0]
+        assert part.apply_bulk({0: np.array([5]), 5: np.array([0])},
+                               {0: np.array([1]), 1: np.array([0])})
+        assert list(part.neighbors(0)) == [2, 5]
+        assert part.validate() == []
+
+
+class TestApplyBulkAtomicity:
+    def test_bad_delete_key_raises_before_mutation(self):
+        part = build_partition([(0, 1, 0)])[0]
+        before = {v: a.tolist() for v, a in part.items()}
+        with pytest.raises(StorageError):
+            part.apply_bulk({}, {9: np.array([0])})
+        assert {v: a.tolist() for v, a in part.items()} == before
+
+    def test_bad_delete_neighbor_raises_before_mutation(self):
+        part = build_partition([(0, 1, 0), (2, 3, 0)])[0]
+        before = {v: a.tolist() for v, a in part.items()}
+        with pytest.raises(StorageError, match="not a neighbor"):
+            # the valid half of the delta must not land either
+            part.apply_bulk({}, {0: np.array([1]), 2: np.array([9])})
+        assert {v: a.tolist() for v, a in part.items()} == before
+        assert part.validate() == []
+
+    def test_claim1_starvation_returns_false_unmodified(self):
+        # gpn=2 -> one key slot per group; fill every group so a new
+        # key cannot be placed anywhere along its chain.
+        part = build_partition([(0, 1, 0)], gpn=2)[0]
+        while part._empty_pool:
+            spare = max(part.items(), default=(1, None))[0] + 100
+            if not part.insert_key(spare,
+                                   np.array([0], dtype=np.int64)):
+                break
+        before = {v: a.tolist() for v, a in part.items()}
+        new_key = 9999
+        assert part._find_key(new_key)[1] < 0
+        assert not part.apply_bulk({new_key: np.array([0])}, {})
+        assert {v: a.tolist() for v, a in part.items()} == before
+        assert part.validate() == []
+
+
+class TestPartialCompaction:
+    def _churned_partition(self):
+        rng = np.random.default_rng(3)
+        part = build_partition(random_edges(rng, 30, 80))[0]
+        # Force relocations (hence dead words) via repeated appends.
+        for v in range(0, 30, 3):
+            if len(part.neighbors(v)):
+                part.append_neighbors(
+                    v, np.asarray(rng.integers(30, 60, size=6),
+                                  dtype=np.int64))
+        assert part.dead_words() > 0
+        return part
+
+    def test_bounded_sweep_reclaims_only_on_completion(self):
+        part = self._churned_partition()
+        want = {v: a.tolist() for v, a in part.items()}
+        dead = part.dead_words()
+        reclaimed = 0
+        calls = 0
+        while True:
+            calls += 1
+            assert calls < 10_000
+            got = part.compact(max_groups=1)
+            # structure and content stay valid after EVERY bounded call
+            assert part.validate() == []
+            assert {v: a.tolist() for v, a in part.items()} == want
+            if got:
+                reclaimed = got
+                break
+            assert part.dead_words() == dead  # deferred, not dropped
+        assert calls > 1  # the bound actually split the sweep
+        assert reclaimed >= dead
+        assert part.dead_words() == 0
+
+    def test_bounded_matches_full_compaction(self):
+        bounded = self._churned_partition()
+        full = self._churned_partition()
+        total = full.compact()
+        while True:
+            got = bounded.compact(max_groups=2)
+            if got:
+                break
+        assert got == total
+        assert ({v: a.tolist() for v, a in bounded.items()}
+                == {v: a.tolist() for v, a in full.items()})
+
+    def test_meter_charged_for_partial_passes(self):
+        part = self._churned_partition()
+        meter = MemoryMeter()
+        assert part.compact(meter, max_groups=1) == 0
+        snap = meter.snapshot()
+        assert snap.gld + snap.gst > 0
+
+
+class _DuplicateStore:
+    """A stand-in store that surfaces duplicated, unsorted neighbors —
+    what a buggy or mid-churn structure could briefly produce."""
+
+    def neighbors(self, v, label):
+        return np.array([5, 3, 5, 1, 3], dtype=np.int64)
+
+    def locate_transactions(self, v, label):
+        return 1
+
+    def read_transactions(self, v, label):
+        return 1
+
+    def streamed_elements(self, v, label):
+        return 5
+
+
+class TestSortedUniqueContract:
+    def test_join_context_dedups_and_sorts(self):
+        cfg = GSIConfig()
+        graph = LabeledGraph([0, 0], [(0, 1, 0)])
+        ctx = JoinContext(graph=graph, store=_DuplicateStore(),
+                          device=Device(), config=cfg,
+                          set_engine=SetOpEngine())
+        arr, _, _, _ = ctx.neighbors(0, 0)
+        assert arr.tolist() == [1, 3, 5]
+
+    def test_neighbors_sorted_unique_after_churn(self):
+        rng = np.random.default_rng(8)
+        part = build_partition(random_edges(rng, 25, 60))[0]
+        for round_ in range(4):
+            for v in range(0, 25, 4):
+                if len(part.neighbors(v)):
+                    part.append_neighbors(
+                        v, np.asarray(rng.integers(0, 80, size=4),
+                                      dtype=np.int64))
+            part.apply_bulk(
+                {0: np.asarray(rng.integers(80, 120, size=3),
+                               dtype=np.int64)},
+                {})
+            part.compact(max_groups=1 + round_)
+            for v, arr in part.items():
+                lst = arr.tolist()
+                assert lst == sorted(set(lst)), (
+                    f"neighbors of {v} not sorted-unique: {lst}")
+        assert part.validate() == []
