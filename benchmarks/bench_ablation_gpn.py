@@ -12,9 +12,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from bench_common import record_report
 from repro.bench.reporting import render_table
 from repro.storage.pcsr import PCSRStorage
+
+from bench_common import record_report
 
 GPN_VALUES = [2, 4, 8, 16]
 

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import pytest
 
-from bench_common import record_report
 from repro.bench.reporting import drop_pct, render_table
 from repro.core.config import GSIConfig
 from repro.core.engine import GSIEngine
+
+from bench_common import record_report
 
 
 @pytest.fixture(scope="module")

@@ -9,10 +9,15 @@ from __future__ import annotations
 
 import pytest
 
-from bench_common import record_report
-from repro.bench.reporting import drop_pct, render_table
-from repro.bench.runner import DEFAULT_MAX_ROWS, DEFAULT_THRESHOLD_MS, run_workload
 from repro.baselines import GpSMEngine, GunrockSMEngine
+from repro.bench.reporting import drop_pct, render_table
+from repro.bench.runner import (
+    DEFAULT_MAX_ROWS,
+    DEFAULT_THRESHOLD_MS,
+    run_workload,
+)
+
+from bench_common import record_report
 
 
 def factory(engine_cls, storage_kind):

@@ -25,12 +25,13 @@ import time
 
 import pytest
 
-from bench_common import record_report, write_bench_json
 from repro.bench.reporting import render_table
 from repro.core.config import GSIConfig
 from repro.core.engine import GSIEngine
 from repro.graph.generators import random_walk_query, scale_free_graph
 from repro.service import EXECUTOR_KINDS, BatchEngine, make_executor
+
+from bench_common import record_report, write_bench_json
 
 NUM_DISTINCT = 32
 NUM_SHAPES_REPEATED = 8

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import pytest
 
-from bench_common import record_report
 from repro.bench.reporting import render_table
 from repro.bench.runner import (
     DEFAULT_THRESHOLD_MS,
@@ -19,6 +18,8 @@ from repro.bench.runner import (
     run_workload,
 )
 from repro.core.config import GSIConfig
+
+from bench_common import record_report
 
 ENGINES = [
     ("VF3", lambda: baseline_factory("vf3")),

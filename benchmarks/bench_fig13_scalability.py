@@ -10,12 +10,13 @@ from __future__ import annotations
 
 import pytest
 
-from bench_common import NUM_QUERIES, QUERY_VERTICES, record_report
 from repro.bench.reporting import render_series
 from repro.bench.runner import baseline_factory, gsi_factory, run_workload
 from repro.bench.workloads import Workload
 from repro.core.config import GSIConfig
 from repro.graph.datasets import watdiv_series
+
+from bench_common import NUM_QUERIES, QUERY_VERTICES, record_report
 
 STEPS = 6
 BASE_VERTICES = 400

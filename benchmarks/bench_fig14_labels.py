@@ -10,12 +10,13 @@ from __future__ import annotations
 
 import pytest
 
-from bench_common import NUM_QUERIES, QUERY_VERTICES, record_report
 from repro.bench.reporting import render_series
 from repro.bench.runner import gsi_factory, run_workload
 from repro.bench.workloads import Workload
 from repro.core.config import GSIConfig
 from repro.graph.generators import scale_free_graph
+
+from bench_common import NUM_QUERIES, QUERY_VERTICES, record_report
 
 VERTEX_LABEL_COUNTS = [2, 4, 8, 16, 32]
 EDGE_LABEL_COUNTS = [4, 8, 16, 32, 64]

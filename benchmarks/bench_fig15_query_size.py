@@ -10,12 +10,13 @@ from __future__ import annotations
 
 import pytest
 
-from bench_common import NUM_QUERIES, record_report
 from repro.bench.reporting import render_series
 from repro.bench.runner import gsi_factory, run_workload
 from repro.bench.workloads import Workload
 from repro.core.config import GSIConfig
 from repro.graph.datasets import gowalla_like
+
+from bench_common import NUM_QUERIES, record_report
 
 EDGE_EXTRAS = [0, 2, 4, 6, 8]          # |E(Q)| = 11 + extra
 VERTEX_COUNTS = [8, 9, 10, 11, 12, 13, 14, 15]

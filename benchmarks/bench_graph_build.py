@@ -17,10 +17,11 @@ from typing import Dict, Tuple
 import numpy as np
 import pytest
 
-from bench_common import record_report, write_bench_json
 from repro.bench.reporting import render_table
 from repro.graph.generators import scale_free_graph
 from repro.graph.labeled_graph import LabeledGraph
+
+from bench_common import record_report, write_bench_json
 
 TARGET_EDGES = int(os.environ.get("GSI_BENCH_BUILD_EDGES", "100000"))
 

@@ -30,13 +30,14 @@ from typing import Dict, List, Sequence, Tuple
 
 import pytest
 
-from bench_common import record_report, write_bench_json
 from repro.bench.reporting import render_table
 from repro.core.config import GSIConfig
 from repro.core.engine import GSIEngine
 from repro.core.kernels import HAVE_NUMBA
 from repro.graph.generators import scale_free_graph
 from repro.graph.labeled_graph import LabeledGraph
+
+from bench_common import record_report, write_bench_json
 
 GRAPH_VERTICES = int(os.environ.get("GSI_BENCH_JOIN_VERTICES", "150"))
 EDGES_PER_VERTEX = int(os.environ.get("GSI_BENCH_JOIN_EPV", "8"))

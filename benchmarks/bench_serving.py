@@ -33,10 +33,18 @@ from __future__ import annotations
 import asyncio
 import os
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 import pytest
+
+from repro.bench.reporting import render_table
+from repro.core.config import GSIConfig
+from repro.core.engine import GSIEngine
+from repro.graph.generators import random_walk_query, scale_free_graph
+from repro.graph.labeled_graph import LabeledGraph
+from repro.serve import GSIServer, ServeOutcome
+from repro.service import BatchEngine, make_executor
 
 from bench_common import (
     poisson_arrival_times,
@@ -46,13 +54,6 @@ from bench_common import (
     write_bench_json,
     zipf_indices,
 )
-from repro.bench.reporting import render_table
-from repro.core.config import GSIConfig
-from repro.core.engine import GSIEngine
-from repro.graph.generators import random_walk_query, scale_free_graph
-from repro.graph.labeled_graph import LabeledGraph
-from repro.serve import GSIServer, ServeOutcome
-from repro.service import BatchEngine, make_executor
 
 SERVE_VERTICES = int(os.environ.get("GSI_BENCH_SERVE_VERTICES", "400"))
 SERVE_REQUESTS = int(os.environ.get("GSI_BENCH_SERVE_REQUESTS", "96"))

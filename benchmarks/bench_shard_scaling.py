@@ -33,11 +33,12 @@ import os
 
 import pytest
 
-from bench_common import record_report, write_bench_json
 from repro.bench.reporting import render_table
 from repro.core.engine import GSIEngine
 from repro.graph.generators import mesh_graph, random_walk_query
 from repro.shard import ShardedEngine, ShardedGraph
+
+from bench_common import record_report, write_bench_json
 
 SHARD_COUNTS = (1, 2, 4, 8)
 PARTITIONERS = ("hash", "label")
@@ -89,7 +90,8 @@ def run_shard_scaling(mesh_side: int = MESH_SIDE,
                 partitioner, shards,
                 report.max_shard_transactions,
                 report.total_transactions,
-                f"{report.max_shard_transactions / max(1, reference['transactions']):.2f}",
+                f"""{report.max_shard_transactions
+                    / max(1, reference['transactions']):.2f}""",
                 f"{info.vertex_replication:.2f}x",
                 f"{info.edge_replication:.2f}x",
                 report.total_matches,

@@ -38,7 +38,6 @@ import time
 import numpy as np
 import pytest
 
-from bench_common import record_report, write_bench_json
 from repro.bench.reporting import render_table
 from repro.core.engine import GSIEngine
 from repro.dynamic import (
@@ -48,9 +47,11 @@ from repro.dynamic import (
     full_rebuild_transactions,
     random_update_stream,
 )
+from repro.gpusim.meter import MemoryMeter
 from repro.graph.generators import random_walk_query, scale_free_graph
 from repro.graph.labeled_graph import LabeledGraph
-from repro.gpusim.meter import MemoryMeter
+
+from bench_common import record_report, write_bench_json
 
 NUM_BATCHES = int(os.environ.get("GSI_BENCH_STREAM_BATCHES", "4"))
 BATCH_SIZES = [1, 8, 32]

@@ -11,13 +11,14 @@ from __future__ import annotations
 
 import pytest
 
-from bench_common import record_report
 from repro.bench.reporting import render_table
 from repro.bench.runner import baseline_factory, gsi_factory, run_workload
 from repro.bench.workloads import Workload
 from repro.core.config import GSIConfig
 from repro.graph.datasets import gowalla_like
 from repro.graph.templates import template_workload
+
+from bench_common import record_report
 
 TEMPLATES = [("star", 6), ("path", 5), ("clique", 3)]
 ENGINES = [("VF3", lambda: baseline_factory("vf3")),

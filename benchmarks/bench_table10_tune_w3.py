@@ -7,13 +7,15 @@ the fluctuation is small (bounded by the block size).
 
 from __future__ import annotations
 
-import pytest
 from dataclasses import replace
 
-from bench_common import record_report
+import pytest
+
 from repro.bench.reporting import render_table
 from repro.bench.runner import gsi_factory, run_workload
 from repro.core.config import GSIConfig
+
+from bench_common import record_report
 
 W3_VALUES = [192, 224, 256, 288, 320]
 

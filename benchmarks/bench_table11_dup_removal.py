@@ -9,10 +9,11 @@ from __future__ import annotations
 
 import pytest
 
-from bench_common import record_report
 from repro.bench.reporting import drop_pct, render_table
 from repro.bench.runner import gsi_factory, run_workload
 from repro.core.config import GSIConfig
+
+from bench_common import record_report
 
 
 @pytest.fixture(scope="module")

@@ -12,9 +12,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from bench_common import record_report
 from repro.bench.reporting import render_table
 from repro.storage.factory import build_storage, storage_kinds
+
+from bench_common import record_report
 
 
 def measure_structure(kind, graph, rng):

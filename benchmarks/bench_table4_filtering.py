@@ -9,12 +9,13 @@ from __future__ import annotations
 
 import pytest
 
-from bench_common import record_report
 from repro.bench.reporting import render_table
 from repro.core.config import GSIConfig
 from repro.core.engine import GSIEngine
 from repro.core.filtering import label_degree_candidates
 from repro.gpusim.device import Device
+
+from bench_common import record_report
 
 
 def filter_metrics(workload):

@@ -8,10 +8,11 @@ from __future__ import annotations
 
 import pytest
 
-from bench_common import record_report
 from repro.bench.reporting import render_table
 from repro.core.config import GSIConfig
 from repro.core.engine import GSIEngine
+
+from bench_common import record_report
 
 N_VALUES = [64, 128, 192, 256, 320, 384, 448, 512]
 

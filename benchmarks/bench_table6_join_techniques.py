@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import pytest
 
-from bench_common import record_report
 from repro.bench.reporting import drop_pct, render_table, speedup
 from repro.bench.runner import gsi_factory, run_workload
 from repro.core.config import GSIConfig
+
+from bench_common import record_report
 
 CHAIN = [("GSI-", GSIConfig.baseline()),
          ("+DS", GSIConfig.with_ds()),

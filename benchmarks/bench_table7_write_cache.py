@@ -7,13 +7,15 @@ match-poor datasets barely move (the paper's gowalla/road rows).
 
 from __future__ import annotations
 
-import pytest
 from dataclasses import replace
 
-from bench_common import record_report
+import pytest
+
 from repro.bench.reporting import drop_pct, render_table
 from repro.bench.runner import gsi_factory, run_workload
 from repro.core.config import GSIConfig
+
+from bench_common import record_report
 
 
 @pytest.fixture(scope="module")

@@ -7,13 +7,15 @@ value is 4096.
 
 from __future__ import annotations
 
-import pytest
 from dataclasses import replace
 
-from bench_common import record_report
+import pytest
+
 from repro.bench.reporting import render_table
 from repro.bench.runner import gsi_factory, run_workload
 from repro.core.config import GSIConfig
+
+from bench_common import record_report
 
 W1_VALUES = [2048, 3072, 4096, 5120, 6144]
 

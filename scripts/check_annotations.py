@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""AST approximation of the mypy --strict gate for offline containers.
+
+CI runs real ``mypy --strict`` (see the static-analysis job); this
+script verifies the mechanically-checkable core of that contract with
+nothing but the stdlib, so contributors in containers without mypy can
+still catch the most common strict failures before pushing:
+
+* every function/method in the strict packages has a return annotation
+  and annotations on every parameter (including ``*args``/``**kwargs``);
+* no bare built-in generics in annotations (``dict`` / ``list`` /
+  ``tuple`` / ``set`` / ``frozenset`` / ``Dict`` / ... without
+  parameters — mypy's ``disallow_any_generics``);
+* no implicit Optional (a ``None`` default whose annotation is not an
+  ``Optional[...]`` / ``... | None``) — mypy's ``no_implicit_optional``.
+
+Exit 0 when clean, 1 with findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+STRICT_PATHS: Tuple[str, ...] = (
+    "src/repro/core",
+    "src/repro/service",
+    "src/repro/storage",
+    "src/repro/gpusim",
+    "src/repro/analysis",
+    "src/repro/errors.py",
+    "src/repro/graph/labeled_graph.py",
+    "src/repro/graph/partition.py",
+)
+
+BARE_GENERICS = {
+    "dict", "list", "tuple", "set", "frozenset", "type",
+    "Dict", "List", "Tuple", "Set", "FrozenSet", "Type",
+    "OrderedDict", "DefaultDict", "Deque", "Counter",
+    "Sequence", "Iterable", "Iterator", "Mapping", "MutableMapping",
+    "Callable", "Generator", "Awaitable", "Coroutine",
+}
+
+
+def iter_files() -> Iterator[Path]:
+    for raw in STRICT_PATHS:
+        path = REPO / raw
+        if path.is_file():
+            yield path
+        else:
+            yield from sorted(p for p in path.rglob("*.py")
+                              if "__pycache__" not in p.parts)
+
+
+def _is_optional_annotation(node: ast.expr) -> bool:
+    """``Optional[...]``, ``X | None``, ``Union[..., None]``, ``Any``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return False
+    if isinstance(node, ast.Subscript):
+        head = node.value
+        name = head.attr if isinstance(head, ast.Attribute) else (
+            head.id if isinstance(head, ast.Name) else None)
+        if name == "Optional":
+            return True
+        if name == "Union":
+            inner = node.slice
+            elts = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+            return any(isinstance(e, ast.Constant) and e.value is None
+                       for e in elts)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return (_is_optional_annotation(node.left)
+                or _is_optional_annotation(node.right)
+                or (isinstance(node.right, ast.Constant)
+                    and node.right.value is None))
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        name = node.attr if isinstance(node, ast.Attribute) else node.id
+        return name == "Any"
+    return False
+
+
+def _bare_generic_name(node: ast.expr) -> Optional[str]:
+    """The offending name if ``node`` is an unparameterized generic."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Name) and node.id in BARE_GENERICS:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in BARE_GENERICS:
+        return node.attr
+    return None
+
+
+def _walk_annotation(node: ast.expr) -> Iterator[ast.expr]:
+    """Annotation sub-expressions that must themselves be parameterized."""
+    yield node
+    if isinstance(node, ast.Subscript):
+        inner = node.slice
+        elts = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        for elt in elts:
+            yield from _walk_annotation(elt)
+    elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        yield from _walk_annotation(node.left)
+        yield from _walk_annotation(node.right)
+    elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return
+        yield from _walk_annotation(parsed)
+
+
+def check_file(path: Path) -> List[str]:
+    problems: List[str] = []
+    rel = path.relative_to(REPO)
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+
+    def check_annotation_expr(node: ast.expr, where: str,
+                              line: int) -> None:
+        for sub in _walk_annotation(node):
+            bare = _bare_generic_name(sub)
+            if bare is not None:
+                problems.append(
+                    f"{rel}:{line}: bare generic {bare!r} in {where} "
+                    f"(disallow_any_generics)")
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            where = f"def {node.name}"
+            if node.returns is None:
+                problems.append(
+                    f"{rel}:{node.lineno}: {where} missing return "
+                    f"annotation (disallow_untyped_defs)")
+            else:
+                check_annotation_expr(node.returns, where, node.lineno)
+            args = node.args
+            all_args = (args.posonlyargs + args.args + args.kwonlyargs
+                        + ([args.vararg] if args.vararg else [])
+                        + ([args.kwarg] if args.kwarg else []))
+            for arg in all_args:
+                if arg.arg in ("self", "cls"):
+                    continue
+                if arg.annotation is None:
+                    problems.append(
+                        f"{rel}:{arg.lineno}: {where} parameter "
+                        f"{arg.arg!r} unannotated "
+                        f"(disallow_incomplete_defs)")
+                else:
+                    check_annotation_expr(arg.annotation, where,
+                                          arg.lineno)
+            # implicit Optional: default None, annotation not Optional
+            positional = args.posonlyargs + args.args
+            defaults = args.defaults
+            for arg, default in zip(positional[len(positional)
+                                               - len(defaults):],
+                                    defaults):
+                if (isinstance(default, ast.Constant)
+                        and default.value is None
+                        and arg.annotation is not None
+                        and not _is_optional_annotation(arg.annotation)):
+                    problems.append(
+                        f"{rel}:{arg.lineno}: {where} parameter "
+                        f"{arg.arg!r} has None default but "
+                        f"non-Optional annotation (no_implicit_optional)")
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+                if (isinstance(default, ast.Constant)
+                        and default.value is None
+                        and arg.annotation is not None
+                        and not _is_optional_annotation(arg.annotation)):
+                    problems.append(
+                        f"{rel}:{arg.lineno}: {where} parameter "
+                        f"{arg.arg!r} has None default but "
+                        f"non-Optional annotation (no_implicit_optional)")
+        elif isinstance(node, ast.AnnAssign):
+            check_annotation_expr(node.annotation, "variable annotation",
+                                  node.lineno)
+    return problems
+
+
+def main() -> int:
+    problems: List[str] = []
+    files = 0
+    for path in iter_files():
+        files += 1
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    status = "clean" if not problems else f"{len(problems)} problem(s)"
+    print(f"check_annotations: {files} file(s), {status}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

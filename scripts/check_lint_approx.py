@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Offline approximation of the CI ruff gate (E,F,W,I,B @ 79 cols).
+
+The container running the test suite has no ruff; CI does.  This script
+re-implements the high-frequency checks with stdlib ast/tokenize so a
+sweep can be driven locally: long lines (E501), trailing whitespace /
+EOF newline (W291/W293/W292), multiple imports per line (E401), module
+imports not at top (E402), bare except (E722), ``== None/True/False``
+comparisons (E711/E712), unused imports (F401, module scope), mutable
+argument defaults (B006), and import-block ordering (I001, sections
+stdlib < third-party < first-party with ``repro`` first-party).
+
+Not a replacement for ruff — an early-warning net.  Exit 1 on findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TARGETS = ("src", "tests", "benchmarks", "scripts")
+SKIP_DIRS = {"__pycache__", ".git"}
+FIRST_PARTY = {"repro"}
+# pyproject [tool.ruff.lint.isort] known-local-folder: helper modules
+# imported via sys.path side effect; they sort after first-party.
+LOCAL_FOLDER = {"bench_common", "fuzz_harness", "oracle", "conftest"}
+MUTABLE_CALLS = {"list", "dict", "set"}
+
+STDLIB = set(sys.stdlib_module_names)
+
+
+def section_of(module: str) -> int:
+    root = module.split(".")[0]
+    if module.startswith("__future__"):
+        return 0
+    if root in LOCAL_FOLDER:
+        return 4
+    if root in FIRST_PARTY:
+        return 3
+    if root in STDLIB:
+        return 1
+    return 2
+
+
+def iter_files() -> list[Path]:
+    out: list[Path] = []
+    for target in TARGETS:
+        root = REPO / target
+        for path in sorted(root.rglob("*.py")):
+            if not any(part in SKIP_DIRS for part in path.parts):
+                out.append(path)
+    return out
+
+
+def import_key(node: ast.stmt) -> tuple[int, str]:
+    # isort's default (ruff: force-sort-within-sections = false) places
+    # straight ``import X`` statements before ``from Y import`` ones.
+    if isinstance(node, ast.Import):
+        return 0, node.names[0].name.lower()
+    assert isinstance(node, ast.ImportFrom)
+    return 1, (node.module or "").lower()
+
+
+def check_file(path: Path) -> list[str]:
+    rel = path.relative_to(REPO)
+    problems: list[str] = []
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+
+    for i, line in enumerate(lines, 1):
+        if len(line) > 79:
+            problems.append(f"{rel}:{i}: E501 line too long ({len(line)})")
+        if line != line.rstrip():
+            rule = "W293" if not line.strip() else "W291"
+            problems.append(f"{rel}:{i}: {rule} trailing whitespace")
+    if source and not source.endswith("\n"):
+        problems.append(f"{rel}:{len(lines)}: W292 no newline at EOF")
+
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        problems.append(f"{rel}:{exc.lineno}: E999 {exc.msg}")
+        return problems
+
+    # --- statement-level checks -------------------------------------
+    top_imports: list[ast.stmt] = []
+    seen_code = False
+    for node in tree.body:
+        is_import = isinstance(node, (ast.Import, ast.ImportFrom))
+        is_docstring = (isinstance(node, ast.Expr)
+                        and isinstance(node.value, ast.Constant)
+                        and isinstance(node.value.value, str))
+        if is_import:
+            if seen_code:
+                # Late imports are deliberate (sys.path bootstraps) and
+                # carry their own noqa; they sort as their own block.
+                if "noqa" not in lines[node.lineno - 1]:
+                    problems.append(
+                        f"{rel}:{node.lineno}: E402 module import not "
+                        f"at top of file")
+            else:
+                top_imports.append(node)
+        elif not is_docstring:
+            seen_code = True
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import) and len(node.names) > 1:
+            problems.append(
+                f"{rel}:{node.lineno}: E401 multiple imports on one line")
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            problems.append(f"{rel}:{node.lineno}: E722 bare except")
+        if isinstance(node, ast.Compare):
+            for op, comp in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if isinstance(comp, ast.Constant) and comp.value is None:
+                    problems.append(
+                        f"{rel}:{node.lineno}: E711 comparison to None")
+                elif (isinstance(comp, ast.Constant)
+                        and isinstance(comp.value, bool)):
+                    problems.append(
+                        f"{rel}:{node.lineno}: E712 comparison to "
+                        f"{comp.value}")
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for default in (list(node.args.defaults)
+                            + [d for d in node.args.kw_defaults if d]):
+                bad = (isinstance(default, (ast.List, ast.Dict, ast.Set))
+                       or (isinstance(default, ast.Call)
+                           and isinstance(default.func, ast.Name)
+                           and default.func.id in MUTABLE_CALLS))
+                if bad:
+                    problems.append(
+                        f"{rel}:{default.lineno}: B006 mutable argument "
+                        f"default")
+
+    # --- F401: module-scope imports never referenced ------------------
+    if not rel.parts[-1] == "__init__.py":
+        imported: dict[str, int] = {}
+        for node in top_imports:
+            if "noqa" in lines[node.lineno - 1]:
+                continue
+            names = (node.names if isinstance(node,
+                                              (ast.Import, ast.ImportFrom))
+                     else [])
+            if (isinstance(node, ast.ImportFrom)
+                    and node.module == "__future__"):
+                continue
+            for alias in names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name.split(".")[0]
+                imported[bound] = node.lineno
+        used: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                base = node
+                while isinstance(base, ast.Attribute):
+                    base = base.value
+                if isinstance(base, ast.Name):
+                    used.add(base.id)
+        # String annotations / docstring references can hide uses;
+        # scan raw source as a conservative fallback.
+        for name, lineno in sorted(imported.items()):
+            if name not in used and source.count(name) <= 1:
+                problems.append(
+                    f"{rel}:{lineno}: F401 {name!r} imported but unused")
+
+    # --- I001: section + ordering of the top import block -------------
+    prev_section = -1
+    prev_key: tuple[int, str] | None = None
+    for node in top_imports:
+        if isinstance(node, ast.ImportFrom) and node.level:
+            continue  # relative imports: last section, rare here
+        module = (node.names[0].name if isinstance(node, ast.Import)
+                  else node.module or "")
+        sec = section_of(module)
+        key = import_key(node)
+        if sec < prev_section:
+            problems.append(
+                f"{rel}:{node.lineno}: I001 import section out of order "
+                f"({module})")
+        elif sec == prev_section and prev_key and key < prev_key:
+            problems.append(
+                f"{rel}:{node.lineno}: I001 import not sorted ({module})")
+        prev_section, prev_key = sec, key
+
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    files = iter_files()
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(f"check_lint_approx: {len(files)} file(s), "
+          f"{len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

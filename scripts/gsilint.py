@@ -1,0 +1,16 @@
+#!/usr/bin/env python
+"""Thin wrapper so ``scripts/gsilint.py`` works without PYTHONPATH set."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis.engine import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""`gsilint` — repo-specific static analysis for the GSI engine.
+
+The test suite can only *probe* the conventions the subsystems lean on;
+this package *proves* the mechanical ones on every file of every PR by
+walking the AST.  Each invariant is a named, suppressible rule:
+
+=======  ==================================================================
+Rule     Invariant
+=======  ==================================================================
+GSI001   Pickling contract: nothing crosses a process-executor boundary
+         unless it is module-level picklable (no lambdas / locally
+         defined functions into ``map_tasks``; no ad-hoc
+         ``ProcessPoolExecutor`` outside the executor layer).
+GSI002   Meter-label discipline: every labeled ``meter.add_gld`` charge
+         uses a ``LABEL_*`` constant from the central registry in
+         :mod:`repro.gpusim.constants`, never a one-off string literal.
+GSI003   Lock discipline: fields a class declares in ``_GUARDED_BY_LOCK``
+         are only touched inside ``with self._lock:`` blocks (or in
+         ``*_unlocked`` helpers whose callers hold the lock).
+GSI004   Shm lease lifecycle: every class that publishes shared-memory
+         segments owns a teardown path (``close``/``shutdown``/
+         ``release``); raw ``SharedMemory(create=True)`` only inside
+         :mod:`repro.storage.shm`.
+GSI005   NumPy dtype discipline: index-array constructions
+         (``np.array``/``zeros``/``empty``/``full``/``arange``/``ones``)
+         carry an explicit ``dtype=``.
+=======  ==================================================================
+
+Run it as ``python -m repro.analysis [paths...]`` or
+``scripts/gsilint.py``; suppress a single line with
+``# gsilint: disable=GSI00N`` or a whole file with
+``# gsilint: disable-file=GSI00N``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    Finding,
+    LintReport,
+    all_rules,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,274 @@
+"""The gsilint rule engine: file walking, suppressions, output, exit codes.
+
+The engine is deliberately dependency-free (stdlib ``ast`` + ``tokenize``
+only) so it runs anywhere the repo runs — including CI containers that
+install nothing beyond the test requirements.
+
+Suppression grammar (comments, parsed with :mod:`tokenize` so string
+literals can never accidentally suppress):
+
+* ``# gsilint: disable=GSI001`` — suppress the named rule(s) on the
+  *line carrying the comment* (comma-separate for several; ``all`` for
+  every rule).
+* ``# gsilint: disable-file=GSI001`` — suppress for the whole file.
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` usage / unparseable input.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+#: directories never linted when walking a tree
+SKIP_DIRS = {"__pycache__", ".git", ".mypy_cache", ".ruff_cache"}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*gsilint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule} {self.message}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about the file under analysis."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: line number -> rule ids suppressed on that line ("all" wildcard kept)
+    line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rule ids suppressed for the entire file
+    file_suppressions: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_suppressions or "all" in self.file_suppressions:
+            return True
+        on_line = self.line_suppressions.get(line, set())
+        return rule in on_line or "all" in on_line
+
+
+RuleFunc = Callable[[FileContext], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered invariant check."""
+
+    rule_id: str
+    name: str
+    description: str
+    check: RuleFunc
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_id: str, name: str, description: str
+             ) -> Callable[[RuleFunc], RuleFunc]:
+    """Class decorator registering ``check`` under ``rule_id``."""
+
+    def wrap(check: RuleFunc) -> RuleFunc:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        _REGISTRY[rule_id] = Rule(rule_id, name, description, check)
+        return check
+
+    return wrap
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, in rule-id order."""
+    # Import for the registration side effect; idempotent.
+    from repro.analysis import rules as _rules  # noqa: F401
+    return tuple(_REGISTRY[k] for k in sorted(_REGISTRY))
+
+
+def _parse_suppressions(source: str
+                        ) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Extract line- and file-level suppressions from comments."""
+    per_line: Dict[int, Set[str]] = {}
+    whole_file: Set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            kind, raw = match.groups()
+            ids = {part.strip() for part in raw.split(",") if part.strip()}
+            if kind == "disable-file":
+                whole_file |= ids
+            else:
+                per_line.setdefault(tok.start[0], set()).update(ids)
+    except tokenize.TokenError:
+        pass  # the ast parse will report the real problem
+    return per_line, whole_file
+
+
+@dataclass
+class LintReport:
+    """Findings plus the bookkeeping the CLI and tests consume."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        if self.parse_errors:
+            return 2
+        return 1 if self.findings else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tool": "gsilint",
+            "files_checked": self.files_checked,
+            "parse_errors": list(self.parse_errors),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Sequence[Rule] | None = None) -> List[Finding]:
+    """Lint one source string; raises ``SyntaxError`` on bad input."""
+    tree = ast.parse(source, filename=path)
+    per_line, whole_file = _parse_suppressions(source)
+    ctx = FileContext(path=path, source=source, tree=tree,
+                      line_suppressions=per_line,
+                      file_suppressions=whole_file)
+    chosen = all_rules() if rules is None else rules
+    findings: List[Finding] = []
+    for rule in chosen:
+        for finding in rule.check(ctx):
+            if not ctx.is_suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files pass through)."""
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            yield root
+            continue
+        for candidate in sorted(root.rglob("*.py")):
+            if not any(part in SKIP_DIRS for part in candidate.parts):
+                yield candidate
+
+
+def lint_paths(paths: Sequence[str],
+               rules: Sequence[Rule] | None = None) -> LintReport:
+    """Lint every python file reachable from ``paths``."""
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            report.parse_errors.append(f"{file_path}: {exc}")
+            continue
+        report.files_checked += 1
+        try:
+            report.findings.extend(
+                lint_source(source, path=str(file_path), rules=rules))
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{file_path}: {exc.msg} "
+                                       f"(line {exc.lineno})")
+    return report
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point shared by ``python -m repro.analysis`` and
+    ``scripts/gsilint.py``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="gsilint",
+        description="AST-based invariant checks for the GSI engine repo.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--select", metavar="IDS",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="write a JSON report to PATH ('-' for stdout)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.name}")
+            print(f"    {rule.description}")
+        return 0
+
+    if args.select:
+        wanted = {part.strip() for part in args.select.split(",")
+                  if part.strip()}
+        known = {rule.rule_id for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        rules = tuple(r for r in rules if r.rule_id in wanted)
+
+    report = lint_paths(args.paths, rules=rules)
+
+    if args.json_path:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json_path == "-":
+            print(payload)
+        else:
+            Path(args.json_path).parent.mkdir(parents=True, exist_ok=True)
+            Path(args.json_path).write_text(payload + "\n",
+                                            encoding="utf-8")
+    if args.json_path != "-":
+        for finding in report.findings:
+            print(finding.format())
+        for error in report.parse_errors:
+            print(f"error: {error}")
+        status = ("clean" if not report.findings and not report.parse_errors
+                  else f"{len(report.findings)} finding(s)")
+        print(f"gsilint: {report.files_checked} file(s) checked, {status}")
+    return report.exit_code

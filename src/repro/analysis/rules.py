@@ -1,0 +1,405 @@
+"""The GSI invariant rules.
+
+Each rule is a function from a :class:`~repro.analysis.engine.FileContext`
+to findings, registered under its ``GSI00N`` id.  The rules encode
+conventions the test suite can only probe dynamically; see the package
+docstring for the catalogue and the motivating PR-era bugs.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import FileContext, Finding, register
+
+# ---------------------------------------------------------------------------
+# shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    """The rightmost identifier of a ``Name`` / dotted ``Attribute``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_self_attr(node: ast.expr, attr: Optional[str] = None) -> bool:
+    """``self.<attr>`` (any attr when ``attr`` is None)."""
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and (attr is None or node.attr == attr))
+
+
+def _keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _iter_functions(tree: ast.Module
+                    ) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _is_file(ctx: FileContext, *parts: str) -> bool:
+    """True when ``ctx.path`` ends with the given path suffix."""
+    path = PurePath(ctx.path)
+    return path.parts[-len(parts):] == parts
+
+
+# ---------------------------------------------------------------------------
+# GSI001 — pickling contract
+# ---------------------------------------------------------------------------
+
+_GSI001_SINKS = {"map_tasks"}
+"""Executor entry points whose first argument crosses a (potential)
+process boundary and therefore must be module-level picklable."""
+
+
+class _LocalCallables(ast.NodeVisitor):
+    """Names bound to *locally defined* callables inside one function.
+
+    A nested ``def`` or a ``name = lambda ...`` assignment inside a
+    function body produces an object ``pickle`` cannot ship to a worker
+    process; passing such a name into an executor sink is exactly the
+    bug class the pickling contract in ``service/executors.py`` exists
+    to prevent.
+    """
+
+    def __init__(self, root: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.names: Set[str] = set()
+        for stmt in ast.walk(root):
+            if stmt is root:
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign) and isinstance(
+                    stmt.value, ast.Lambda):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.names.add(target.id)
+
+
+def _unpicklable_reason(arg: ast.expr, local_names: Set[str]
+                        ) -> Optional[str]:
+    if isinstance(arg, ast.Lambda):
+        return "a lambda"
+    if isinstance(arg, ast.Name) and arg.id in local_names:
+        return f"locally defined function {arg.id!r}"
+    if (isinstance(arg, ast.Call)
+            and _terminal_name(arg.func) == "partial" and arg.args):
+        return _unpicklable_reason(arg.args[0], local_names)
+    return None
+
+
+@register(
+    "GSI001", "pickling-contract",
+    "Callables passed into executor sinks (map_tasks) must be "
+    "module-level (picklable); ProcessPoolExecutor is only constructed "
+    "inside repro/service/executors.py.")
+def check_pickling_contract(ctx: FileContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    for func in _iter_functions(ctx.tree):
+        local_names = _LocalCallables(func).names
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _terminal_name(node.func)
+            if name in _GSI001_SINKS and node.args:
+                reason = _unpicklable_reason(node.args[0], local_names)
+                if reason is not None:
+                    findings.append(Finding(
+                        "GSI001", ctx.path, node.lineno, node.col_offset,
+                        f"{reason} passed into {name}(); executor "
+                        f"payload callables must be module-level "
+                        f"functions (pickling contract)"))
+    if not _is_file(ctx, "service", "executors.py"):
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and _terminal_name(node.func) == "ProcessPoolExecutor"):
+                findings.append(Finding(
+                    "GSI001", ctx.path, node.lineno, node.col_offset,
+                    "ProcessPoolExecutor constructed outside "
+                    "repro/service/executors.py; use "
+                    "make_executor('process', ...) so the pickling "
+                    "contract and pool lifecycle stay centralized"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# GSI002 — meter-label discipline
+# ---------------------------------------------------------------------------
+
+_GSI002_SINKS = {"add_gld"}
+"""Meter charge methods accepting a per-phase attribution label."""
+
+
+@register(
+    "GSI002", "meter-label-discipline",
+    "Labeled meter charges must use a LABEL_* constant from the "
+    "registry in repro/gpusim/constants.py, not a one-off string "
+    "literal.")
+def check_meter_labels(ctx: FileContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _terminal_name(node.func) not in _GSI002_SINKS:
+            continue
+        label = _keyword(node, "label")
+        if label is None and len(node.args) >= 2:
+            label = node.args[1]
+        if label is None:
+            continue  # unlabeled charge; attribution not claimed
+        if isinstance(label, ast.Constant) and isinstance(label.value, str):
+            if label.value:
+                findings.append(Finding(
+                    "GSI002", ctx.path, label.lineno, label.col_offset,
+                    f"stringly-typed meter label {label.value!r}; use a "
+                    f"LABEL_* constant from repro.gpusim.constants "
+                    f"(METER_LABELS registry)"))
+        elif _terminal_name(label) is not None:
+            terminal = _terminal_name(label)
+            assert terminal is not None
+            if not terminal.startswith("LABEL_"):
+                findings.append(Finding(
+                    "GSI002", ctx.path, label.lineno, label.col_offset,
+                    f"meter label bound to {terminal!r}; label "
+                    f"constants from the registry are named LABEL_*"))
+        # anything else (f-string, subscript) is dynamic attribution —
+        # allowed; the registry covers the static charge sites.
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# GSI003 — lock discipline
+# ---------------------------------------------------------------------------
+
+_GUARD_DECL = "_GUARDED_BY_LOCK"
+_LOCK_ATTR = "_lock"
+_UNLOCKED_SUFFIX = "_unlocked"
+
+
+def _declared_guards(cls: ast.ClassDef) -> Optional[Set[str]]:
+    """Field names a class declares as lock-guarded, or ``None``."""
+    for stmt in cls.body:
+        targets: Sequence[ast.expr] = ()
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = (stmt.target,), stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == _GUARD_DECL:
+                if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    names = set()
+                    for elt in value.elts:
+                        if isinstance(elt, ast.Constant) and isinstance(
+                                elt.value, str):
+                            names.add(elt.value)
+                    return names
+    return None
+
+
+def _with_holds_lock(stmt: ast.With | ast.AsyncWith) -> bool:
+    return any(_is_self_attr(item.context_expr, _LOCK_ATTR)
+               for item in stmt.items)
+
+
+def _check_lock_body(body: Sequence[ast.stmt], guarded: Set[str],
+                     held: bool, ctx: FileContext, method_name: str,
+                     findings: List[Finding]) -> None:
+    """Recurse through statements tracking lexical lock possession."""
+    for stmt in body:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner_held = held or _with_holds_lock(stmt)
+            for item in stmt.items:
+                _check_lock_exprs([item.context_expr], guarded, held,
+                                  ctx, method_name, findings)
+            _check_lock_body(stmt.body, guarded, inner_held, ctx,
+                             method_name, findings)
+            continue
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def runs later, possibly without the lock: treat
+            # its body as unlocked regardless of where it is defined.
+            _check_lock_body(stmt.body, guarded, False, ctx,
+                             method_name, findings)
+            continue
+        # Generic statements: check expressions at this level, then
+        # recurse into compound-statement bodies with `held` unchanged.
+        exprs: List[ast.expr] = []
+        nested: List[Sequence[ast.stmt]] = []
+        for _field_name, value in ast.iter_fields(stmt):
+            if isinstance(value, ast.expr):
+                exprs.append(value)
+            elif isinstance(value, list):
+                if value and isinstance(value[0], ast.stmt):
+                    nested.append(value)
+                elif value and isinstance(value[0], ast.expr):
+                    exprs.extend(value)
+                elif value and isinstance(value[0], ast.excepthandler):
+                    for handler in value:
+                        nested.append(handler.body)
+        _check_lock_exprs(exprs, guarded, held, ctx, method_name, findings)
+        for block in nested:
+            _check_lock_body(block, guarded, held, ctx, method_name,
+                             findings)
+
+
+def _check_lock_exprs(exprs: Sequence[ast.expr], guarded: Set[str],
+                      held: bool, ctx: FileContext, method_name: str,
+                      findings: List[Finding]) -> None:
+    if held:
+        return
+    for expr in exprs:
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Lambda,)):
+                continue
+            if (_is_self_attr(node)
+                    and node.attr in guarded):  # type: ignore[union-attr]
+                attr = node.attr  # type: ignore[union-attr]
+                findings.append(Finding(
+                    "GSI003", ctx.path, node.lineno, node.col_offset,
+                    f"guarded field self.{attr} touched outside "
+                    f"'with self.{_LOCK_ATTR}:' in {method_name}() "
+                    f"(declared in {_GUARD_DECL}; suffix the method "
+                    f"{_UNLOCKED_SUFFIX} if the caller holds the lock)"))
+
+
+@register(
+    "GSI003", "lock-discipline",
+    "Fields declared in a class's _GUARDED_BY_LOCK tuple are only "
+    "read or written inside 'with self._lock:' blocks (or inside "
+    "*_unlocked helpers whose callers hold the lock).")
+def check_lock_discipline(ctx: FileContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        guarded = _declared_guards(node)
+        if not guarded:
+            continue
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if stmt.name == "__init__" or stmt.name.endswith(
+                    _UNLOCKED_SUFFIX):
+                continue
+            _check_lock_body(stmt.body, guarded, False, ctx, stmt.name,
+                             findings)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# GSI004 — shm lease lifecycle
+# ---------------------------------------------------------------------------
+
+_TEARDOWN_METHODS = {"close", "shutdown", "release", "__exit__"}
+
+
+def _is_publish_call(node: ast.Call) -> bool:
+    name = _terminal_name(node.func)
+    return name is not None and name.lstrip("_").startswith("publish_")
+
+
+@register(
+    "GSI004", "shm-lease-lifecycle",
+    "Classes that publish shared-memory segments must own a teardown "
+    "path (close/shutdown/release); SharedMemory(create=True) only "
+    "inside repro/storage/shm.py.")
+def check_shm_lifecycle(ctx: FileContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    in_shm_module = _is_file(ctx, "storage", "shm.py")
+    if not in_shm_module:
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and _terminal_name(node.func) == "SharedMemory"):
+                create = _keyword(node, "create")
+                if (isinstance(create, ast.Constant)
+                        and create.value is True):
+                    findings.append(Finding(
+                        "GSI004", ctx.path, node.lineno, node.col_offset,
+                        "naked SharedMemory(create=True); segment "
+                        "creation (and its unlink lifecycle) lives in "
+                        "repro/storage/shm.py only"))
+    # Publication sites must belong to a class owning a teardown path.
+    class_stack: List[Tuple[ast.ClassDef, Set[str]]] = []
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, ast.ClassDef):
+            methods = {s.name for s in node.body
+                       if isinstance(s, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef))}
+            class_stack.append((node, methods))
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+            class_stack.pop()
+            return
+        if (isinstance(node, ast.Call) and _is_publish_call(node)
+                and not in_shm_module):
+            if not class_stack:
+                findings.append(Finding(
+                    "GSI004", ctx.path, node.lineno, node.col_offset,
+                    "shm publish call outside any class; publications "
+                    "must be owned by an object with a "
+                    "close()/shutdown() release path"))
+            elif not (class_stack[-1][1] & _TEARDOWN_METHODS):
+                cls = class_stack[-1][0]
+                findings.append(Finding(
+                    "GSI004", ctx.path, node.lineno, node.col_offset,
+                    f"class {cls.name} publishes shm segments but "
+                    f"defines no teardown method "
+                    f"({'/'.join(sorted(_TEARDOWN_METHODS - {'__exit__'}))}); "
+                    f"leaked segments outlive the process"))
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    visit(ctx.tree)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# GSI005 — numpy dtype discipline
+# ---------------------------------------------------------------------------
+
+_GSI005_CONSTRUCTORS = {"array", "zeros", "empty", "full", "arange", "ones"}
+_NUMPY_ALIASES = {"np", "numpy"}
+
+
+@register(
+    "GSI005", "numpy-dtype-discipline",
+    "NumPy array constructions carry an explicit dtype=; CSR/PCSR "
+    "index arrays silently become float64/platform-int otherwise.")
+def check_numpy_dtypes(ctx: FileContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in _GSI005_CONSTRUCTORS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in _NUMPY_ALIASES):
+            continue
+        if _keyword(node, "dtype") is not None:
+            continue
+        # positional dtype: np.array(x, np.int64) / np.full(shape, v, t)
+        positional_dtype = {"array": 2, "full": 3, "ones": 2, "zeros": 2,
+                            "empty": 2}.get(func.attr)
+        if positional_dtype is not None and len(node.args) >= positional_dtype:
+            continue
+        findings.append(Finding(
+            "GSI005", ctx.path, node.lineno, node.col_offset,
+            f"np.{func.attr}(...) without an explicit dtype=; index "
+            f"arrays must pin their dtype (CSR/PCSR discipline)"))
+    return findings

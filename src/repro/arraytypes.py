@@ -1,0 +1,44 @@
+"""Shared ndarray type aliases for the strict-typed packages.
+
+mypy's ``disallow_any_generics`` (part of ``--strict``) rejects bare
+``np.ndarray`` annotations; these aliases keep signatures readable while
+satisfying it.  ``Array`` is deliberately dtype-agnostic — the *dtype*
+discipline for CSR/PCSR index arrays is enforced where it can actually
+be checked, at construction sites, by gsilint rule GSI005 (explicit
+``dtype=`` on every ``np.array``/``zeros``/``empty``/...).  The narrower
+aliases are for new code that wants to state intent in the signature.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import numpy.typing as npt
+
+Array = npt.NDArray[Any]
+"""An ndarray of unspecified dtype (most engine signatures)."""
+
+IntArray = npt.NDArray[np.int64]
+"""Vertex-id / offset arrays (the CSR index dtype)."""
+
+UInt32Array = npt.NDArray[np.uint32]
+"""Packed signature words."""
+
+UInt64Array = npt.NDArray[np.uint64]
+"""PCSR pair codes and hashed block ids."""
+
+BoolArray = npt.NDArray[np.bool_]
+"""Membership / candidate masks."""
+
+FloatArray = npt.NDArray[np.float64]
+"""Latency samples and cost estimates."""
+
+__all__ = [
+    "Array",
+    "IntArray",
+    "UInt32Array",
+    "UInt64Array",
+    "BoolArray",
+    "FloatArray",
+]

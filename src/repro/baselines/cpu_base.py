@@ -18,7 +18,11 @@ import time
 from typing import Optional
 
 from repro.errors import BudgetExceeded
-from repro.gpusim.constants import CPU_CLOCK_GHZ, CPU_CYCLES_PER_OP, cpu_ops_to_ms
+from repro.gpusim.constants import (
+    CPU_CLOCK_GHZ,
+    CPU_CYCLES_PER_OP,
+    cpu_ops_to_ms,
+)
 
 _CHECK_EVERY = 4096
 

@@ -19,16 +19,21 @@ Figure 12/13 comparisons are apples-to-apples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.core.result import MatchResult, PhaseBreakdown
 from repro.errors import BudgetExceeded, GraphError
-from repro.graph.labeled_graph import LabeledGraph
-from repro.gpusim.constants import CLOCK_GHZ, CYCLES_PER_GLD, CYCLES_PER_OP
+from repro.gpusim.constants import (
+    CLOCK_GHZ,
+    CYCLES_PER_GLD,
+    CYCLES_PER_OP,
+    LABEL_JOIN,
+)
 from repro.gpusim.device import Device
-from repro.gpusim.transactions import batched_write, contiguous_read
+from repro.gpusim.transactions import batched_write
+from repro.graph.labeled_graph import LabeledGraph
 
 Row = Tuple[int, ...]
 
@@ -132,7 +137,7 @@ class EdgeJoinEngine:
                 for v2 in hits:
                     pairs.append((v1, int(v2)))
         # Two-step: count pass + write pass, identical read work.
-        device.meter.add_gld(2 * gld, label="join")
+        device.meter.add_gld(2 * gld, label=LABEL_JOIN)
         device.run_kernel(cycles, name=f"cand_edges_{u1}_{u2}_count")
         device.exclusive_prefix_sum([1] * max(1, len(c1)))
         device.run_kernel(cycles, name=f"cand_edges_{u1}_{u2}_write")
@@ -176,11 +181,11 @@ class EdgeJoinEngine:
                 found = [int(x) for x in hits if int(x) not in row_set]
             per_row_results.append(found)
         # Pass 1: count.
-        device.meter.add_gld(gld_total, label="join")
+        device.meter.add_gld(gld_total, label=LABEL_JOIN)
         device.run_kernel(cycles, name=f"join_{u_from}_{u_new}_count")
         device.exclusive_prefix_sum([len(f) for f in per_row_results])
         # Pass 2: identical work plus the output writes.
-        device.meter.add_gld(gld_total, label="join")
+        device.meter.add_gld(gld_total, label=LABEL_JOIN)
         for row, found in zip(rows, per_row_results):
             if found:
                 written = (width + 1) * len(found)
@@ -211,7 +216,7 @@ class EdgeJoinEngine:
             if self.graph.has_edge(a, b) and \
                     self.graph.edge_label(a, b) == label:
                 kept.append(row)
-        device.meter.add_gld(2 * tx_per_row * len(rows), label="join")
+        device.meter.add_gld(2 * tx_per_row * len(rows), label=LABEL_JOIN)
         device.run_kernel(cycles, name=f"filter_{u1}_{u2}_count")
         device.exclusive_prefix_sum([1] * max(1, len(rows)))
         device.run_kernel(cycles, name=f"filter_{u1}_{u2}_write")

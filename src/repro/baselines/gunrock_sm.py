@@ -19,8 +19,8 @@ import numpy as np
 
 from repro.baselines.edge_join import EdgeJoinCostProfile, EdgeJoinEngine
 from repro.core.filtering import label_degree_candidates
-from repro.graph.labeled_graph import LabeledGraph
 from repro.gpusim.device import Device
+from repro.graph.labeled_graph import LabeledGraph
 
 
 class GunrockSMEngine(EdgeJoinEngine):

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
-import numpy as np
 
 from repro.baselines.cpu_base import OpCounter
 from repro.core.result import MatchResult

@@ -1,6 +1,11 @@
 """Benchmark harness: workloads, engine runners, paper-style reporting."""
 
-from repro.bench.reporting import drop_pct, render_series, render_table, speedup
+from repro.bench.reporting import (
+    drop_pct,
+    render_series,
+    render_table,
+    speedup,
+)
 from repro.bench.runner import (
     DEFAULT_MAX_ROWS,
     DEFAULT_THRESHOLD_MS,

@@ -17,7 +17,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.bench.reporting import drop_pct, render_series, render_table, speedup
+from repro.bench.reporting import drop_pct, render_table, speedup
 from repro.bench.runner import baseline_factory, gsi_factory, run_workload
 from repro.bench.workloads import Workload, standard_workloads
 from repro.core.config import GSIConfig

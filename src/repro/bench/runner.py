@@ -10,13 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
-if TYPE_CHECKING:  # runner is imported by the service benchmarks
-    from repro.service.batch import BatchReport
-
-from repro.bench.workloads import Workload
-from repro.core.config import GSIConfig
-from repro.core.engine import GSIEngine
-from repro.core.result import MatchResult
 from repro.baselines import (
     CFLMatchEngine,
     GpSMEngine,
@@ -25,7 +18,14 @@ from repro.baselines import (
     UllmannEngine,
     VF2Engine,
 )
+from repro.bench.workloads import Workload
+from repro.core.config import GSIConfig
+from repro.core.engine import GSIEngine
+from repro.core.result import MatchResult
 from repro.graph.labeled_graph import LabeledGraph
+
+if TYPE_CHECKING:  # runner is imported by the service benchmarks
+    from repro.service.batch import BatchReport
 
 #: the paper's Figure 12 cut-off, scaled to our reduced datasets
 DEFAULT_THRESHOLD_MS = 2_000.0

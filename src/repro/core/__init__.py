@@ -3,7 +3,12 @@
 from repro.core.config import GSIConfig
 from repro.core.engine import GSIEngine
 from repro.core.filtering import filter_candidates, label_degree_candidates
-from repro.core.plan import JoinPlan, JoinStep, plan_join_order, select_first_edge
+from repro.core.plan import (
+    JoinPlan,
+    JoinStep,
+    plan_join_order,
+    select_first_edge,
+)
 from repro.core.result import MatchResult, PhaseBreakdown
 from repro.core.set_ops import CandidateSet, RowCost, SetOpEngine
 from repro.core.signature import (

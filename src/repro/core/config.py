@@ -72,7 +72,8 @@ class GSIConfig:
         n, k = self.signature_bits, self.label_bits
         if n % 32 != 0 or not 32 < n <= 512:
             raise ConfigError(
-                f"signature_bits must be a multiple of 32 in (32, 512], got {n}")
+                "signature_bits must be a multiple of 32 in (32, 512], "
+                f"got {n}")
         if k != 32:
             raise ConfigError("label_bits is fixed to 32 (Section VII-B)")
         if (n - k) % 2 != 0:

@@ -27,9 +27,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
-if TYPE_CHECKING:  # avoid a runtime core <-> service import cycle
-    from repro.service.plan_cache import PlanCache
-
+from repro.arraytypes import Array
 from repro.core.config import GSIConfig
 from repro.core.filtering import filter_candidates
 from repro.core.join import JoinContext, run_join_phase
@@ -38,10 +36,14 @@ from repro.core.result import MatchResult, PhaseBreakdown
 from repro.core.set_ops import SetOpEngine
 from repro.core.signature_table import SignatureTable
 from repro.errors import BudgetExceeded, GraphError
-from repro.graph.labeled_graph import LabeledGraph
 from repro.gpusim.constants import CLOCK_GHZ
 from repro.gpusim.device import Device
+from repro.graph.labeled_graph import LabeledGraph
+from repro.storage.base import NeighborStore
 from repro.storage.factory import build_storage
+
+if TYPE_CHECKING:  # avoid a runtime core <-> service import cycle
+    from repro.service.plan_cache import PlanCache
 
 
 @dataclass
@@ -70,7 +72,7 @@ class PreparedQuery:
 
     query: LabeledGraph
     device: Device
-    candidates: Dict[int, np.ndarray] = field(default_factory=dict)
+    candidates: Dict[int, Array] = field(default_factory=dict)
     candidate_sizes: Dict[int, int] = field(default_factory=dict)
     plan: Optional[JoinPlan] = None
     filter_ms: float = 0.0
@@ -96,7 +98,7 @@ class GSIEngine:
     def __init__(self, graph: LabeledGraph,
                  config: Optional[GSIConfig] = None, *,
                  signature_table: Optional[SignatureTable] = None,
-                 store=None) -> None:
+                 store: Optional[NeighborStore] = None) -> None:
         self.graph = graph
         self.config = config if config is not None else GSIConfig()
         # Offline precomputation (not part of query response time).
@@ -247,7 +249,7 @@ class GSIEngine:
 
     # ------------------------------------------------------------------
 
-    def candidate_sets(self, query: LabeledGraph) -> Dict[int, np.ndarray]:
+    def candidate_sets(self, query: LabeledGraph) -> Dict[int, Array]:
         """Candidate sets only, without any cost accounting (testing aid)."""
         device = Device()
         return filter_candidates(query, self.signature_table, device,

@@ -10,20 +10,26 @@ thread reads a fixed-length signature — is why filtering is cheap on GPU.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.core.signature import encode_vertex
 from repro.core.signature_table import SignatureTable
-from repro.graph.labeled_graph import LabeledGraph
+from repro.gpusim.constants import LABEL_FILTER
 from repro.gpusim.device import Device
+from repro.graph.labeled_graph import LabeledGraph
+
+if TYPE_CHECKING:  # avoid a runtime core <-> service import cycle
+    from repro.service.plan_cache import CandidateShapeCache
 
 
 def filter_candidates(query: LabeledGraph, table: SignatureTable,
                       device: Device, signature_bits: int,
                       label_bits: int = 32,
-                      shape_cache=None) -> Dict[int, np.ndarray]:
+                      shape_cache: Optional[CandidateShapeCache] = None
+                      ) -> Dict[int, Array]:
     """Compute ``C(u)`` for every query vertex, metering the scan.
 
     Query signatures are computed online (cheap: |V(Q)| encodings); each
@@ -38,7 +44,7 @@ def filter_candidates(query: LabeledGraph, table: SignatureTable,
     Returns a dict mapping query vertex id to a sorted candidate array
     (read-only when it came from the shape cache).
     """
-    candidates: Dict[int, np.ndarray] = {}
+    candidates: Dict[int, Array] = {}
     if shape_cache is not None:
         # Candidate ids are only meaningful against this table; a memo
         # previously bound to a different table is dropped wholesale.
@@ -58,7 +64,7 @@ def filter_candidates(query: LabeledGraph, table: SignatureTable,
         # a budget-exhausted query short-circuits (BudgetExceeded from
         # run_kernel) without paying the O(|V|) host scan it would have
         # skipped before the memo existed.
-        device.meter.add_gld(cost.gld_transactions, label="filter")
+        device.meter.add_gld(cost.gld_transactions, label=LABEL_FILTER)
         device.run_kernel(cost.warp_task_cycles, name=f"filter_u{u}")
         if cand is None:
             cand = table.filter(sig_u)
@@ -71,7 +77,7 @@ def filter_candidates(query: LabeledGraph, table: SignatureTable,
 def label_degree_candidates(query: LabeledGraph, graph: LabeledGraph,
                             device: Device,
                             check_neighbor_labels: bool = False
-                            ) -> Dict[int, np.ndarray]:
+                            ) -> Dict[int, Array]:
     """The GpSM / GunrockSM filtering strategy (used in Table IV).
 
     Candidates are vertices with the same label and at least the query
@@ -83,7 +89,7 @@ def label_degree_candidates(query: LabeledGraph, graph: LabeledGraph,
     degrees = np.array([graph.degree(v) for v in range(graph.num_vertices)],
                        dtype=np.int64)
     labels = graph.vertex_labels
-    candidates: Dict[int, np.ndarray] = {}
+    candidates: Dict[int, Array] = {}
     for u in range(query.num_vertices):
         mask = (labels == query.vertex_label(u)) & \
                (degrees >= query.degree(u))
@@ -91,7 +97,7 @@ def label_degree_candidates(query: LabeledGraph, graph: LabeledGraph,
         # Scan cost: one label word + one degree word per vertex,
         # coalesced: 2 transactions per warp of 32 vertices.
         num_warps = (graph.num_vertices + 31) // 32
-        device.meter.add_gld(2 * num_warps, label="filter")
+        device.meter.add_gld(2 * num_warps, label=LABEL_FILTER)
         device.run_kernel([2 * 400.0] * num_warps, name=f"ld_filter_u{u}")
 
         if check_neighbor_labels and len(cand):
@@ -105,7 +111,7 @@ def label_degree_candidates(query: LabeledGraph, graph: LabeledGraph,
                     keep.append(v)
                 # Streaming the neighborhood's label array: deg/32 txns.
                 tx = max(1, (graph.degree(v) + 31) // 32)
-                device.meter.add_gld(tx, label="filter")
+                device.meter.add_gld(tx, label=LABEL_FILTER)
                 extra_tasks.append(tx * 400.0)
             if extra_tasks:
                 device.run_kernel(extra_tasks, name=f"refine_u{u}")

@@ -26,15 +26,16 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.core.config import GSIConfig
 from repro.core.dup_removal import sharing_assignment
 from repro.core.plan import JoinPlan, JoinStep, select_first_edge
 from repro.core.set_ops import CandidateSet, RowCost, SetOpEngine
 from repro.errors import BudgetExceeded
-from repro.graph.labeled_graph import LabeledGraph
-from repro.gpusim.constants import CYCLES_PER_GLD, WARPS_PER_BLOCK
+from repro.gpusim.constants import CYCLES_PER_GLD, LABEL_JOIN, WARPS_PER_BLOCK
 from repro.gpusim.device import Device
 from repro.gpusim.transactions import batched_write, contiguous_read
+from repro.graph.labeled_graph import LabeledGraph
 from repro.storage.base import NeighborStore
 
 Row = Tuple[int, ...]
@@ -53,11 +54,11 @@ class JoinContext:
     device: Device
     config: GSIConfig
     set_engine: SetOpEngine
-    neighbor_cache: Dict[Tuple[int, int], Tuple[np.ndarray, int]] = field(
+    neighbor_cache: Dict[Tuple[int, int], Tuple[Array, int]] = field(
         default_factory=dict)
 
     def neighbors(self, v: int, label: int
-                  ) -> Tuple[np.ndarray, int, int, int]:
+                  ) -> Tuple[Array, int, int, int]:
         """Memoized ``(N(v, l), locate_tx, read_tx, streamed)``.
 
         The memo avoids re-running Python-side probes; counted costs are
@@ -89,7 +90,7 @@ def _run_edge_kernel(ctx: JoinContext, costs: List[RowCost],
     cycles: List[float] = []
     units: List[float] = []
     for c in costs:
-        device.meter.add_gld(c.gld, label="join")
+        device.meter.add_gld(c.gld, label=LABEL_JOIN)
         device.meter.add_gst(c.gst)
         device.meter.add_shared(c.shared)
         device.meter.add_ops(c.ops)
@@ -103,10 +104,10 @@ def _run_edge_kernel(ctx: JoinContext, costs: List[RowCost],
                       task_units=units)
 
 
-def _edge_pass(ctx: JoinContext, rows_np: np.ndarray, col_of: Dict[int, int],
+def _edge_pass(ctx: JoinContext, rows_np: Array, col_of: Dict[int, int],
                edges: List[Tuple[int, int]], cand: CandidateSet,
-               bufs: Optional[List[np.ndarray]], count_only: bool,
-               step_name: str) -> List[np.ndarray]:
+               bufs: Optional[List[Array]], count_only: bool,
+               step_name: str) -> List[Array]:
     """Run all linking-edge kernels over the intermediate table.
 
     ``bufs`` non-None means results were computed by a previous (count)
@@ -116,7 +117,7 @@ def _edge_pass(ctx: JoinContext, rows_np: np.ndarray, col_of: Dict[int, int],
     num_rows = rows_np.shape[0]
     engine = ctx.set_engine
     dr = ctx.config.use_duplicate_removal
-    out: List[np.ndarray] = (
+    out: List[Array] = (
         [_UNFILLED_BUF] * num_rows if bufs is None else list(bufs))
 
     for edge_idx, (u_prime, label) in enumerate(edges):
@@ -151,8 +152,8 @@ def _edge_pass(ctx: JoinContext, rows_np: np.ndarray, col_of: Dict[int, int],
     return out
 
 
-def _prealloc_gba(ctx: JoinContext, rows_np: np.ndarray,
-                  col0: int, label0: int, step_name: str) -> np.ndarray:
+def _prealloc_gba(ctx: JoinContext, rows_np: Array,
+                  col0: int, label0: int, step_name: str) -> Array:
     """Algorithm 4: per-row capacity bounds and the GBA offset array.
 
     The per-row ``|N(v', l0)|`` reads are fused into the scan kernel —
@@ -165,14 +166,14 @@ def _prealloc_gba(ctx: JoinContext, rows_np: np.ndarray,
         v = int(rows_np[i, col0])
         nbrs, locate, _, _ = ctx.neighbors(v, label0)
         caps[i] = len(nbrs)
-        ctx.device.meter.add_gld(locate, label="join")
+        ctx.device.meter.add_gld(locate, label=LABEL_JOIN)
         tasks.append(locate * CYCLES_PER_GLD)
     return ctx.device.exclusive_prefix_sum(
         caps, name=f"{step_name}_prealloc_scan", fused_tasks=tasks)
 
 
-def _link_kernel(ctx: JoinContext, rows: List[Row], rows_np: np.ndarray,
-                 bufs: List[np.ndarray], step_name: str) -> List[Row]:
+def _link_kernel(ctx: JoinContext, rows: List[Row], rows_np: Array,
+                 bufs: List[Array], step_name: str) -> List[Row]:
     """Alg. 3 lines 14-21: prefix-sum the buffer counts, then copy each
     ``m_i (+) z`` into the new table ``M'``."""
     counts = [len(b) for b in bufs]
@@ -194,7 +195,7 @@ def _link_kernel(ctx: JoinContext, rows: List[Row], rows_np: np.ndarray,
             base = rows[i]
             for z in buf:
                 new_rows.append(base + (int(z),))
-        ctx.device.meter.add_gld(cost.gld, label="join")
+        ctx.device.meter.add_gld(cost.gld, label=LABEL_JOIN)
         ctx.device.meter.add_gst(cost.gst)
         cycles.append(cost.cycles())
         units.append(cost.units)
@@ -205,7 +206,7 @@ def _link_kernel(ctx: JoinContext, rows: List[Row], rows_np: np.ndarray,
 
 
 def _two_step_materialize(ctx: JoinContext, rows: List[Row],
-                          rows_np: np.ndarray, bufs: List[np.ndarray],
+                          rows_np: Array, bufs: List[Array],
                           step_name: str) -> List[Row]:
     """Second half of the two-step scheme: writes of M' happen inside the
     repeated join pass; only the result assembly is shared here."""
@@ -238,7 +239,8 @@ def execute_join_step(ctx: JoinContext, rows: List[Row],
     if ctx.config.max_intermediate_rows is not None and \
             len(rows) > ctx.config.max_intermediate_rows:
         raise BudgetExceeded(
-            f"intermediate table exceeded {ctx.config.max_intermediate_rows} rows")
+            "intermediate table exceeded "
+            f"{ctx.config.max_intermediate_rows} rows")
 
     rows_np = np.asarray(rows, dtype=np.int64)
     col_of = {qv: j for j, qv in enumerate(columns)}
@@ -272,7 +274,7 @@ def execute_join_step(ctx: JoinContext, rows: List[Row],
 
 
 def run_join_phase(ctx: JoinContext, plan: JoinPlan,
-                   candidates: Dict[int, np.ndarray]) -> List[Row]:
+                   candidates: Dict[int, Array]) -> List[Row]:
     """Execute the full join loop; returns rows aligned with
     ``plan.order`` (caller reorders to query-vertex order)."""
     if ctx.config.join_kernel != "rows":
@@ -284,7 +286,7 @@ def run_join_phase(ctx: JoinContext, plan: JoinPlan,
     start_cands = candidates[start]
     # Materializing M = C(u_start): one coalesced copy.
     tx = contiguous_read(len(start_cands))
-    ctx.device.meter.add_gld(tx, label="join")
+    ctx.device.meter.add_gld(tx, label=LABEL_JOIN)
     ctx.device.meter.add_gst(tx)
     ctx.device.run_kernel([float(tx * CYCLES_PER_GLD)], name="init_m")
 

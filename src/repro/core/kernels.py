@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Dict, List, Tuple
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.core.plan import JoinPlan, JoinStep, select_first_edge
 from repro.core.set_ops import CandidateSet
 from repro.errors import BudgetExceeded
@@ -39,6 +40,7 @@ from repro.gpusim.constants import (
     CYCLES_PER_OP,
     CYCLES_PER_SHARED,
     ELEMENTS_PER_TRANSACTION,
+    LABEL_JOIN,
     WARPS_PER_BLOCK,
 )
 from repro.gpusim.transactions import contiguous_read
@@ -60,12 +62,12 @@ except ImportError:  # pragma: no cover - absence is the common case
 # ----------------------------------------------------------------------
 
 
-def _cr_vec(n: np.ndarray) -> np.ndarray:
+def _cr_vec(n: Array) -> Array:
     """Elementwise ``contiguous_read``: ceil(n / 32) transactions."""
     return (n + ELEMENTS_PER_TRANSACTION - 1) // ELEMENTS_PER_TRANSACTION
 
 
-def _write_cost_vec(n: np.ndarray, write_cache: bool) -> np.ndarray:
+def _write_cost_vec(n: Array, write_cache: bool) -> Array:
     """Elementwise ``SetOpEngine._write_cost``."""
     return _cr_vec(n) if write_cache else n
 
@@ -75,7 +77,7 @@ def _write_cost_vec(n: np.ndarray, write_cache: bool) -> np.ndarray:
 # ----------------------------------------------------------------------
 
 
-def _shared_hit_mask(vcol: np.ndarray) -> np.ndarray:
+def _shared_hit_mask(vcol: Array) -> Array:
     """Duplicate-removal hits: rows whose bound vertex already occurred
     earlier within the same ``WARPS_PER_BLOCK`` block (Alg. 5's
     first-occurrence stager keeps its own global read)."""
@@ -95,7 +97,9 @@ def _shared_hit_mask(vcol: np.ndarray) -> np.ndarray:
 if HAVE_NUMBA:  # pragma: no cover - only with numba installed
 
     @numba.njit(cache=True)
-    def _membership_jit(values, seg_of, seg_starts, seg_lens, concat):
+    def _membership_jit(values: Array, seg_of: Array,
+                        seg_starts: Array, seg_lens: Array,
+                        concat: Array) -> Array:
         out = np.zeros(values.shape[0], dtype=np.bool_)
         for i in range(values.shape[0]):
             start = seg_starts[seg_of[i]]
@@ -111,9 +115,9 @@ if HAVE_NUMBA:  # pragma: no cover - only with numba installed
         return out
 
 
-def _segment_membership(values: np.ndarray, seg_of: np.ndarray,
-                        seg_starts: np.ndarray, seg_lens: np.ndarray,
-                        concat: np.ndarray, use_numba: bool) -> np.ndarray:
+def _segment_membership(values: Array, seg_of: Array,
+                        seg_starts: Array, seg_lens: Array,
+                        concat: Array, use_numba: bool) -> Array:
     """``values[i] ∈ segment[seg_of[i]]`` for sorted-unique segments.
 
     Equivalent to per-row ``np.intersect1d(buf, nbrs,
@@ -145,7 +149,9 @@ def _segment_membership(values: np.ndarray, seg_of: np.ndarray,
 # ----------------------------------------------------------------------
 
 
-def _distinct_neighbors(ctx: "JoinContext", vcol: np.ndarray, label: int):
+def _distinct_neighbors(
+        ctx: "JoinContext", vcol: Array, label: int
+) -> Tuple[Array, Array, Array, Array, Array, Array, Array]:
     """Fetch each distinct vertex's neighbor list once (shared memo with
     the per-row lane) and return grouped arrays."""
     uniq, inv = np.unique(vcol, return_inverse=True)
@@ -154,7 +160,7 @@ def _distinct_neighbors(ctx: "JoinContext", vcol: np.ndarray, label: int):
     read_u = np.empty(num_uniq, dtype=np.int64)
     streamed_u = np.empty(num_uniq, dtype=np.int64)
     len_u = np.empty(num_uniq, dtype=np.int64)
-    lists: List[np.ndarray] = []
+    lists: List[Array] = []
     for k in range(num_uniq):
         nbrs, locate, read_tx, streamed = ctx.neighbors(int(uniq[k]), label)
         lists.append(nbrs)
@@ -169,14 +175,14 @@ def _distinct_neighbors(ctx: "JoinContext", vcol: np.ndarray, label: int):
     return inv, concat, starts_u, locate_u, read_u, streamed_u, len_u
 
 
-def _meter_and_launch(ctx: "JoinContext", gld: np.ndarray, gst: np.ndarray,
-                      shared: np.ndarray, ops: np.ndarray,
-                      launches: int, units: np.ndarray, name: str) -> None:
+def _meter_and_launch(ctx: "JoinContext", gld: Array, gst: Array,
+                      shared: Array, ops: Array,
+                      launches: int, units: Array, name: str) -> None:
     """Bulk twin of ``_run_edge_kernel``: meter totals are plain sums, and
     the per-row cycle list is passed in the same row order, so scheduling
     (and any ``BudgetExceeded`` point) is identical."""
     device = ctx.device
-    device.meter.add_gld(int(gld.sum()), label="join")
+    device.meter.add_gld(int(gld.sum()), label=LABEL_JOIN)
     device.meter.add_gst(int(gst.sum()))
     device.meter.add_shared(int(shared.sum()))
     device.meter.add_ops(int(ops.sum()))
@@ -189,11 +195,11 @@ def _meter_and_launch(ctx: "JoinContext", gld: np.ndarray, gst: np.ndarray,
                       task_units=units.astype(np.float64).tolist())
 
 
-def _edge_pass_vector(ctx: "JoinContext", rows_np: np.ndarray,
+def _edge_pass_vector(ctx: "JoinContext", rows_np: Array,
                       col_of: Dict[int, int],
                       edges: List[Tuple[int, int]], cand: CandidateSet,
                       count_only: bool, step_name: str
-                      ) -> Tuple[np.ndarray, np.ndarray]:
+                      ) -> Tuple[Array, Array]:
     """All linking-edge kernels over the whole table at once.
 
     Returns ``(flat, counts)``: the per-row buffers concatenated in row
@@ -298,7 +304,7 @@ def _edge_pass_vector(ctx: "JoinContext", rows_np: np.ndarray,
 # ----------------------------------------------------------------------
 
 
-def _prealloc_vector(ctx: "JoinContext", rows_np: np.ndarray,
+def _prealloc_vector(ctx: "JoinContext", rows_np: Array,
                      col0: int, label0: int, step_name: str) -> None:
     """Algorithm 4's capacity bounds + GBA scan, grouped by vertex."""
     vcol = rows_np[:, col0]
@@ -306,14 +312,14 @@ def _prealloc_vector(ctx: "JoinContext", rows_np: np.ndarray,
         ctx, vcol, label0)
     locate_r = locate_u[inv]
     caps = len_u[inv]
-    ctx.device.meter.add_gld(int(locate_r.sum()), label="join")
+    ctx.device.meter.add_gld(int(locate_r.sum()), label=LABEL_JOIN)
     tasks = (locate_r * CYCLES_PER_GLD).tolist()
     ctx.device.exclusive_prefix_sum(
         caps, name=f"{step_name}_prealloc_scan", fused_tasks=tasks)
 
 
-def _materialize(rows_np: np.ndarray, flat: np.ndarray,
-                 counts: np.ndarray) -> np.ndarray:
+def _materialize(rows_np: Array, flat: Array,
+                 counts: Array) -> Array:
     """``m_i (+) z`` for every surviving z, as one bulk repeat+stack."""
     width = rows_np.shape[1]
     new_rows = np.empty((len(flat), width + 1), dtype=np.int64)
@@ -322,8 +328,8 @@ def _materialize(rows_np: np.ndarray, flat: np.ndarray,
     return new_rows
 
 
-def _link_vector(ctx: "JoinContext", rows_np: np.ndarray, flat: np.ndarray,
-                 counts: np.ndarray, step_name: str) -> np.ndarray:
+def _link_vector(ctx: "JoinContext", rows_np: Array, flat: Array,
+                 counts: Array, step_name: str) -> Array:
     """Alg. 3 lines 14-21 over the whole table."""
     ctx.device.exclusive_prefix_sum(counts, name=f"{step_name}_offsets")
     width = rows_np.shape[1]
@@ -332,7 +338,7 @@ def _link_vector(ctx: "JoinContext", rows_np: np.ndarray, flat: np.ndarray,
     gld = np.where(nz, contiguous_read(width) + _cr_vec(counts), 0)
     written = (width + 1) * counts
     gst = np.where(nz, _write_cost_vec(written, use_cache), 0)
-    ctx.device.meter.add_gld(int(gld.sum()), label="join")
+    ctx.device.meter.add_gld(int(gld.sum()), label=LABEL_JOIN)
     ctx.device.meter.add_gst(int(gst.sum()))
     cycles = gld * CYCLES_PER_GLD + gst * CYCLES_PER_GST
     ctx.device.run_kernel(cycles.tolist(), name=f"{step_name}_link",
@@ -341,9 +347,9 @@ def _link_vector(ctx: "JoinContext", rows_np: np.ndarray, flat: np.ndarray,
     return _materialize(rows_np, flat, counts)
 
 
-def _two_step_vector(ctx: "JoinContext", rows_np: np.ndarray,
-                     flat: np.ndarray, counts: np.ndarray,
-                     step_name: str) -> np.ndarray:
+def _two_step_vector(ctx: "JoinContext", rows_np: Array,
+                     flat: Array, counts: Array,
+                     step_name: str) -> Array:
     """Two-step scheme's assembly: writes were charged in the repeated
     pass, only the offsets scan and batched stores land here."""
     ctx.device.exclusive_prefix_sum(counts, name=f"{step_name}_offsets")
@@ -358,16 +364,17 @@ def _two_step_vector(ctx: "JoinContext", rows_np: np.ndarray,
 # ----------------------------------------------------------------------
 
 
-def execute_join_step_vector(ctx: "JoinContext", rows_np: np.ndarray,
+def execute_join_step_vector(ctx: "JoinContext", rows_np: Array,
                              columns: List[int], step: JoinStep,
-                             cand: CandidateSet) -> np.ndarray:
+                             cand: CandidateSet) -> Array:
     """One Alg. 3 invocation over an ndarray intermediate table."""
     if rows_np.shape[0] == 0 or len(cand) == 0:
         return np.empty((0, rows_np.shape[1] + 1), dtype=np.int64)
     if ctx.config.max_intermediate_rows is not None and \
             rows_np.shape[0] > ctx.config.max_intermediate_rows:
         raise BudgetExceeded(
-            f"intermediate table exceeded {ctx.config.max_intermediate_rows} rows")
+            "intermediate table exceeded "
+            f"{ctx.config.max_intermediate_rows} rows")
 
     col_of = {qv: j for j, qv in enumerate(columns)}
     step_name = f"join_u{step.vertex}"
@@ -394,12 +401,12 @@ def execute_join_step_vector(ctx: "JoinContext", rows_np: np.ndarray,
 
 
 def run_join_phase_vector(ctx: "JoinContext", plan: JoinPlan,
-                          candidates: Dict[int, np.ndarray]
+                          candidates: Dict[int, Array]
                           ) -> List["Row"]:
     """Vectorized twin of ``run_join_phase``; same rows, same meters."""
     start_cands = candidates[plan.start_vertex]
     tx = contiguous_read(len(start_cands))
-    ctx.device.meter.add_gld(tx, label="join")
+    ctx.device.meter.add_gld(tx, label=LABEL_JOIN)
     ctx.device.meter.add_gst(tx)
     ctx.device.run_kernel([float(tx * CYCLES_PER_GLD)], name="init_m")
 

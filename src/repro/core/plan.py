@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-import numpy as np
 
 from repro.errors import PlanError
 from repro.graph.labeled_graph import LabeledGraph

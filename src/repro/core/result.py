@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.gpusim.meter import MeterSnapshot
 
@@ -66,6 +66,6 @@ class MatchResult:
             return None
         return min(self.candidate_sizes.values())
 
-    def match_set(self) -> set:
+    def match_set(self) -> Set[Match]:
         """Matches as a set, for cross-engine equality checks."""
         return set(self.matches)

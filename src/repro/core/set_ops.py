@@ -22,10 +22,11 @@ element); stores are unbatched.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.gpusim.constants import (
     CYCLES_PER_GLD,
     CYCLES_PER_GST,
@@ -74,7 +75,7 @@ class CandidateSet:
     cost counting.
     """
 
-    sorted_ids: np.ndarray
+    sorted_ids: Array
     _log_size: int = field(init=False)
 
     def __post_init__(self) -> None:
@@ -84,7 +85,7 @@ class CandidateSet:
     def __len__(self) -> int:
         return len(self.sorted_ids)
 
-    def contains_mask(self, values: np.ndarray) -> np.ndarray:
+    def contains_mask(self, values: Array) -> Array:
         """Vectorized membership test for sorted unique ``values``."""
         if len(self.sorted_ids) == 0 or len(values) == 0:
             return np.zeros(len(values), dtype=bool)
@@ -131,11 +132,12 @@ class SetOpEngine:
     # Operations (functional result + cost)
     # ------------------------------------------------------------------
 
-    def first_edge(self, row: np.ndarray, nbrs: np.ndarray,
+    def first_edge(self, row: Array, nbrs: Array,
                    locate_tx: int, cand: CandidateSet,
                    read_tx: Optional[int] = None,
                    streamed: Optional[int] = None,
-                   nbrs_from_shared: bool = False) -> tuple:
+                   nbrs_from_shared: bool = False
+                   ) -> Tuple[Array, RowCost]:
         """``buf = (nbrs \\ row) ∩ C(u)`` — Alg. 3 lines 10-11 fused.
 
         ``read_tx`` / ``streamed`` come from the storage structure: plain
@@ -183,10 +185,11 @@ class SetOpEngine:
             cost.shared += 1  # one shared-memory staging slot for the cache
         return buf, cost
 
-    def refine_edge(self, buf: np.ndarray, nbrs: np.ndarray,
+    def refine_edge(self, buf: Array, nbrs: Array,
                     locate_tx: int, read_tx: Optional[int] = None,
                     streamed: Optional[int] = None,
-                    nbrs_from_shared: bool = False) -> tuple:
+                    nbrs_from_shared: bool = False
+                    ) -> Tuple[Array, RowCost]:
         """``buf = buf ∩ nbrs`` — Alg. 3 line 13.
 
         Returns ``(new_buf, RowCost)``.

@@ -18,8 +18,11 @@ pruned).
 
 from __future__ import annotations
 
+from typing import Dict
+
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.graph.labeled_graph import LabeledGraph
 
 _PAIR_MIX = 1_000_003
@@ -44,7 +47,7 @@ def _group_of(edge_label: int, neighbor_label: int, groups: int) -> int:
 
 
 def encode_vertex(graph: LabeledGraph, v: int, signature_bits: int,
-                  label_bits: int = 32) -> np.ndarray:
+                  label_bits: int = 32) -> Array:
     """Compute ``S(v)`` as a uint32 word array of length ``N / 32``.
 
     Word 0 holds the vertex label; subsequent words hold the packed
@@ -57,7 +60,7 @@ def encode_vertex(graph: LabeledGraph, v: int, signature_bits: int,
     if groups == 0:
         return words
 
-    counts: dict = {}
+    counts: Dict[int, int] = {}
     nbrs = graph.neighbors(v)
     labs = graph.incident_labels(v)
     for w, el in zip(nbrs, labs):
@@ -75,7 +78,7 @@ def encode_vertex(graph: LabeledGraph, v: int, signature_bits: int,
 
 
 def encode_all(graph: LabeledGraph, signature_bits: int,
-               label_bits: int = 32) -> np.ndarray:
+               label_bits: int = 32) -> Array:
     """Signature table: one row per data vertex (computed offline)."""
     table = np.zeros((graph.num_vertices, num_words(signature_bits)),
                      dtype=np.uint32)
@@ -84,7 +87,7 @@ def encode_all(graph: LabeledGraph, signature_bits: int,
     return table
 
 
-def is_candidate(sig_v: np.ndarray, sig_u: np.ndarray) -> bool:
+def is_candidate(sig_v: Array, sig_u: Array) -> bool:
     """Whether data signature ``sig_v`` passes query signature ``sig_u``."""
     if sig_v[0] != sig_u[0]:
         return False
@@ -92,7 +95,7 @@ def is_candidate(sig_v: np.ndarray, sig_u: np.ndarray) -> bool:
     return bool(np.all((sig_v[1:] & tail_u) == tail_u))
 
 
-def candidate_mask(table: np.ndarray, sig_u: np.ndarray) -> np.ndarray:
+def candidate_mask(table: Array, sig_u: Array) -> Array:
     """Vectorized filter of a whole signature table against ``sig_u``.
 
     Returns a boolean mask over data vertices; this is the functional

@@ -19,17 +19,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
-from repro.core.signature import candidate_mask, num_words
-from repro.graph.labeled_graph import LabeledGraph
+from repro.arraytypes import Array
+from repro.core.signature import candidate_mask
 from repro.gpusim.constants import (
     CYCLES_PER_GLD,
     CYCLES_PER_OP,
     WARP_SIZE,
 )
 from repro.gpusim.transactions import strided_read
+from repro.graph.labeled_graph import LabeledGraph
 
 
 @dataclass(frozen=True)
@@ -37,7 +39,8 @@ class ScanCost:
     """Counted cost of filtering one query vertex over the table."""
 
     gld_transactions: int
-    warp_task_cycles: tuple  # per-warp cycles, feeds the kernel scheduler
+    #: per-warp cycles, feeds the kernel scheduler
+    warp_task_cycles: Tuple[int, ...]
 
 
 class SignatureTable:
@@ -52,7 +55,7 @@ class SignatureTable:
         Layout flag; affects cost only, never results.
     """
 
-    def __init__(self, table: np.ndarray, column_first: bool = True) -> None:
+    def __init__(self, table: Array, column_first: bool = True) -> None:
         self.table = table
         self.column_first = column_first
         self.num_vertices = int(table.shape[0])
@@ -70,11 +73,11 @@ class SignatureTable:
 
     # ------------------------------------------------------------------
 
-    def filter(self, sig_u: np.ndarray) -> np.ndarray:
+    def filter(self, sig_u: Array) -> Array:
         """Candidate vertex ids for a query signature (functional)."""
         return np.nonzero(candidate_mask(self.table, sig_u))[0]
 
-    def scan_cost(self, sig_u: np.ndarray) -> ScanCost:
+    def scan_cost(self, sig_u: Array) -> ScanCost:
         """Transaction/cycle cost of one full scan for ``sig_u``.
 
         Every warp handles 32 consecutive vertices.  All warps read word 0

@@ -20,11 +20,12 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.errors import GraphError
 from repro.dynamic.delta import GraphDelta
-from repro.graph.labeled_graph import CSRPatchStats, Edge, LabeledGraph
+from repro.errors import GraphError
+from repro.gpusim.constants import LABEL_COMMIT_PATCH
 from repro.gpusim.meter import MemoryMeter
 from repro.gpusim.transactions import contiguous_read
+from repro.graph.labeled_graph import CSRPatchStats, Edge, LabeledGraph
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -268,7 +269,7 @@ class DynamicGraph:
         gst = (contiguous_read(stats.words_written)
                + contiguous_read(stats.rows_spliced))
         if self.meter is not None:
-            self.meter.add_gld(gld, label="commit_patch")
+            self.meter.add_gld(gld, label=LABEL_COMMIT_PATCH)
             self.meter.add_gst(gst)
 
         self._base = snapshot

@@ -29,10 +29,11 @@ import numpy as np
 from repro.core.signature import encode_vertex, num_words
 from repro.core.signature_table import SignatureTable
 from repro.dynamic.graph import CommitResult
-from repro.graph.labeled_graph import LabeledGraph
-from repro.graph.partition import EdgeLabelPartition
+from repro.gpusim.constants import LABEL_PCSR_REBUILD, LABEL_SIG_MAINTAIN
 from repro.gpusim.meter import MemoryMeter
 from repro.gpusim.transactions import contiguous_read
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.partition import EdgeLabelPartition
 from repro.storage.base import EMPTY
 from repro.storage.pcsr import PCSRPartition, PCSRStorage
 
@@ -111,7 +112,7 @@ class DynamicSignatureTable:
                 # one table row.
                 self.meter.add_gld(
                     max(1, contiguous_read(graph.degree(v))),
-                    label="sig_maintain")
+                    label=LABEL_SIG_MAINTAIN)
                 self.meter.add_gst(per_row)
         self.rows_updated += rows
         return rows
@@ -159,7 +160,7 @@ class DynamicPCSRStorage(PCSRStorage):
         # structure (group layer + ci) back in.
         meter = self.meter
         meter.add_gld(contiguous_read(part.groups.size + len(part.ci)),
-                      label="pcsr_rebuild")
+                      label=LABEL_PCSR_REBUILD)
         meter.add_gst(contiguous_read(part.groups.size)
                       + contiguous_read(len(part.ci)))
 

@@ -63,8 +63,9 @@ from repro.dynamic.delta import GraphDelta
 from repro.dynamic.graph import CommitResult, DynamicGraph
 from repro.dynamic.index import DEFAULT_COMPACT_DEAD_RATIO, DynamicIndex
 from repro.errors import GraphError
-from repro.graph.labeled_graph import LabeledGraph
+from repro.gpusim.constants import LABEL_DELTA_SEED
 from repro.gpusim.meter import MeterSnapshot
+from repro.graph.labeled_graph import LabeledGraph
 from repro.service.executors import QueryExecutor, SerialExecutor
 from repro.service.plan_cache import PlanCache
 from repro.storage.shm import (
@@ -662,7 +663,7 @@ class StreamEngine:
         if endpoints:
             per_row = self.index.signatures.row_transactions()
             self.index.meter.add_gld(per_row * len(endpoints),
-                                     label="delta_seed")
+                                     label=LABEL_DELTA_SEED)
         return _BatchSeed(inserted_by_label=by_label,
                           dead_pairs=dead_pairs, seed_rows=seed_rows)
 

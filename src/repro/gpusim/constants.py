@@ -95,6 +95,63 @@ probe, recursion step) of a CPU engine.  Pointer-chasing graph code is
 memory-bound, hence well above 1 cycle/op."""
 
 
+# ---------------------------------------------------------------------------
+# Meter-label registry (GSI002)
+# ---------------------------------------------------------------------------
+# Every labeled meter charge in the engine attributes its transactions
+# to one of these phases.  The gsilint GSI002 rule rejects stringly-typed
+# one-off labels at charge sites; new phases are added HERE (constant +
+# METER_LABELS entry) so per-phase attribution stays enumerable by
+# reports, benches, and the serving metrics layer.
+
+LABEL_FILTER = "filter"
+"""Candidate filtering: signature-table scans (Algorithm 1)."""
+
+LABEL_JOIN = "join"
+"""Joining phase: edge passes over the intermediate table (Alg. 3/4)."""
+
+LABEL_STORAGE_LOCATE = "storage_locate"
+"""Neighbor-store group/segment location reads."""
+
+LABEL_STORAGE_READ = "storage_read"
+"""Neighbor-store adjacency payload reads."""
+
+LABEL_PCSR_MAINTAIN = "pcsr_maintain"
+"""In-place PCSR inserts/removals (dynamic maintenance)."""
+
+LABEL_PCSR_COMPACT = "pcsr_compact"
+"""PCSR dead-space compaction sweeps."""
+
+LABEL_PCSR_REBUILD = "pcsr_rebuild"
+"""Full PCSR partition rebuilds (occupancy / Claim-1 starvation)."""
+
+LABEL_SIG_MAINTAIN = "sig_maintain"
+"""Incremental signature-table row updates."""
+
+LABEL_COMMIT_PATCH = "commit_patch"
+"""O(changes) CSR snapshot commits (row splicing)."""
+
+LABEL_DELTA_SEED = "delta_seed"
+"""Per-batch delta-match seed construction in the stream engine."""
+
+METER_LABELS = frozenset({
+    LABEL_FILTER,
+    LABEL_JOIN,
+    LABEL_STORAGE_LOCATE,
+    LABEL_STORAGE_READ,
+    LABEL_PCSR_MAINTAIN,
+    LABEL_PCSR_COMPACT,
+    LABEL_PCSR_REBUILD,
+    LABEL_SIG_MAINTAIN,
+    LABEL_COMMIT_PATCH,
+    LABEL_DELTA_SEED,
+})
+"""The registry: every statically-known meter label. Dynamic labels
+(per-shard ``shard{i}`` attribution from
+:func:`~repro.gpusim.meter.merge_shard_snapshots`) are additive on top
+and are not charge-site labels."""
+
+
 def cycles_to_ms(cycles: float) -> float:
     """Convert simulated GPU cycles to milliseconds."""
     return cycles / (CLOCK_GHZ * 1e6)

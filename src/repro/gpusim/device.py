@@ -14,13 +14,12 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.errors import BudgetExceeded
 from repro.gpusim.constants import (
     CYCLES_PER_GLD,
     CYCLES_PER_GST,
     CYCLES_PER_OP,
-    ELEMENTS_PER_TRANSACTION,
-    KERNEL_LAUNCH_CYCLES,
     KERNEL_QUEUE_CYCLES,
     WARP_SLOTS,
     cycles_to_ms,
@@ -116,7 +115,7 @@ class Device:
     def exclusive_prefix_sum(self, counts: Sequence[int],
                              name: str = "prefix_sum",
                              fused_tasks: Optional[Sequence[float]] = None
-                             ) -> np.ndarray:
+                             ) -> Array:
         """Exclusive scan (GBA offsets, M' offsets — Alg. 3 line 14, Alg. 4).
 
         Functionally ``offsets[i] = sum(counts[:i])`` with the total

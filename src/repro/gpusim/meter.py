@@ -9,6 +9,13 @@ memory traffic, and warp-wide element operations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.gpusim.constants import (
+    LABEL_JOIN,
+    LABEL_STORAGE_LOCATE,
+    LABEL_STORAGE_READ,
+)
 
 
 @dataclass
@@ -20,7 +27,7 @@ class MeterSnapshot:
     shared: int = 0
     ops: int = 0
     kernel_launches: int = 0
-    labeled_gld: dict = field(default_factory=dict)
+    labeled_gld: Dict[str, int] = field(default_factory=dict)
 
     def diff(self, earlier: "MeterSnapshot") -> "MeterSnapshot":
         """Counters accumulated since ``earlier``."""
@@ -40,9 +47,9 @@ class MeterSnapshot:
     @property
     def join_gld(self) -> int:
         """GLD attributed to the join phase (Table VI / XI metric)."""
-        return (self.labeled_gld.get("join", 0)
-                + self.labeled_gld.get("storage_locate", 0)
-                + self.labeled_gld.get("storage_read", 0))
+        return (self.labeled_gld.get(LABEL_JOIN, 0)
+                + self.labeled_gld.get(LABEL_STORAGE_LOCATE, 0)
+                + self.labeled_gld.get(LABEL_STORAGE_READ, 0))
 
     @property
     def transactions(self) -> int:
@@ -50,7 +57,7 @@ class MeterSnapshot:
         per-shard work metric."""
         return self.gld + self.gst
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable counter dump (plain ints, string keys)."""
         return {
             "gld": int(self.gld),
@@ -63,7 +70,7 @@ class MeterSnapshot:
         }
 
 
-def merge_shard_snapshots(snapshots: "list[MeterSnapshot]",
+def merge_shard_snapshots(snapshots: List[MeterSnapshot],
                           prefix: str = "shard") -> MeterSnapshot:
     """Merge per-shard meter snapshots into one attributed snapshot.
 
@@ -74,7 +81,7 @@ def merge_shard_snapshots(snapshots: "list[MeterSnapshot]",
     work" from its ``labeled_gld`` alone.
     """
     merged = MeterSnapshot()
-    labeled: dict = {}
+    labeled: Dict[str, int] = {}
     for i, snap in enumerate(snapshots):
         merged.gld += snap.gld
         merged.gst += snap.gst
@@ -102,7 +109,7 @@ class MemoryMeter:
     shared: int = 0
     ops: int = 0
     kernel_launches: int = 0
-    _labels: dict = field(default_factory=dict)
+    _labels: Dict[str, int] = field(default_factory=dict)
 
     def add_gld(self, n: int, label: str = "") -> None:
         """Record ``n`` global-memory load transactions."""

@@ -79,7 +79,8 @@ class ScheduleResult:
 
 
 def split_tasks_4layer(task_units: Sequence[float],
-                       cfg: LoadBalanceConfig) -> Tuple[List[float], float, int]:
+                       cfg: LoadBalanceConfig
+                     ) -> Tuple[List[float], float, int]:
     """Apply the 4-layer splitting to per-task work (in units).
 
     Returns ``(split_unit_list, extra_cycles, extra_launches)`` where

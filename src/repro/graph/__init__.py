@@ -1,12 +1,5 @@
 """Labeled-graph substrate: structures, generators, datasets, I/O."""
 
-from repro.graph.labeled_graph import (
-    GraphBuilder,
-    LabeledGraph,
-    path_query,
-    triangle_query,
-)
-from repro.graph.partition import EdgeLabelPartition, partition_by_edge_label
 from repro.graph.generators import (
     mesh_graph,
     power_law_labels,
@@ -15,13 +8,20 @@ from repro.graph.generators import (
     rdf_like_graph,
     scale_free_graph,
 )
+from repro.graph.io import load_graph, save_graph
+from repro.graph.labeled_graph import (
+    GraphBuilder,
+    LabeledGraph,
+    path_query,
+    triangle_query,
+)
+from repro.graph.partition import EdgeLabelPartition, partition_by_edge_label
 from repro.graph.stats import (
     GraphStats,
     edge_label_histogram,
     graph_stats,
     vertex_label_histogram,
 )
-from repro.graph.io import load_graph, save_graph
 
 __all__ = [
     "GraphBuilder",

@@ -11,12 +11,12 @@ All generators are deterministic given a seed.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import List, Set, Tuple
 
 import numpy as np
 
 from repro.errors import GraphError
-from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
+from repro.graph.labeled_graph import LabeledGraph
 
 
 def power_law_labels(count: int, num_labels: int, rng: np.random.Generator,

@@ -19,10 +19,20 @@ Use :class:`GraphBuilder` to construct graphs incrementally::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.errors import GraphError
 
 Edge = Tuple[int, int, int]  # (u, v, edge_label) with u < v
@@ -64,7 +74,8 @@ class LabeledGraph:
         rejected (subgraph isomorphism is defined on simple graphs).
     """
 
-    def __init__(self, vertex_labels: Sequence[int], edges: Iterable[Edge]):
+    def __init__(self, vertex_labels: Sequence[int],
+                 edges: Iterable[Edge]) -> None:
         self._vlabels = np.asarray(vertex_labels, dtype=np.int64)
         if self._vlabels.ndim != 1:
             raise GraphError("vertex_labels must be one-dimensional")
@@ -146,7 +157,7 @@ class LabeledGraph:
         return len(self._edge_map)
 
     @property
-    def vertex_labels(self) -> np.ndarray:
+    def vertex_labels(self) -> Array:
         """Read-only array of vertex labels indexed by vertex id."""
         return self._vlabels
 
@@ -174,16 +185,16 @@ class LabeledGraph:
         """Number of neighbors of ``v``."""
         return int(self._offsets[v + 1] - self._offsets[v])
 
-    def neighbors(self, v: int) -> np.ndarray:
-        """``N(v)``: all neighbors of ``v`` (unsorted by id, grouped by label)."""
+    def neighbors(self, v: int) -> Array:
+        """``N(v)``: neighbors of ``v`` (unsorted, grouped by label)."""
         return self._nbr[self._offsets[v]:self._offsets[v + 1]]
 
-    def incident_labels(self, v: int) -> np.ndarray:
+    def incident_labels(self, v: int) -> Array:
         """Edge labels aligned with :meth:`neighbors`."""
         return self._elab[self._offsets[v]:self._offsets[v + 1]]
 
-    def neighbors_by_label(self, v: int, label: int) -> np.ndarray:
-        """``N(v, l)``: neighbors of ``v`` over edges labeled ``label``, sorted.
+    def neighbors_by_label(self, v: int, label: int) -> Array:
+        """``N(v, l)``: neighbors of ``v`` over ``label`` edges, sorted.
 
         This is the primitive whose memory cost PCSR optimizes; here it is
         the *functional* version used by every engine for correctness.
@@ -221,8 +232,8 @@ class LabeledGraph:
             return 0
         return int(np.max(self._offsets[1:] - self._offsets[:-1]))
 
-    def csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
-                                  np.ndarray]:
+    def csr_arrays(self) -> Tuple[Array, Array, Array,
+                                  Array]:
         """``(vertex_labels, degrees, neighbors, incident_labels)``.
 
         The shift-invariant CSR view the shared-memory data plane
@@ -325,7 +336,7 @@ class LabeledGraph:
             return self, CSRPatchStats()
 
         # --- Per-vertex change lists (O(changes)). --------------------
-        rem_at: Dict[int, set] = {}
+        rem_at: Dict[int, Set[int]] = {}
         add_at: Dict[int, List[Tuple[int, int]]] = {}
         for (lo, hi), _lab in del_pairs.items():
             rem_at.setdefault(lo, set()).add(hi)

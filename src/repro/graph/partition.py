@@ -12,6 +12,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.graph.labeled_graph import LabeledGraph
 
 
@@ -28,7 +29,7 @@ class EdgeLabelPartition:
         exactly the problem PCSR's hashed row-offset layer solves.
     """
 
-    def __init__(self, label: int, adjacency: Dict[int, np.ndarray]):
+    def __init__(self, label: int, adjacency: Dict[int, Array]) -> None:
         self.label = label
         self._adj = adjacency
         self.vertices = np.array(sorted(adjacency), dtype=np.int64)
@@ -47,14 +48,14 @@ class EdgeLabelPartition:
         """Whether ``v`` has any incident edge labeled :attr:`label`."""
         return v in self._adj
 
-    def neighbors(self, v: int) -> np.ndarray:
+    def neighbors(self, v: int) -> Array:
         """``N(v, l)`` for this partition's ``l`` (empty if absent)."""
         arr = self._adj.get(v)
         if arr is None:
             return np.empty(0, dtype=np.int64)
         return arr
 
-    def items(self) -> List[Tuple[int, np.ndarray]]:
+    def items(self) -> List[Tuple[int, Array]]:
         """``(vertex, neighbor array)`` pairs sorted by vertex id."""
         return [(int(v), self._adj[int(v)]) for v in self.vertices]
 
@@ -65,7 +66,8 @@ class EdgeLabelPartition:
         )
 
 
-def partition_by_edge_label(graph: LabeledGraph) -> Dict[int, EdgeLabelPartition]:
+def partition_by_edge_label(graph: LabeledGraph
+                            ) -> Dict[int, EdgeLabelPartition]:
     """Split ``graph`` into one :class:`EdgeLabelPartition` per edge label.
 
     The union of all partitions' adjacency is exactly the graph's

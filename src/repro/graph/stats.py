@@ -25,7 +25,8 @@ class GraphStats:
         """Render as a fixed-width text row for harness output."""
         return (
             f"|V|={self.num_vertices:>8}  |E|={self.num_edges:>8}  "
-            f"|LV|={self.num_vertex_labels:>5}  |LE|={self.num_edge_labels:>5}  "
+            f"|LV|={self.num_vertex_labels:>5}  "
+            f"|LE|={self.num_edge_labels:>5}  "
             f"MD={self.max_degree:>6}  avg_deg={self.mean_degree:6.2f}"
         )
 

@@ -9,7 +9,7 @@ every generated query is guaranteed to have at least one match.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

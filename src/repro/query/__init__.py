@@ -2,7 +2,12 @@
 
 from repro.query.executor import PatternExecutor, PatternResult, run_pattern
 from repro.query.labels import LabelDictionary
-from repro.query.pattern import EdgeClause, GraphPattern, is_variable, parse_pattern
+from repro.query.pattern import (
+    EdgeClause,
+    GraphPattern,
+    is_variable,
+    parse_pattern,
+)
 from repro.query.triples import TripleStore
 
 __all__ = [

@@ -19,8 +19,8 @@ from repro.core.config import GSIConfig
 from repro.core.engine import GSIEngine
 from repro.core.result import MatchResult
 from repro.errors import GraphError
-from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
-from repro.query.pattern import GraphPattern, is_variable, parse_pattern
+from repro.graph.labeled_graph import GraphBuilder
+from repro.query.pattern import GraphPattern, parse_pattern
 from repro.query.triples import TripleStore
 from repro.service.plan_cache import PlanCache
 

@@ -18,7 +18,7 @@ payload of the ``stats`` RPC verbatim).
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -74,6 +74,17 @@ class _TenantSeries:
 class ServerMetrics:
     """Aggregated serving statistics, exposed via the ``stats`` RPC."""
 
+    #: gsilint GSI003: the asyncio loop and the batch-runner thread
+    #: both mutate these; every touch goes through self._lock
+    #: (helpers suffixed ``_unlocked`` assume the caller holds it)
+    _GUARDED_BY_LOCK = (
+        "_tenants", "received", "admitted", "completed", "errors",
+        "deduped", "shed", "quota_rejected", "batches",
+        "executed_queries", "batch_size_histogram", "cache",
+        "total_gld", "total_gst", "total_simulated_ms", "last_storage",
+        "queue_depth", "max_queue_depth",
+    )
+
     def __init__(self, reservoir: int = DEFAULT_RESERVOIR) -> None:
         if reservoir < 2:
             raise ValueError(f"reservoir must be >= 2, got {reservoir}")
@@ -103,7 +114,7 @@ class ServerMetrics:
 
     # ------------------------------------------------------------------
 
-    def _tenant(self, tenant: str) -> _TenantSeries:
+    def _tenant_unlocked(self, tenant: str) -> _TenantSeries:
         series = self._tenants.get(tenant)
         if series is None:
             series = self._tenants[tenant] = _TenantSeries(
@@ -113,29 +124,29 @@ class ServerMetrics:
     def record_received(self, tenant: str) -> None:
         with self._lock:
             self.received += 1
-            self._tenant(tenant)
+            self._tenant_unlocked(tenant)
 
     def record_admitted(self, tenant: str, deduped: bool) -> None:
         with self._lock:
             self.admitted += 1
             if deduped:
                 self.deduped += 1
-                self._tenant(tenant).deduped += 1
+                self._tenant_unlocked(tenant).deduped += 1
 
     def record_shed(self, tenant: str) -> None:
         with self._lock:
             self.shed += 1
-            self._tenant(tenant).shed += 1
+            self._tenant_unlocked(tenant).shed += 1
 
     def record_quota_rejected(self, tenant: str) -> None:
         with self._lock:
             self.quota_rejected += 1
-            self._tenant(tenant).quota_rejected += 1
+            self._tenant_unlocked(tenant).quota_rejected += 1
 
     def record_completed(self, tenant: str, latency_ms: float,
                          error: bool) -> None:
         with self._lock:
-            series = self._tenant(tenant)
+            series = self._tenant_unlocked(tenant)
             series.completed += 1
             series.record_latency(latency_ms)
             self.completed += 1

@@ -53,6 +53,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.result import MatchResult
+from repro.graph.labeled_graph import LabeledGraph
 from repro.serve.metrics import ServerMetrics
 from repro.serve.protocol import (
     ProtocolError,
@@ -62,7 +63,6 @@ from repro.serve.protocol import (
 )
 from repro.service.batch import BatchEngine
 from repro.service.fingerprint import QueryFingerprint
-from repro.graph.labeled_graph import LabeledGraph
 
 DEFAULT_MAX_BATCH = 16
 DEFAULT_MAX_DELAY_MS = 2.0

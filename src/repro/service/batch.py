@@ -30,13 +30,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
-
-if TYPE_CHECKING:  # service does not depend on the shard package at
-    # runtime; a ShardedEngine backend is injected by the caller.
-    from repro.shard.engine import ShardedEngine, ShardReport
 
 from repro.core.config import GSIConfig
 from repro.core.engine import GSIEngine, PreparedQuery
@@ -51,10 +56,18 @@ from repro.service.executors import (
 )
 from repro.service.plan_cache import CacheStats, PlanCache
 
+if TYPE_CHECKING:  # service does not depend on the shard package at
+    # runtime; a ShardedEngine backend is injected by the caller.
+    from repro.shard.engine import (
+        ShardedEngine,
+        ShardedPrepared,
+        ShardReport,
+    )
+
 DEFAULT_MAX_WORKERS = 4
 
 
-def json_sanitize(value):
+def json_sanitize(value: Any) -> Any:
     """Recursively coerce a stats structure into plain JSON types.
 
     Storage and shard stats dicts mix numpy scalars and integer keys
@@ -98,7 +111,7 @@ class BatchReport:
     cache: CacheStats = field(default_factory=CacheStats)
     #: storage-structure health at batch end (``NeighborStore.stats()``;
     #: PCSR stores report occupancy / dead words / compactions)
-    storage: dict = field(default_factory=dict)
+    storage: Dict[str, Any] = field(default_factory=dict)
     #: name of the executor that ran the joining phase
     executor: str = ""
     #: scatter-gather details when a sharded backend served the batch
@@ -185,7 +198,7 @@ class BatchReport:
     def p99_ms(self) -> float:
         return self.latency_percentile(99)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """The report as one JSON-serializable dict.
 
         This is the shape the serving metrics layer aggregates and the
@@ -320,13 +333,14 @@ class BatchEngine:
 
     # ------------------------------------------------------------------
 
-    def prepare(self, query: LabeledGraph):
+    def prepare(self, query: LabeledGraph
+                ) -> Union[PreparedQuery, "ShardedPrepared"]:
         """Filter + plan one query through the shared plan cache."""
         if self.sharded is not None:
             return self.sharded.prepare(query)
         return self.engine.prepare(query, plan_cache=self.plan_cache)
 
-    def execute(self, prepared) -> MatchResult:
+    def execute(self, prepared: PreparedQuery) -> MatchResult:
         if self.sharded is not None:
             raise ValueError(
                 "the sharded backend merges per-shard execution; use "

@@ -83,6 +83,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.config import GSIConfig
 from repro.core.engine import GSIEngine, PreparedQuery
 from repro.core.result import MatchResult
+from repro.errors import ConfigError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.storage.shm import (
     BlockLease,
@@ -134,6 +135,13 @@ class EngineBuildSpec:
     def build(self) -> GSIEngine:
         if self.artifacts is not None:
             return attach_engine(self.artifacts, self.config)
+        if self.graph is None:
+            # A shm-plane spec whose handle was stripped (or a spec
+            # built with neither form) must fail here, not as an
+            # AttributeError deep inside signature encoding.
+            raise ConfigError(
+                "EngineBuildSpec carries neither artifacts nor a graph; "
+                "a worker cannot rebuild the engine")
         return GSIEngine(self.graph, self.config)
 
 
@@ -224,7 +232,7 @@ class QueryExecutor(ABC):
     def __enter__(self) -> "QueryExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
 

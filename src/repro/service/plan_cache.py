@@ -17,9 +17,19 @@ import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.arraytypes import Array
 from repro.core.plan import JoinPlan, JoinStep
+from repro.core.signature_table import ScanCost, SignatureTable
 from repro.graph.labeled_graph import LabeledGraph
 from repro.service.fingerprint import QueryFingerprint, query_fingerprint
 
@@ -57,7 +67,7 @@ class CacheStats:
     def snapshot(self) -> "CacheStats":
         return replace(self)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable counter dump (the server metrics layer and
         bench ``--json`` outputs both consume this shape)."""
         return {
@@ -122,6 +132,10 @@ class CandidateShapeCache:
     shape and plan bookkeeping serialize together.
     """
 
+    #: gsilint GSI003: these fields are only touched under self._lock
+    #: (helpers suffixed ``_unlocked`` assume the caller holds it)
+    _GUARDED_BY_LOCK = ("_entries", "_owner", "stats")
+
     def __init__(self, capacity: int = 512,
                  stats: Optional[CacheStats] = None,
                  lock: Optional[threading.Lock] = None) -> None:
@@ -130,13 +144,15 @@ class CandidateShapeCache:
         self.capacity = capacity
         self.stats = stats if stats is not None else CacheStats()
         self._lock = lock if lock is not None else threading.Lock()
-        self._entries: "OrderedDict[bytes, tuple]" = OrderedDict()
-        self._owner: Optional[weakref.ref] = None
+        self._entries: "OrderedDict[bytes, Tuple[ScanCost, Array]]" \
+            = OrderedDict()
+        self._owner: Optional["weakref.ref[SignatureTable]"] = None
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
-    def bind(self, owner) -> None:
+    def bind(self, owner: SignatureTable) -> None:
         """Tie the memo to the signature table it scans.
 
         Binding to a *different* table drops every entry: candidate
@@ -151,7 +167,7 @@ class CandidateShapeCache:
                 self._entries.clear()
                 self._owner = weakref.ref(owner)
 
-    def _owned_by(self, owner) -> bool:
+    def _owned_by_unlocked(self, owner: Optional[SignatureTable]) -> bool:
         """Ownership check *under the caller's lock*: concurrent scans
         through differently-owned engines may rebind between a caller's
         ``bind`` and its lookups/stores, so every operation re-verifies
@@ -160,7 +176,8 @@ class CandidateShapeCache:
             return True  # direct (single-table) use; no binding check
         return self._owner is not None and self._owner() is owner
 
-    def lookup(self, key: bytes, owner=None):
+    def lookup(self, key: bytes, owner: Optional[SignatureTable] = None
+               ) -> Optional[Tuple[ScanCost, Array]]:
         """``(scan_cost, candidates)`` for a signature, or ``None``.
 
         ``owner`` (the signature table being scanned) guards shared
@@ -168,18 +185,18 @@ class CandidateShapeCache:
         """
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None or not self._owned_by(owner):
+            if entry is None or not self._owned_by_unlocked(owner):
                 self.stats.shape_misses += 1
                 return None
             self._entries.move_to_end(key)
             self.stats.shape_hits += 1
             return entry
 
-    def store(self, key: bytes, scan_cost, candidates,
-              owner=None) -> None:
+    def store(self, key: bytes, scan_cost: ScanCost, candidates: Array,
+              owner: Optional[SignatureTable] = None) -> None:
         candidates.setflags(write=False)  # shared across queries
         with self._lock:
-            if not self._owned_by(owner):
+            if not self._owned_by_unlocked(owner):
                 return  # another table rebound mid-scan; don't pollute
             self._entries[key] = (scan_cost, candidates)
             self._entries.move_to_end(key)
@@ -230,6 +247,9 @@ class PlanCache:
         exceeding it bypass the cache.
     """
 
+    #: gsilint GSI003: these fields are only touched under self._lock
+    _GUARDED_BY_LOCK = ("_plans", "_plan_labels", "stats")
+
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
                  node_budget: Optional[int] = None,
                  shape_capacity: int = 512) -> None:
@@ -240,7 +260,7 @@ class PlanCache:
         self._plans: "OrderedDict[str, JoinPlan]" = OrderedDict()
         # digest -> edge labels the plan's scoring depended on, for
         # statistics-shift invalidation under dynamic graphs.
-        self._plan_labels: dict = {}
+        self._plan_labels: Dict[str, FrozenSet[int]] = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
         #: memo of per-signature candidate-set shapes (scan results);
@@ -256,7 +276,8 @@ class PlanCache:
             return self.stats.snapshot()
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def fingerprint(self, query: LabeledGraph) -> Optional[QueryFingerprint]:
         if self._node_budget is None:
@@ -315,7 +336,7 @@ class PlanCache:
                 self._plan_labels.pop(digest, None)
                 self.stats.evictions += 1
 
-    def invalidate_labels(self, labels) -> int:
+    def invalidate_labels(self, labels: Iterable[int]) -> int:
         """Drop plans whose scoring depended on any of ``labels``.
 
         Called when a data-graph update shifts edge-label frequencies:

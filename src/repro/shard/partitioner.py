@@ -87,7 +87,8 @@ class HashPartitioner(Partitioner):
         # Deal blocks to shards in hashed order (ties break by index).
         order = np.lexsort((blocks, hashed))
         shard_of_block = np.empty(len(blocks), dtype=np.int64)
-        shard_of_block[order] = np.arange(len(blocks)) % num_shards
+        shard_of_block[order] = np.arange(len(blocks),
+                                          dtype=np.int64) % num_shards
         ids = np.arange(n, dtype=np.int64)
         return shard_of_block[ids // block_len]
 

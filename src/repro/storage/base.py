@@ -18,10 +18,12 @@ exposes both the answer and the counted cost of producing it:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.arraytypes import Array
+from repro.gpusim.constants import LABEL_STORAGE_LOCATE, LABEL_STORAGE_READ
 from repro.gpusim.meter import MemoryMeter
 
 EMPTY = np.empty(0, dtype=np.int64)
@@ -34,7 +36,7 @@ class NeighborStore(ABC):
     kind: str = "abstract"
 
     @abstractmethod
-    def neighbors(self, v: int, label: int) -> np.ndarray:
+    def neighbors(self, v: int, label: int) -> Array:
         """Sorted ``N(v, l)``; empty array if none."""
 
     @abstractmethod
@@ -50,7 +52,7 @@ class NeighborStore(ABC):
     def space_words(self) -> int:
         """Total 4-byte words the structure occupies (Table II space)."""
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, Any]:
         """Health/size counters for monitoring surfaces (batch and
         stream reports).  PCSR-backed stores override this with richer
         occupancy / dead-space detail."""
@@ -66,14 +68,14 @@ class NeighborStore(ABC):
         return len(self.neighbors(v, label))
 
     def lookup(self, v: int, label: int,
-               meter: Optional[MemoryMeter] = None) -> np.ndarray:
+               meter: Optional[MemoryMeter] = None) -> Array:
         """Metered ``N(v, l)``: records locate + read transactions."""
         result = self.neighbors(v, label)
         if meter is not None:
             meter.add_gld(self.locate_transactions(v, label),
-                          label="storage_locate")
+                          label=LABEL_STORAGE_LOCATE)
             meter.add_gld(self.read_transactions(v, label),
-                          label="storage_read")
+                          label=LABEL_STORAGE_READ)
         return result
 
     def lookup_transactions(self, v: int, label: int) -> int:

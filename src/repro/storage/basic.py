@@ -8,20 +8,22 @@ DBpedia with tens of thousands of edge labels.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.arraytypes import Array
+from repro.gpusim.transactions import contiguous_read
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.partition import partition_by_edge_label
-from repro.gpusim.transactions import contiguous_read
 from repro.storage.base import EMPTY, NeighborStore
 
 
 class _PerLabelBasic:
     """One label's full-width CSR: offsets over all |V| vertices."""
 
-    def __init__(self, num_vertices: int, items) -> None:
+    def __init__(self, num_vertices: int,
+                 items: List[Tuple[int, Array]]) -> None:
         self.offsets = np.zeros(num_vertices + 1, dtype=np.int64)
         chunks = []
         degree = np.zeros(num_vertices, dtype=np.int64)
@@ -32,7 +34,7 @@ class _PerLabelBasic:
         self.ci = (np.concatenate(chunks) if chunks
                    else np.empty(0, dtype=np.int64))
 
-    def neighbors(self, v: int) -> np.ndarray:
+    def neighbors(self, v: int) -> Array:
         lo, hi = self.offsets[v], self.offsets[v + 1]
         if lo == hi:
             return EMPTY
@@ -50,7 +52,7 @@ class BasicRepresentation(NeighborStore):
         for lab, part in partition_by_edge_label(graph).items():
             self._tables[lab] = _PerLabelBasic(self._n, part.items())
 
-    def neighbors(self, v: int, label: int) -> np.ndarray:
+    def neighbors(self, v: int, label: int) -> Array:
         table = self._tables.get(label)
         if table is None:
             return EMPTY

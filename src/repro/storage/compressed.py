@@ -9,20 +9,21 @@ layer.  Space drops to O(|E|) but locating costs
 from __future__ import annotations
 
 import math
-from typing import Dict
+from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.arraytypes import Array
+from repro.gpusim.transactions import contiguous_read
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.partition import partition_by_edge_label
-from repro.gpusim.transactions import contiguous_read
 from repro.storage.base import EMPTY, NeighborStore
 
 
 class _PerLabelCompressed:
     """One label's compressed CSR: vertex-id layer + offsets + ci."""
 
-    def __init__(self, items) -> None:
+    def __init__(self, items: List[Tuple[int, Array]]) -> None:
         self.vertex_ids = np.array([v for v, _ in items], dtype=np.int64)
         degrees = np.array([len(nbrs) for _, nbrs in items], dtype=np.int64)
         self.offsets = np.zeros(len(items) + 1, dtype=np.int64)
@@ -38,7 +39,7 @@ class _PerLabelCompressed:
             return pos
         return -1
 
-    def neighbors(self, v: int) -> np.ndarray:
+    def neighbors(self, v: int) -> Array:
         pos = self.find(v)
         if pos < 0:
             return EMPTY
@@ -55,7 +56,7 @@ class CompressedRepresentation(NeighborStore):
         for lab, part in partition_by_edge_label(graph).items():
             self._tables[lab] = _PerLabelCompressed(part.items())
 
-    def neighbors(self, v: int, label: int) -> np.ndarray:
+    def neighbors(self, v: int, label: int) -> Array:
         table = self._tables.get(label)
         if table is None:
             return EMPTY

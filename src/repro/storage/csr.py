@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.graph.labeled_graph import LabeledGraph
+from repro.arraytypes import Array
 from repro.gpusim.transactions import contiguous_read
+from repro.graph.labeled_graph import LabeledGraph
 from repro.storage.base import EMPTY, NeighborStore
 
 
@@ -28,7 +29,7 @@ class CSRStorage(NeighborStore):
         for v in range(n):
             self._offsets[v + 1] = self._offsets[v] + graph.degree(v)
 
-    def neighbors(self, v: int, label: int) -> np.ndarray:
+    def neighbors(self, v: int, label: int) -> Array:
         arr = self._graph.neighbors_by_label(v, label)
         if len(arr) == 0:
             return EMPTY

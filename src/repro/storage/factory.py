@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Type
+from typing import Any, Dict, List, Type
 
 from repro.errors import StorageError
 from repro.graph.labeled_graph import LabeledGraph
@@ -20,12 +20,13 @@ _KINDS: Dict[str, Type[NeighborStore]] = {
 }
 
 
-def storage_kinds() -> list:
+def storage_kinds() -> List[str]:
     """All registered storage kinds, Table II order."""
     return ["csr", "basic", "compressed", "pcsr"]
 
 
-def build_storage(kind: str, graph: LabeledGraph, **kwargs) -> NeighborStore:
+def build_storage(kind: str, graph: LabeledGraph,
+                  **kwargs: Any) -> NeighborStore:
     """Build a neighbor store of the given ``kind`` over ``graph``.
 
     ``kwargs`` are forwarded (e.g. ``gpn=`` for PCSR).

@@ -28,15 +28,17 @@ see :class:`repro.dynamic.index.DynamicPCSRStorage` for the policy.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.errors import StorageError
-from repro.graph.labeled_graph import LabeledGraph
-from repro.graph.partition import EdgeLabelPartition, partition_by_edge_label
+from repro.gpusim.constants import LABEL_PCSR_COMPACT, LABEL_PCSR_MAINTAIN
 from repro.gpusim.meter import MemoryMeter
 from repro.gpusim.transactions import contiguous_read
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.partition import EdgeLabelPartition, partition_by_edge_label
 from repro.storage.base import EMPTY, NeighborStore
 
 _EMPTY_SLOT = -1
@@ -104,7 +106,7 @@ class PCSRPartition:
 
         # --- Lines 9-13: lay out ci and record offsets. ---
         adjacency = {v: nbrs for v, nbrs in items}
-        chunks: List[np.ndarray] = []
+        chunks: List[Array] = []
         pos = 0
         self._region_start = np.zeros(self.num_groups, dtype=np.int64)
         self._region_cap = np.zeros(self.num_groups, dtype=np.int64)
@@ -131,7 +133,7 @@ class PCSRPartition:
         self._dead_words = 0
 
     @property
-    def ci(self) -> np.ndarray:
+    def ci(self) -> Array:
         """Column-index layer (the live prefix of the growable buffer)."""
         return self._ci_buf[:self._ci_len]
 
@@ -161,7 +163,7 @@ class PCSRPartition:
             gid = int(group[self.gpn - 1, 0])
         return reads, -1, -1
 
-    def neighbors(self, v: int) -> np.ndarray:
+    def neighbors(self, v: int) -> Array:
         """``N(v, l)`` from the PCSR layout (not the source graph)."""
         _, begin, end = self._probe(v)
         if begin < 0:
@@ -241,14 +243,14 @@ class PCSRPartition:
         self._ci_len = new_start + new_cap
         if meter is not None:
             moved = contiguous_read(used)
-            meter.add_gld(moved, label="pcsr_maintain")
+            meter.add_gld(moved, label=LABEL_PCSR_MAINTAIN)
             meter.add_gst(moved + 1)  # stream the region + group rewrite
 
     def _region_slack(self, gid: int) -> int:
         end = int(self.groups[gid, self.gpn - 1, 1])
         return int(self._region_start[gid] + self._region_cap[gid] - end)
 
-    def insert_key(self, v: int, neighbors: np.ndarray,
+    def insert_key(self, v: int, neighbors: Array,
                    meter: Optional[MemoryMeter] = None) -> bool:
         """Place a *new* key ``v`` with its sorted neighbor list.
 
@@ -275,7 +277,7 @@ class PCSRPartition:
             last = gid
             gid = int(group[self.gpn - 1, 0])
         if meter is not None:
-            meter.add_gld(reads, label="pcsr_maintain")
+            meter.add_gld(reads, label=LABEL_PCSR_MAINTAIN)
         if target < 0:
             # Chain full end to end: extend it through an empty group.
             if not self._empty_pool:
@@ -306,7 +308,7 @@ class PCSRPartition:
             meter.add_gst(1 + contiguous_read(len(nbrs)))
         return True
 
-    def append_neighbors(self, v: int, new_neighbors: np.ndarray,
+    def append_neighbors(self, v: int, new_neighbors: Array,
                          meter: Optional[MemoryMeter] = None) -> None:
         """Merge ``new_neighbors`` into existing key ``v``'s list.
 
@@ -316,7 +318,7 @@ class PCSRPartition:
         """
         reads, gid, j = self._find_key(v)
         if meter is not None:
-            meter.add_gld(reads, label="pcsr_maintain")
+            meter.add_gld(reads, label=LABEL_PCSR_MAINTAIN)
         if gid < 0:
             raise StorageError(f"key {v} not present; use insert_key")
         begin, end = self._slot_extent(gid, j)
@@ -340,7 +342,7 @@ class PCSRPartition:
         self._ci_buf[begin:begin + len(merged)] = merged
         if meter is not None:
             meter.add_gld(contiguous_read(end - begin),
-                          label="pcsr_maintain")
+                          label=LABEL_PCSR_MAINTAIN)
             meter.add_gst(1 + contiguous_read(len(merged))
                           + contiguous_read(max(0, group_end - end)))
 
@@ -355,7 +357,7 @@ class PCSRPartition:
         """
         reads, gid, j = self._find_key(v)
         if meter is not None:
-            meter.add_gld(reads, label="pcsr_maintain")
+            meter.add_gld(reads, label=LABEL_PCSR_MAINTAIN)
         if gid < 0:
             raise StorageError(f"key {v} not present in partition")
         begin, end = self._slot_extent(gid, j)
@@ -373,12 +375,12 @@ class PCSRPartition:
         self.groups[gid, self.gpn - 1, 1] = group_end - 1
         if meter is not None:
             meter.add_gld(contiguous_read(group_end - begin),
-                          label="pcsr_maintain")
+                          label=LABEL_PCSR_MAINTAIN)
             meter.add_gst(1 + contiguous_read(group_end - 1 - begin - pos))
 
-    def _merge_delta(self, v: int, current: np.ndarray,
-                     adds: Optional[np.ndarray],
-                     removes: Optional[np.ndarray]) -> np.ndarray:
+    def _merge_delta(self, v: int, current: Array,
+                     adds: Optional[Array],
+                     removes: Optional[Array]) -> Array:
         """``(current \\ removes) ∪ adds`` as a new sorted-unique array;
         raises (before any structural mutation) if a remove target is
         absent, matching :meth:`remove_neighbor`.
@@ -419,18 +421,18 @@ class PCSRPartition:
 
     def _bulk_merge(self, touched: List[int],
                     located: Dict[int, Tuple[int, int]],
-                    inserts: Dict[int, np.ndarray],
-                    deletes: Dict[int, np.ndarray]
-                    ) -> Dict[int, np.ndarray]:
+                    inserts: Dict[int, Array],
+                    deletes: Dict[int, Array]
+                    ) -> Dict[int, Array]:
         """Merged neighbor lists for every touched key, computed as one
         global sorted merge over ``i * M + w`` pair codes.  Read-only:
         raises :class:`StorageError` on a delete of an absent neighbor
         without having mutated anything."""
-        cur_arrays: List[np.ndarray] = []
+        cur_arrays: List[Array] = []
         cur_owner: List[int] = []
-        rem_arrays: List[np.ndarray] = []
+        rem_arrays: List[Array] = []
         rem_owner: List[int] = []
-        add_arrays: List[np.ndarray] = []
+        add_arrays: List[Array] = []
         add_owner: List[int] = []
         top = 0
         for i, v in enumerate(touched):
@@ -455,7 +457,7 @@ class PCSRPartition:
         M = top + 1
         if len(touched) > (2 ** 62) // max(M, 1):
             # Pair codes would overflow int64; take the per-key path.
-            out: Dict[int, np.ndarray] = {}
+            out: Dict[int, Array] = {}
             for v in touched:
                 if v in located:
                     gid, j = located[v]
@@ -467,8 +469,8 @@ class PCSRPartition:
                                            deletes.get(v))
             return out
 
-        def codes(arrays: List[np.ndarray], owners: List[int],
-                  presorted: bool) -> np.ndarray:
+        def codes(arrays: List[Array], owners: List[int],
+                  presorted: bool) -> Array:
             if not arrays:
                 return EMPTY
             code = (np.repeat(np.asarray(owners, dtype=np.int64),
@@ -513,8 +515,8 @@ class PCSRPartition:
         return {v: vals[bounds[i]:bounds[i + 1]]
                 for i, v in enumerate(touched)}
 
-    def apply_bulk(self, inserts: Dict[int, np.ndarray],
-                   deletes: Dict[int, np.ndarray],
+    def apply_bulk(self, inserts: Dict[int, Array],
+                   deletes: Dict[int, Array],
                    meter: Optional[MemoryMeter] = None) -> bool:
         """Apply a whole batch delta in one pass (GPMA-style bulk update).
 
@@ -550,7 +552,7 @@ class PCSRPartition:
             else:
                 new_keys.append(v)
         if meter is not None:
-            meter.add_gld(reads, label="pcsr_maintain")
+            meter.add_gld(reads, label=LABEL_PCSR_MAINTAIN)
 
         # Phase 2 (dry run): place new keys along their home chains,
         # extending through empty groups when full — without mutating,
@@ -649,7 +651,7 @@ class PCSRPartition:
                 gst += contiguous_read(old_used + delta) + 1
                 continue
             keys: List[int] = []
-            arrays: List[np.ndarray] = []
+            arrays: List[Array] = []
             for j in range(self._keys_per_group[gid]):
                 v = int(self.groups[gid, j, 0])
                 keys.append(v)
@@ -690,11 +692,11 @@ class PCSRPartition:
             moved_read += contiguous_read(old_used)
             gst += contiguous_read(total) + 1
         if meter is not None:
-            meter.add_gld(moved_read, label="pcsr_maintain")
+            meter.add_gld(moved_read, label=LABEL_PCSR_MAINTAIN)
             meter.add_gst(gst)
         return True
 
-    def items(self) -> Iterator[Tuple[int, np.ndarray]]:
+    def items(self) -> Iterator[Tuple[int, Array]]:
         """Iterate ``(key, neighbor array)`` straight off the structure
         (rebuilds and tests read the partition back through this)."""
         for gid in range(self.num_groups):
@@ -773,7 +775,7 @@ class PCSRPartition:
             self._region_cap[gid] = used
             pos += used
         if meter is not None:
-            meter.add_gld(contiguous_read(moved), label="pcsr_compact")
+            meter.add_gld(contiguous_read(moved), label=LABEL_PCSR_COMPACT)
             meter.add_gst(contiguous_read(moved) + groups_rewritten)
         if not complete:
             return 0
@@ -796,7 +798,7 @@ class PCSRPartition:
         }
 
     def max_chain_length(self) -> int:
-        """Longest overflow chain (paper: expected <= 1 + 5log|V|/loglog|V|)."""
+        """Longest overflow chain (expected <= 1 + 5log|V|/loglog|V|)."""
         longest = 1
         for gid in range(self.num_groups):
             length = 1
@@ -848,8 +850,8 @@ class PCSRPartition:
 
         # Chain acyclicity + key reachability (skipping broken GIDs,
         # which were already reported above).
-        def walk_chain(start: int) -> set:
-            chain: set = set()
+        def walk_chain(start: int) -> Set[int]:
+            chain: Set[int] = set()
             cur = start
             while cur != _NO_OVERFLOW and cur not in chain:
                 if not 0 <= cur < self.num_groups:
@@ -859,7 +861,7 @@ class PCSRPartition:
             return chain
 
         for gid in range(self.num_groups):
-            visited: set = set()
+            visited: Set[int] = set()
             cur = gid
             while cur != _NO_OVERFLOW and 0 <= cur < self.num_groups:
                 if cur in visited:
@@ -905,7 +907,7 @@ class PCSRStorage(NeighborStore):
         """The PCSR of one edge label, if any edges carry it."""
         return self._parts.get(label)
 
-    def neighbors(self, v: int, label: int) -> np.ndarray:
+    def neighbors(self, v: int, label: int) -> Array:
         part = self._parts.get(label)
         if part is None:
             return EMPTY

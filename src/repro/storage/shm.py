@@ -85,14 +85,32 @@ import uuid
 from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.core.signature_table import SignatureTable
 from repro.errors import StorageError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.storage.pcsr import _EMPTY_SLOT, PCSRPartition, PCSRStorage
+
+if TYPE_CHECKING:  # runtime import stays inside attach_engine (the
+    # core package imports storage; a top-level import would cycle)
+    from repro.core.config import GSIConfig
+    from repro.core.engine import GSIEngine
 
 #: rows per publication chunk; the patch-sharing granularity
 DEFAULT_CHUNK = 4096
@@ -127,14 +145,14 @@ class BlockHandle:
     shape: Tuple[int, ...]
 
 
-def _create_block(arr: np.ndarray) -> BlockHandle:
+def _create_block(arr: Array) -> BlockHandle:
     """Copy ``arr`` into a fresh named segment owned by this process."""
     arr = np.ascontiguousarray(arr)
     name = f"gsi{os.getpid():x}_{uuid.uuid4().hex[:12]}"
     seg = shared_memory.SharedMemory(name=name, create=True,
                                      size=max(1, arr.nbytes))
     if arr.nbytes:
-        np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)[...] = arr
+        Array(arr.shape, dtype=arr.dtype, buffer=seg.buf)[...] = arr
     with _LOCK:
         _OWNED[name] = seg
         _REFS[name] = 1
@@ -219,7 +237,7 @@ class BlockLease:
     def __enter__(self) -> "BlockLease":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.release()
 
 
@@ -251,7 +269,7 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
 
 
 def _attach_block(block: BlockHandle
-                  ) -> Tuple[np.ndarray, shared_memory.SharedMemory]:
+                  ) -> Tuple[Array, shared_memory.SharedMemory]:
     try:
         seg = _attach_untracked(block.name)
     except FileNotFoundError as exc:
@@ -259,7 +277,7 @@ def _attach_block(block: BlockHandle
             f"shared block {block.name!r} is gone — its publication was "
             f"retired (owner shut down, rebuilt, or committed a new "
             f"epoch); re-publish and ship a fresh handle") from exc
-    arr = np.ndarray(block.shape, dtype=np.dtype(block.dtype),
+    arr = Array(block.shape, dtype=np.dtype(block.dtype),
                      buffer=seg.buf)
     arr.flags.writeable = False
     return arr, seg
@@ -277,7 +295,7 @@ class ArrayPublication:
 
 
 def _attach_publication(pub: ArrayPublication
-                        ) -> Tuple[np.ndarray,
+                        ) -> Tuple[Array,
                                    List[shared_memory.SharedMemory]]:
     """Attach a publication: a zero-copy view for single-chunk, one
     worker-private concatenation for multi-chunk."""
@@ -402,7 +420,7 @@ def _vertex_ranges(n: int, chunk: int) -> List[Tuple[int, int]]:
     return [(a, min(a + chunk, n)) for a in range(0, n, chunk)]
 
 
-def _touched_chunks(touched: Iterable[int], chunk: int) -> set:
+def _touched_chunks(touched: Iterable[int], chunk: int) -> Set[int]:
     return {v // chunk for v in touched}
 
 
@@ -425,8 +443,8 @@ def _publish_graph_blocks(graph: LabeledGraph, chunk: int
     return handle, list(handle.names)
 
 
-def _patch_chunks(prev: ArrayPublication, slices: List[np.ndarray],
-                  stale: set, names: List[str]
+def _patch_chunks(prev: ArrayPublication, slices: List[Array],
+                  stale: Set[int], names: List[str]
                   ) -> ArrayPublication:
     """Re-publish only stale chunks; re-lease the rest by name."""
     blocks: List[BlockHandle] = []
@@ -493,7 +511,7 @@ def publish_graph_patch(prev: GraphHandle, graph: LabeledGraph,
     return handle, BlockLease(names)
 
 
-def _publish_table_blocks(table: np.ndarray, chunk: int,
+def _publish_table_blocks(table: Array, chunk: int,
                           prev: Optional[ArrayPublication] = None,
                           touched: Optional[Iterable[int]] = None
                           ) -> Tuple[ArrayPublication, List[str]]:
@@ -547,7 +565,8 @@ def publish_pcsr(store: PCSRStorage
     return handle, BlockLease(names)
 
 
-def publish_engine(engine, *, epoch: int, chunk: int = DEFAULT_CHUNK
+def publish_engine(engine: GSIEngine, *, epoch: int,
+                   chunk: int = DEFAULT_CHUNK
                    ) -> Tuple[EngineArtifactsHandle, BlockLease]:
     """Publish a live :class:`GSIEngine`'s artifacts under one lease.
 
@@ -572,7 +591,7 @@ def publish_engine(engine, *, epoch: int, chunk: int = DEFAULT_CHUNK
     return handle, BlockLease(names)
 
 
-def publish_snapshot(graph: LabeledGraph, table: np.ndarray, *,
+def publish_snapshot(graph: LabeledGraph, table: Array, *,
                      epoch: int, chunk: int = DEFAULT_CHUNK
                      ) -> Tuple[GraphSnapshotHandle, BlockLease]:
     """Publish a stream snapshot (graph + signature rows) in full."""
@@ -584,7 +603,7 @@ def publish_snapshot(graph: LabeledGraph, table: np.ndarray, *,
 
 
 def publish_snapshot_patch(prev: GraphSnapshotHandle,
-                           graph: LabeledGraph, table: np.ndarray,
+                           graph: LabeledGraph, table: Array,
                            touched: Iterable[int], *, epoch: int,
                            chunk: int = DEFAULT_CHUNK
                            ) -> Tuple[GraphSnapshotHandle, BlockLease]:
@@ -609,7 +628,7 @@ _ATTACH_CACHE: "OrderedDict[object, object]" = OrderedDict()
 _ATTACH_CACHE_CAP = 8
 
 
-def _memo_attach(key, build):
+def _memo_attach(key: Hashable, build: Callable[[], Any]) -> Any:
     """LRU attach memo: repeated batches over one publication attach
     once per worker.  Eviction only drops this cache's reference —
     attached objects keep their own mappings alive via ``_shm_refs``."""
@@ -717,9 +736,9 @@ def attach_pcsr(handle: PCSRStoreHandle) -> PCSRStorage:
 
 
 def attach_snapshot(handle: GraphSnapshotHandle
-                    ) -> Tuple[LabeledGraph, np.ndarray]:
+                    ) -> Tuple[LabeledGraph, Array]:
     """Attach a stream snapshot: ``(graph, signature-table rows)``."""
-    def build():
+    def build() -> Tuple[LabeledGraph, Array, Any]:
         graph = attach_graph(handle.graph)
         table, segs = _attach_publication(handle.table)
         return graph, table, segs
@@ -728,7 +747,8 @@ def attach_snapshot(handle: GraphSnapshotHandle
     return graph, table
 
 
-def attach_engine(handle: EngineArtifactsHandle, config):
+def attach_engine(handle: EngineArtifactsHandle,
+                  config: Optional[GSIConfig]) -> "GSIEngine":
     """Build a worker-side :class:`GSIEngine` over attached artifacts."""
     from repro.core.engine import GSIEngine
 

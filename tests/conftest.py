@@ -13,7 +13,12 @@ import pytest
 from repro.graph.generators import random_walk_query, scale_free_graph
 from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
 
-from oracle import brute_force_matches, paper_query, tiny_paper_graph  # noqa: F401 (re-exported for older tests)
+# Re-exported for older tests that import the oracle via conftest.
+from oracle import (  # noqa: F401
+    brute_force_matches,
+    paper_query,
+    tiny_paper_graph,
+)
 
 
 @pytest.fixture(scope="session")

@@ -35,12 +35,13 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from oracle import brute_force_matches
 from repro.core.signature import encode_vertex
 from repro.dynamic import GraphDelta, StreamEngine
 from repro.dynamic.index import MIN_COMPACT_DEAD_WORDS
 from repro.graph.generators import random_walk_query, scale_free_graph
 from repro.graph.labeled_graph import LabeledGraph
+
+from oracle import brute_force_matches
 
 PROFILES = ("uniform", "skewed", "delete_heavy", "churn", "adversarial")
 

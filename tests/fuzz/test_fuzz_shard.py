@@ -14,11 +14,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from fuzz_harness import _Shadow, generate_batch
-from oracle import brute_force_matches
 from repro.core.engine import GSIEngine
 from repro.graph.generators import random_walk_query, scale_free_graph
 from repro.shard import ShardedEngine, ShardedGraph
+
+from fuzz_harness import _Shadow, generate_batch
+from oracle import brute_force_matches
 
 NUM_SHARDS = 4
 

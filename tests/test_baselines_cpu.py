@@ -7,7 +7,12 @@ from repro.baselines.cfl import cfl_decompose, two_core
 from repro.baselines.cpu_base import OpCounter
 from repro.errors import BudgetExceeded
 from repro.graph.generators import random_walk_query
-from repro.graph.labeled_graph import GraphBuilder, LabeledGraph, path_query, triangle_query
+from repro.graph.labeled_graph import (
+    GraphBuilder,
+    LabeledGraph,
+    path_query,
+    triangle_query,
+)
 
 from oracle import brute_force_matches
 

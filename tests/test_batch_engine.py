@@ -4,10 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.config import GSIConfig
-from repro.core.engine import GSIEngine
 from repro.bench.runner import run_workload_batched
 from repro.bench.workloads import Workload
+from repro.core.config import GSIConfig
+from repro.core.engine import GSIEngine
 from repro.graph.generators import random_walk_query, scale_free_graph
 from repro.service import BatchEngine, SerialExecutor, ThreadExecutor
 

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.bench.reporting import drop_pct, render_series, render_table, speedup
+from repro.bench.reporting import (
+    drop_pct,
+    render_series,
+    render_table,
+    speedup,
+)
 from repro.bench.runner import (
     baseline_factory,
     gsi_factory,

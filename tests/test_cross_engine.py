@@ -4,7 +4,6 @@ Also checks GSI against NetworkX's subgraph monomorphism oracle, pinning
 down the semantics: non-induced, label-preserving, injective embeddings.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,10 +1,13 @@
 """Edge-case battery across the engine stack."""
 
-import pytest
 
 from repro import GSIConfig, GSIEngine
 from repro.baselines import GpSMEngine, TurboISOEngine, VF2Engine
-from repro.graph.labeled_graph import GraphBuilder, LabeledGraph, triangle_query
+from repro.graph.labeled_graph import (
+    GraphBuilder,
+    LabeledGraph,
+    triangle_query,
+)
 
 from oracle import brute_force_matches
 

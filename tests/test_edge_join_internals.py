@@ -1,14 +1,13 @@
 """Unit tests for the edge-oriented join internals (GpSM/GunrockSM)."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.edge_join import EdgeJoinCostProfile, EdgeJoinEngine
 from repro.baselines.gpsm import GpSMEngine
 from repro.errors import GraphError
+from repro.gpusim.device import Device
 from repro.graph.generators import random_walk_query, scale_free_graph
 from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
-from repro.gpusim.device import Device
 
 
 @pytest.fixture(scope="module")

@@ -1,11 +1,10 @@
 """Tests for the GSIEngine facade."""
 
-import numpy as np
 import pytest
 
 from repro import GSIConfig, GSIEngine, random_walk_query
 from repro.errors import GraphError
-from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
+from repro.graph.labeled_graph import LabeledGraph
 
 from oracle import brute_force_matches, paper_query, tiny_paper_graph
 

@@ -13,11 +13,13 @@ import pytest
 
 from repro.core.config import GSIConfig
 from repro.core.engine import GSIEngine
+from repro.errors import ConfigError
 from repro.graph.generators import random_walk_query, scale_free_graph
 from repro.graph.labeled_graph import LabeledGraph
 from repro.service import BatchEngine, make_executor
 from repro.service.executors import (
     EXECUTOR_KINDS,
+    EngineBuildSpec,
     EngineHandle,
     ProcessExecutor,
     SerialExecutor,
@@ -75,6 +77,23 @@ class TestFactory:
             assert report.num_queries == 2
             assert executor._pool is not None
         assert executor._pool is None
+
+
+class TestBuildSpecValidation:
+    def test_spec_with_neither_form_fails_loudly(self):
+        """Regression: a spec carrying neither artifacts nor a graph
+        used to reach GSIEngine(None, ...) and die with an opaque
+        AttributeError deep inside signature encoding; strict typing
+        flagged the Optional deref.  It must fail with a clear error
+        at the build boundary instead."""
+        spec = EngineBuildSpec(graph=None, config=GSIConfig())
+        with pytest.raises(ConfigError,
+                           match="neither artifacts nor a graph"):
+            spec.build()
+
+    def test_graph_spec_still_builds(self, exec_graph):
+        engine = EngineBuildSpec(exec_graph, GSIConfig()).build()
+        assert isinstance(engine, GSIEngine)
 
 
 class TestMapTasks:

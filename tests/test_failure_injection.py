@@ -1,7 +1,6 @@
 """Failure-injection tests: corrupted structures must be detectable and
 budget exhaustion must degrade gracefully, never silently."""
 
-import numpy as np
 import pytest
 
 from repro import GSIConfig, GSIEngine, random_walk_query

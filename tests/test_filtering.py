@@ -1,11 +1,10 @@
 """Tests for the filtering phase (candidate generation)."""
 
-import numpy as np
 
 from repro.core.filtering import filter_candidates, label_degree_candidates
 from repro.core.signature_table import SignatureTable
-from repro.graph.generators import random_walk_query, scale_free_graph
 from repro.gpusim.device import Device
+from repro.graph.generators import random_walk_query, scale_free_graph
 
 from oracle import brute_force_matches
 

@@ -1,0 +1,371 @@
+"""Tests for gsilint (``repro.analysis``), the repo's own static pass.
+
+Each rule gets a failing and a passing fixture, suppression comments are
+exercised, and a meta-test pins the live tree clean — so a regression in
+either the rules or the source shows up as a plain test failure.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rules, lint_paths, lint_source
+from repro.analysis.engine import main as gsilint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def lint(snippet, path="fixture.py", select=None):
+    source = textwrap.dedent(snippet)
+    rules = None
+    if select is not None:
+        rules = [r for r in all_rules() if r.rule_id in select]
+    return lint_source(source, path=path, rules=rules)
+
+
+def rule_ids(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ---------------------------------------------------------------------------
+# Registry / engine basics
+# ---------------------------------------------------------------------------
+
+
+def test_registry_lists_all_five_rules():
+    ids = [rule.rule_id for rule in all_rules()]
+    assert ids == ["GSI001", "GSI002", "GSI003", "GSI004", "GSI005"]
+    for rule in all_rules():
+        assert rule.name
+        assert rule.description
+
+
+def test_findings_are_sorted_and_serializable():
+    findings = lint(
+        """
+        import numpy as np
+        b = np.zeros(4)
+        a = np.empty(2)
+        """)
+    lines = [f.line for f in findings]
+    assert lines == sorted(lines)
+    for f in findings:
+        d = f.to_dict()
+        assert d["rule"] == "GSI005"
+        assert ":" in f.format()
+
+
+# ---------------------------------------------------------------------------
+# GSI001 — pickling contract
+# ---------------------------------------------------------------------------
+
+GSI001_BAD = """
+    def run(executor, handle, tasks):
+        def helper(spec, chunk):
+            return chunk
+        executor.map_tasks(lambda spec, chunk: chunk, handle, tasks)
+        executor.map_tasks(helper, handle, tasks)
+"""
+
+GSI001_GOOD = """
+    def _worker(spec, chunk):
+        return chunk
+
+    def run(executor, handle, tasks):
+        executor.map_tasks(_worker, handle, tasks)
+"""
+
+
+def test_gsi001_flags_lambda_and_local_function():
+    findings = lint(GSI001_BAD, select={"GSI001"})
+    assert rule_ids(findings) == ["GSI001"]
+    assert len(findings) == 2
+
+
+def test_gsi001_allows_module_level_callable():
+    assert lint(GSI001_GOOD, select={"GSI001"}) == []
+
+
+def test_gsi001_flags_ad_hoc_process_pool():
+    findings = lint(
+        """
+        from concurrent.futures import ProcessPoolExecutor
+        pool = ProcessPoolExecutor(max_workers=2)
+        """, select={"GSI001"})
+    assert rule_ids(findings) == ["GSI001"]
+
+
+def test_gsi001_allows_pool_inside_executors_module():
+    findings = lint(
+        """
+        from concurrent.futures import ProcessPoolExecutor
+        pool = ProcessPoolExecutor(max_workers=2)
+        """,
+        path="src/repro/service/executors.py", select={"GSI001"})
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# GSI002 — meter-label discipline
+# ---------------------------------------------------------------------------
+
+GSI002_BAD = """
+    def charge(meter, tx):
+        meter.add_gld(tx, label="join")
+"""
+
+GSI002_GOOD = """
+    from repro.gpusim.constants import LABEL_JOIN
+
+    def charge(meter, tx, shard):
+        meter.add_gld(tx, label=LABEL_JOIN)
+        meter.add_gld(tx)  # unlabeled: no attribution claimed
+        meter.add_gld(tx, label=f"shard{shard}")  # dynamic: allowed
+"""
+
+
+def test_gsi002_flags_string_literal_label():
+    findings = lint(GSI002_BAD, select={"GSI002"})
+    assert rule_ids(findings) == ["GSI002"]
+    assert "LABEL_" in findings[0].message
+
+
+def test_gsi002_allows_registry_constants_and_dynamic_labels():
+    assert lint(GSI002_GOOD, select={"GSI002"}) == []
+
+
+def test_gsi002_flags_non_registry_name():
+    findings = lint(
+        """
+        MY_LABEL = "join"
+
+        def charge(meter, tx):
+            meter.add_gld(tx, label=MY_LABEL)
+        """, select={"GSI002"})
+    assert rule_ids(findings) == ["GSI002"]
+
+
+# ---------------------------------------------------------------------------
+# GSI003 — lock discipline
+# ---------------------------------------------------------------------------
+
+GSI003_BAD = """
+    import threading
+
+    class Cache:
+        _GUARDED_BY_LOCK = ("_entries",)
+
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._entries = {}
+
+        def size(self):
+            return len(self._entries)
+"""
+
+GSI003_GOOD = """
+    import threading
+
+    class Cache:
+        _GUARDED_BY_LOCK = ("_entries",)
+
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._entries = {}
+
+        def size(self):
+            with self._lock:
+                return len(self._entries)
+
+        def _evict_unlocked(self):
+            self._entries.popitem()
+"""
+
+
+def test_gsi003_flags_unlocked_access_to_guarded_field():
+    findings = lint(GSI003_BAD, select={"GSI003"})
+    assert rule_ids(findings) == ["GSI003"]
+
+
+def test_gsi003_allows_locked_access_and_unlocked_helpers():
+    assert lint(GSI003_GOOD, select={"GSI003"}) == []
+
+
+# ---------------------------------------------------------------------------
+# GSI004 — shm lease lifecycle
+# ---------------------------------------------------------------------------
+
+GSI004_BAD = """
+    from multiprocessing import shared_memory
+
+    class Publisher:
+        def grab(self, engine):
+            block = shared_memory.SharedMemory(create=True, size=64)
+            handle, lease = publish_engine(engine, epoch=1)
+            return block, handle, lease
+"""
+
+GSI004_GOOD = """
+    class Publisher:
+        def grab(self, engine):
+            self._handle, self._lease = publish_engine(engine, epoch=1)
+            return self._handle
+
+        def close(self):
+            self._lease.release()
+"""
+
+
+def test_gsi004_flags_publisher_without_teardown():
+    findings = lint(GSI004_BAD, select={"GSI004"})
+    assert rule_ids(findings) == ["GSI004"]
+    # Both the naked SharedMemory(create=True) and the missing
+    # teardown path are reported.
+    assert len(findings) == 2
+
+
+def test_gsi004_allows_publisher_with_close():
+    assert lint(GSI004_GOOD, select={"GSI004"}) == []
+
+
+def test_gsi004_allows_naked_shm_inside_shm_module():
+    findings = lint(
+        """
+        from multiprocessing import shared_memory
+        block = shared_memory.SharedMemory(create=True, size=64)
+        """,
+        path="src/repro/storage/shm.py", select={"GSI004"})
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# GSI005 — numpy dtype discipline
+# ---------------------------------------------------------------------------
+
+GSI005_BAD = """
+    import numpy as np
+    ids = np.zeros(16)
+    buf = np.empty(8)
+"""
+
+GSI005_GOOD = """
+    import numpy as np
+    ids = np.zeros(16, dtype=np.int64)
+    buf = np.empty(8, np.uint32)
+    view = np.asarray(ids)  # not a construction sink
+"""
+
+
+def test_gsi005_flags_dtypeless_constructions():
+    findings = lint(GSI005_BAD, select={"GSI005"})
+    assert rule_ids(findings) == ["GSI005"]
+    assert len(findings) == 2
+
+
+def test_gsi005_allows_explicit_dtype_kwarg_or_positional():
+    assert lint(GSI005_GOOD, select={"GSI005"}) == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+def test_line_suppression_silences_one_finding():
+    findings = lint(
+        """
+        import numpy as np
+        a = np.zeros(4)  # gsilint: disable=GSI005
+        b = np.zeros(4)
+        """, select={"GSI005"})
+    assert len(findings) == 1
+    assert findings[0].line == 4
+
+
+def test_file_suppression_silences_whole_file():
+    findings = lint(
+        """
+        # gsilint: disable-file=GSI005
+        import numpy as np
+        a = np.zeros(4)
+        b = np.empty(2)
+        """, select={"GSI005"})
+    assert findings == []
+
+
+def test_suppression_comment_inside_string_is_ignored():
+    findings = lint(
+        '''
+        import numpy as np
+        note = "# gsilint: disable-file=GSI005"
+        a = np.zeros(4)
+        ''', select={"GSI005"})
+    assert len(findings) == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI + live-tree meta-checks
+# ---------------------------------------------------------------------------
+
+
+def test_cli_json_report_and_exit_codes(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\nx = np.zeros(3)\n",
+                   encoding="utf-8")
+    out = tmp_path / "report.json"
+    code = gsilint_main([str(bad), "--json", str(out)])
+    assert code == 1
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    assert payload["tool"] == "gsilint"
+    assert payload["files_checked"] == 1
+    assert [f["rule"] for f in payload["findings"]] == ["GSI005"]
+
+    good = tmp_path / "good.py"
+    good.write_text("import numpy as np\nx = np.zeros(3, dtype=np.int64)\n",
+                    encoding="utf-8")
+    assert gsilint_main([str(good)]) == 0
+
+
+def test_cli_reports_parse_errors_with_exit_2(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n", encoding="utf-8")
+    assert gsilint_main([str(broken)]) == 2
+
+
+def test_cli_select_rejects_unknown_rule(tmp_path):
+    with pytest.raises(SystemExit):
+        gsilint_main([str(tmp_path), "--select", "GSI999"])
+
+
+def test_live_source_tree_is_clean():
+    """The repo's own invariant gate: every rule over every src file."""
+    report = lint_paths([str(SRC)])
+    assert report.parse_errors == []
+    formatted = "\n".join(f.format() for f in report.findings)
+    assert report.findings == [], f"gsilint findings:\n{formatted}"
+    assert report.files_checked > 50
+
+
+def test_module_entry_point_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(SRC)],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        cwd=str(REPO_ROOT))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_meter_labels_registry_matches_constants():
+    """Every LABEL_* constant is registered, and vice versa."""
+    from repro.gpusim import constants
+
+    declared = {
+        value for name, value in vars(constants).items()
+        if name.startswith("LABEL_")}
+    assert declared == set(constants.METER_LABELS)

@@ -8,8 +8,8 @@ from repro.core.join import JoinContext, execute_join_step, run_join_phase
 from repro.core.plan import JoinStep, plan_join_order
 from repro.core.set_ops import CandidateSet, SetOpEngine
 from repro.errors import BudgetExceeded
-from repro.graph.generators import random_walk_query, scale_free_graph
 from repro.gpusim.device import Device
+from repro.graph.generators import random_walk_query, scale_free_graph
 from repro.storage.factory import build_storage
 
 from oracle import brute_force_matches

@@ -20,15 +20,15 @@ from repro.core.kernels import (
     _shared_hit_mask,
 )
 from repro.errors import ConfigError
+from repro.gpusim.constants import WARPS_PER_BLOCK
 from repro.graph.generators import random_walk_query, scale_free_graph
 from repro.graph.labeled_graph import LabeledGraph
-from repro.gpusim.constants import WARPS_PER_BLOCK
 from repro.service.batch import BatchEngine
 from repro.service.executors import make_executor
 
 sys.path.insert(0, "tests")
-from fuzz.fuzz_harness import run_fuzz  # noqa: E402
 from dataclasses import replace  # noqa: E402
+from fuzz.fuzz_harness import run_fuzz  # noqa: E402
 
 PRESETS = {
     "baseline": GSIConfig.baseline,

@@ -1,6 +1,5 @@
 """Tests for edge-label partitioning P(G, l)."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for PCSR (Definition 4, Algorithm 1, Claim 1)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -8,10 +8,10 @@ from repro.core.config import GSIConfig
 from repro.core.join import JoinContext
 from repro.core.set_ops import SetOpEngine
 from repro.errors import StorageError
-from repro.graph.labeled_graph import LabeledGraph
-from repro.graph.partition import EdgeLabelPartition, partition_by_edge_label
 from repro.gpusim.device import Device
 from repro.gpusim.meter import MemoryMeter
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.partition import partition_by_edge_label
 from repro.storage.pcsr import PCSRPartition
 
 

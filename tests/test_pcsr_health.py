@@ -13,10 +13,10 @@ import pytest
 
 from repro.dynamic import DynamicPCSRStorage, GraphDelta, StreamEngine
 from repro.dynamic.index import MIN_COMPACT_DEAD_WORDS
+from repro.gpusim.meter import MemoryMeter
 from repro.graph.generators import scale_free_graph
 from repro.graph.labeled_graph import GraphBuilder
 from repro.graph.partition import EdgeLabelPartition
-from repro.gpusim.meter import MemoryMeter
 from repro.service.batch import BatchEngine
 from repro.storage.pcsr import PCSRPartition, PCSRStorage
 

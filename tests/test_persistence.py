@@ -3,14 +3,14 @@
 import numpy as np
 import pytest
 
-from repro import GSIConfig, GSIEngine, random_walk_query
+from repro import GSIEngine, random_walk_query
 from repro.core.signature_table import SignatureTable
+from repro.errors import GraphError
 from repro.graph.generators import (
     mesh_graph,
     rdf_like_graph,
     scale_free_graph,
 )
-from repro.errors import GraphError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.persistence import (
     load_graph_npz,

@@ -1,6 +1,5 @@
 """Tests for the one-shot experiment driver."""
 
-from pathlib import Path
 
 from repro.bench.run_all import main
 

@@ -1,7 +1,6 @@
 """Tests for the set-operation engine and its cost modes (Section V)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

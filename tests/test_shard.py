@@ -12,16 +12,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from oracle import brute_force_matches, paper_query, tiny_paper_graph
 from repro.core.engine import GSIEngine
 from repro.errors import GraphError
+from repro.gpusim.meter import MeterSnapshot, merge_shard_snapshots
 from repro.graph.generators import (
     mesh_graph,
     random_walk_query,
     scale_free_graph,
 )
 from repro.graph.labeled_graph import GraphBuilder, path_query
-from repro.gpusim.meter import MeterSnapshot, merge_shard_snapshots
 from repro.service import BatchEngine, make_executor
 from repro.shard import (
     HashPartitioner,
@@ -33,6 +32,8 @@ from repro.shard import (
     make_partitioner,
     query_center,
 )
+
+from oracle import brute_force_matches, paper_query, tiny_paper_graph
 
 SHARD_COUNTS = (1, 2, 4, 8)
 PARTITIONERS = ("hash", "label")

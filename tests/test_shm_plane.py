@@ -25,7 +25,6 @@ from repro.service import BatchEngine, make_executor
 from repro.service.executors import (
     START_METHOD_ENV,
     EngineBuildSpec,
-    EngineHandle,
     ProcessExecutor,
 )
 from repro.shard import ShardedEngine, ShardedGraph

@@ -14,7 +14,7 @@ from repro.core.signature import (
     num_words,
 )
 from repro.graph.generators import random_walk_query, scale_free_graph
-from repro.graph.labeled_graph import GraphBuilder, LabeledGraph
+from repro.graph.labeled_graph import LabeledGraph
 
 from oracle import brute_force_matches
 

@@ -6,9 +6,8 @@ import numpy as np
 import pytest
 
 from repro.errors import StorageError
-from repro.graph.generators import scale_free_graph
-from repro.graph.labeled_graph import LabeledGraph
 from repro.gpusim.meter import MemoryMeter
+from repro.graph.generators import scale_free_graph
 from repro.storage import (
     BasicRepresentation,
     CompressedRepresentation,

@@ -1,6 +1,5 @@
 """Tests for the TurboISO-style engine (NEC leaf merging)."""
 
-import pytest
 
 from repro.baselines import TurboISOEngine, VF2Engine, leaf_equivalence_classes
 from repro.graph.generators import random_walk_query
