@@ -21,6 +21,7 @@ each executor's wall-clock and speedup over serial.
 from __future__ import annotations
 
 import os
+import statistics
 import time
 
 import pytest
@@ -29,6 +30,7 @@ from repro.bench.reporting import render_table
 from repro.core.config import GSIConfig
 from repro.core.engine import GSIEngine
 from repro.graph.generators import random_walk_query, scale_free_graph
+from repro.obs.trace import Tracer, set_tracer
 from repro.service import EXECUTOR_KINDS, BatchEngine, make_executor
 
 from bench_common import record_report, write_bench_json
@@ -40,6 +42,12 @@ REPEAT_FACTOR = 4
 EXEC_QUERIES = int(os.environ.get("GSI_BENCH_EXEC_QUERIES", "24"))
 EXEC_VERTICES = int(os.environ.get("GSI_BENCH_EXEC_VERTICES", "400"))
 EXEC_WORKERS = int(os.environ.get("GSI_BENCH_EXEC_WORKERS", "4"))
+
+#: ``--quick`` workload: small enough for a CI smoke leg, big enough
+#: that a batch is not pure dispatch overhead
+QUICK_QUERIES = 8
+QUICK_VERTICES = 150
+QUICK_WORKERS = 2
 
 
 def _usable_cores() -> int:
@@ -141,6 +149,54 @@ def measure_shipped_bytes(vertices: int = EXEC_VERTICES,
              / max(1, shipped["pickle"]["context_bytes"]))
     return {"vertices": vertices, "edges": graph.num_edges,
             "planes": shipped, "shm_over_pickle": ratio}
+
+
+def run_trace_overhead(num_queries: int = QUICK_QUERIES,
+                       vertices: int = QUICK_VERTICES,
+                       repeats: int = 9, seed: int = 9):
+    """Wall-clock of identical batches, tracing disabled vs enabled.
+
+    The instrumentation is compiled into every hot path, so the
+    "untraced baseline" arm is the shipped default — the no-op
+    :class:`~repro.obs.trace.NullTracer`, whose ``span()`` is one
+    virtual call returning a shared inert object — and the traced arm
+    installs a recording :class:`~repro.obs.trace.Tracer` for the same
+    batch.  Repeats of the two arms are interleaved so thermal/load
+    drift hits both equally, and medians resist outliers.  Returns a
+    JSON-ready dict with both medians and their ratio.
+    """
+    graph = scale_free_graph(vertices, 4, 6, 6, seed=seed)
+    config = GSIConfig.gsi_opt()
+    queries = [random_walk_query(graph, 4 + (s % 3), seed=s)
+               for s in range(num_queries)]
+    executor = make_executor("serial", 1)
+    spans_per_batch = 0
+    try:
+        service = BatchEngine(graph, config, executor=executor)
+        service.run_batch(queries)  # warm: artifacts + plan cache
+        untraced_ms, traced_ms = [], []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            service.run_batch(queries)
+            untraced_ms.append((time.perf_counter() - t0) * 1000.0)
+            tracer = Tracer()
+            previous = set_tracer(tracer)
+            try:
+                t0 = time.perf_counter()
+                service.run_batch(queries)
+                traced_ms.append((time.perf_counter() - t0) * 1000.0)
+            finally:
+                set_tracer(previous)
+            spans_per_batch = len(tracer.finished())
+    finally:
+        executor.shutdown()
+    untraced = statistics.median(untraced_ms)
+    traced = statistics.median(traced_ms)
+    return {"queries": num_queries, "vertices": vertices,
+            "repeats": repeats,
+            "untraced_ms": untraced, "traced_ms": traced,
+            "overhead": traced / untraced,
+            "spans_per_batch": spans_per_batch}
 
 
 @pytest.fixture(scope="module")
@@ -291,13 +347,19 @@ if __name__ == "__main__":
                     "batched-vs-sequential comparison runs under "
                     "pytest: python -m pytest benchmarks/"
                     "bench_batch_throughput.py)")
-    parser.add_argument("--executor", required=True,
+    parser.add_argument("--executor", default="compare",
                         choices=list(EXECUTOR_KINDS) + ["compare"],
                         help="run one executor (smoke), or 'compare' "
-                             "for the serial/thread/process table")
-    parser.add_argument("--queries", type=int, default=EXEC_QUERIES)
-    parser.add_argument("--vertices", type=int, default=EXEC_VERTICES)
-    parser.add_argument("--workers", type=int, default=EXEC_WORKERS)
+                             "(default) for the serial/thread/process "
+                             "table")
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--vertices", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--quick", action="store_true",
+                        help=f"CI-smoke workload defaults "
+                             f"({QUICK_QUERIES} queries, "
+                             f"|V|={QUICK_VERTICES}, "
+                             f"{QUICK_WORKERS} workers)")
     parser.add_argument("--data-plane", default="shm",
                         choices=["shm", "pickle"],
                         help="process-executor data plane (shared "
@@ -313,13 +375,30 @@ if __name__ == "__main__":
                         help="measure warm per-batch shipped bytes "
                              "under both planes and exit nonzero "
                              "unless shm < R x pickle")
+    parser.add_argument("--assert-trace-overhead", type=float,
+                        default=None, const=1.05, nargs="?",
+                        metavar="R",
+                        help="interleave untraced (null-tracer) and "
+                             "traced batches and exit nonzero unless "
+                             "traced/untraced median wall-clock < R "
+                             "(default 1.05 = <5%% overhead)")
     cli_args = parser.parse_args()
+
+    defaults = ((QUICK_QUERIES, QUICK_VERTICES, QUICK_WORKERS)
+                if cli_args.quick
+                else (EXEC_QUERIES, EXEC_VERTICES, EXEC_WORKERS))
+    num_queries = (cli_args.queries if cli_args.queries is not None
+                   else defaults[0])
+    num_vertices = (cli_args.vertices if cli_args.vertices is not None
+                    else defaults[1])
+    num_workers = (cli_args.workers if cli_args.workers is not None
+                   else defaults[2])
 
     kinds = (EXECUTOR_KINDS if cli_args.executor == "compare"
              else tuple(dict.fromkeys(("serial", cli_args.executor))))
     outcomes, report_table = run_executor_comparison(
-        num_queries=cli_args.queries, vertices=cli_args.vertices,
-        workers=cli_args.workers, executors=kinds,
+        num_queries=num_queries, vertices=num_vertices,
+        workers=num_workers, executors=kinds,
         data_plane=cli_args.data_plane)
     print(report_table)
     serial = outcomes["serial"]
@@ -333,9 +412,10 @@ if __name__ == "__main__":
 
     payload = {
         "bench": "batch_throughput",
-        "params": {"queries": cli_args.queries,
-                   "vertices": cli_args.vertices,
-                   "workers": cli_args.workers,
+        "params": {"queries": num_queries,
+                   "vertices": num_vertices,
+                   "workers": num_workers,
+                   "quick": cli_args.quick,
                    "data_plane": cli_args.data_plane,
                    "usable_cores": _usable_cores()},
         "executors": {
@@ -347,9 +427,22 @@ if __name__ == "__main__":
         },
     }
     failed = False
+    if cli_args.assert_trace_overhead is not None:
+        overhead = run_trace_overhead(num_queries=num_queries,
+                                      vertices=num_vertices)
+        payload["trace_overhead"] = overhead
+        print(f"trace overhead: untraced {overhead['untraced_ms']:.1f} "
+              f"ms vs traced {overhead['traced_ms']:.1f} ms per batch "
+              f"({overhead['spans_per_batch']} spans) -> "
+              f"{overhead['overhead']:.4f}x (required "
+              f"< {cli_args.assert_trace_overhead:.4f}x)")
+        if overhead["overhead"] >= cli_args.assert_trace_overhead:
+            print("FAIL: tracing instrumentation costs too much "
+                  "wall-clock")
+            failed = True
     if cli_args.assert_shm_ratio is not None:
-        shipped = measure_shipped_bytes(vertices=cli_args.vertices,
-                                        workers=cli_args.workers)
+        shipped = measure_shipped_bytes(vertices=num_vertices,
+                                        workers=num_workers)
         payload["shipped_bytes"] = shipped
         print(f"warm per-batch context: "
               f"shm {shipped['planes']['shm']['context_bytes']} B vs "

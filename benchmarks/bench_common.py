@@ -21,6 +21,8 @@ from typing import Any, Awaitable, Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+
 _REPORTS: List[str] = []
 _RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -52,7 +54,15 @@ def write_bench_json(name: str, payload: Any,
     ``.json`` is used verbatim; anything else is treated as a directory
     receiving ``BENCH_<name>.json``.  With no ``path`` the file lands in
     ``benchmarks/results/``.  Returns the path written.
+
+    Dict payloads additionally get an ``obs_metrics`` key holding the
+    process metrics-registry snapshot at write time (cache hit rates,
+    shipped bytes, batch fill levels, ...), so every ``--json``
+    artifact doubles as an observability record of its own run.
     """
+    if isinstance(payload, dict) and "obs_metrics" not in payload:
+        payload = dict(payload)
+        payload["obs_metrics"] = get_registry().snapshot()
     if path is None:
         target = _RESULTS_DIR / f"BENCH_{name}.json"
     else:

@@ -24,6 +24,10 @@ GSI004   Shm lease lifecycle: every class that publishes shared-memory
 GSI005   NumPy dtype discipline: index-array constructions
          (``np.array``/``zeros``/``empty``/``full``/``arange``/``ones``)
          carry an explicit ``dtype=``.
+GSI006   Span lifecycle: every ``tracer.span(...)`` call is used as a
+         context manager, explicitly ``.end()``ed, or returned to the
+         caller — an unfinished span silently vanishes from the trace
+         (:mod:`repro.obs.trace` itself is exempt).
 =======  ==================================================================
 
 Run it as ``python -m repro.analysis [paths...]`` or

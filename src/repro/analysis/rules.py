@@ -10,7 +10,16 @@ from __future__ import annotations
 
 import ast
 from pathlib import PurePath
-from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.analysis.engine import FileContext, Finding, register
 
@@ -402,4 +411,105 @@ def check_numpy_dtypes(ctx: FileContext) -> Iterable[Finding]:
             "GSI005", ctx.path, node.lineno, node.col_offset,
             f"np.{func.attr}(...) without an explicit dtype=; index "
             f"arrays must pin their dtype (CSR/PCSR discipline)"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# GSI006 — span lifecycle
+# ---------------------------------------------------------------------------
+
+
+def _is_span_call(node: ast.Call) -> bool:
+    """``<anything>.span(...)`` — a tracer handing out a span."""
+    return (isinstance(node.func, ast.Attribute)
+            and node.func.attr == "span")
+
+
+def _target_key(node: ast.expr) -> Optional[str]:
+    """A stable key for a ``name`` or ``self.<attr>`` binding."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if _is_self_attr(node):
+        return f"self.{node.attr}"
+    return None
+
+
+def _scope_walk(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested function defs
+    (each function is its own span-ownership scope)."""
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.append(child)
+
+
+def _check_span_scope(scope: ast.AST, ctx: FileContext,
+                      findings: List[Finding]) -> None:
+    ok_calls: Set[int] = set()
+    span_calls: List[ast.Call] = []
+    assigned: Dict[str, List[ast.Call]] = {}
+    closed: Set[str] = set()
+    for node in _scope_walk(scope):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call) and _is_span_call(expr):
+                    ok_calls.add(id(expr))
+        elif isinstance(node, ast.Assign):
+            if (isinstance(node.value, ast.Call)
+                    and _is_span_call(node.value)):
+                for target in node.targets:
+                    key = _target_key(target)
+                    if key is not None:
+                        assigned.setdefault(key, []).append(node.value)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            if (isinstance(node.value, ast.Call)
+                    and _is_span_call(node.value)):
+                # Ownership transfers to the caller's scope.
+                ok_calls.add(id(node.value))
+            else:
+                key = _target_key(node.value)
+                if key is not None:
+                    closed.add(key)
+        elif isinstance(node, ast.Call):
+            if _is_span_call(node):
+                span_calls.append(node)
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in ("end", "__exit__")):
+                key = _target_key(func.value)
+                if key is not None:
+                    closed.add(key)
+                elif (isinstance(func.value, ast.Call)
+                        and _is_span_call(func.value)):
+                    ok_calls.add(id(func.value))
+    closed_calls = {id(call) for key in closed
+                    for call in assigned.get(key, ())}
+    for call in span_calls:
+        if id(call) in ok_calls or id(call) in closed_calls:
+            continue
+        findings.append(Finding(
+            "GSI006", ctx.path, call.lineno, call.col_offset,
+            "span() call is neither a 'with' context manager nor "
+            "explicitly .end()ed (or returned); an unfinished span "
+            "never reaches the trace log"))
+
+
+@register(
+    "GSI006", "span-lifecycle",
+    "Tracer span() calls are used as context managers ('with "
+    "tracer.span(...)'), explicitly closed via .end(), or returned to "
+    "the caller; a span that is never ended is dropped from the trace.")
+def check_span_lifecycle(ctx: FileContext) -> Iterable[Finding]:
+    if _is_file(ctx, "obs", "trace.py"):
+        return []  # the tracer itself manufactures spans
+    findings: List[Finding] = []
+    scopes: List[ast.AST] = [ctx.tree]
+    scopes.extend(_iter_functions(ctx.tree))
+    for scope in scopes:
+        _check_span_scope(scope, ctx, findings)
     return findings

@@ -30,6 +30,14 @@ Commands
     per-tenant quotas, and reports SLO metrics via the ``stats`` RPC
     (see :mod:`repro.serve`).  Runs until interrupted; prints the
     metrics summary on shutdown.
+``obs``
+    Inspect a span trace recorded with ``--trace-out``: per-span-name
+    aggregates, trace-tree connectivity (exit 1 when disconnected),
+    and an optional chrome://tracing dump via ``--chrome PATH``.
+
+``batch``, ``stream``, and ``serve`` accept ``--trace-out PATH`` to
+record every span the command produces — including spans shipped back
+from process-pool workers — as NDJSON under one ``cli.<command>`` root.
 
 Examples::
 
@@ -41,14 +49,18 @@ Examples::
     python -m repro.cli shard-info --dataset road --shards 8
     python -m repro.cli stream --dataset enron --batches 5 --batch-size 16
     python -m repro.cli serve --dataset gowalla --port 8471 --max-batch 16
+    python -m repro.cli batch --dataset enron --shards 2 \\
+        --executor process --trace-out trace.ndjson
+    python -m repro.cli obs trace.ndjson --chrome trace.json
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from dataclasses import replace
-from typing import List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.bench.reporting import render_table
 from repro.bench.runner import (
@@ -61,6 +73,8 @@ from repro.bench.workloads import Workload
 from repro.core.config import GSIConfig
 from repro.graph import datasets
 from repro.graph.stats import graph_stats
+from repro.obs.export import write_spans_ndjson
+from repro.obs.trace import Tracer, set_tracer
 
 ENGINE_CHOICES = ["gsi", "gsi-opt", "gsi-baseline", "vf3", "cfl",
                   "ullmann", "turbo", "gpsm", "gunrock"]
@@ -160,6 +174,33 @@ def cmd_shootout(args: argparse.Namespace) -> int:
     return 0 if agree else 1
 
 
+@contextmanager
+def _tracing(args: argparse.Namespace) -> Iterator[None]:
+    """Install a recording tracer around one traced CLI command.
+
+    A no-op unless the command was given ``--trace-out PATH``;
+    otherwise every span the command records — including spans
+    shipped back from process-pool workers — lands in PATH as NDJSON
+    when the command finishes, under a single ``cli.<command>`` root.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        yield
+        return
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        with tracer.span(f"cli.{args.command}",
+                         dataset=getattr(args, "dataset", "")):
+            yield
+    finally:
+        set_tracer(previous)
+        spans = tracer.finished()
+        write_spans_ndjson(spans, trace_out)
+        print(f"trace: {len(spans)} spans -> {trace_out}",
+              file=sys.stderr)
+
+
 def _reject_non_positive(name: str, value: int) -> bool:
     """Print a clear error for a flag that must be >= 1."""
     if value is not None and value < 1:
@@ -205,9 +246,10 @@ def cmd_batch(args: argparse.Namespace) -> int:
         sharded = ShardedEngine(sg, cfg,
                                 cache_capacity=args.cache_capacity)
 
-    with make_executor(args.executor, args.workers,
-                       chunking=args.chunking,
-                       data_plane=args.data_plane) as executor:
+    with _tracing(args), \
+            make_executor(args.executor, args.workers,
+                          chunking=args.chunking,
+                          data_plane=args.data_plane) as executor:
         summary, report = run_workload_batched(
             wl, config=_engine_config(args),
             engine_label=f"{args.engine}-batch",
@@ -336,7 +378,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                       flush=True)
             print(json.dumps(server.stats(), indent=2, sort_keys=True))
 
-    asyncio.run(_run())
+    with _tracing(args):
+        asyncio.run(_run())
     return 0
 
 
@@ -356,8 +399,9 @@ def cmd_stream(args: argparse.Namespace) -> int:
     total_tx = 0
     total_commit_tx = 0
     health = {}
-    with make_executor(args.executor, args.workers,
-                       data_plane=args.data_plane) as executor:
+    with _tracing(args), \
+            make_executor(args.executor, args.workers,
+                          data_plane=args.data_plane) as executor:
         engine = StreamEngine(graph, _engine_config(args),
                               compact_dead_ratio=args.compact_dead_ratio,
                               executor=executor)
@@ -411,6 +455,47 @@ def cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.export import (
+        read_spans_ndjson,
+        validate_span_tree,
+        write_chrome_trace,
+    )
+
+    try:
+        spans = read_spans_ndjson(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.trace}: {exc}",
+              file=sys.stderr)
+        return 2
+    tree = validate_span_tree(spans)
+    by_name: Dict[str, List[float]] = {}
+    for span in spans:
+        by_name.setdefault(str(span["name"]), []).append(
+            float(span["duration_ms"]))
+    rows = []
+    for name in sorted(by_name):
+        durations = by_name[name]
+        rows.append([name, len(durations),
+                     f"{sum(durations):.2f}",
+                     f"{max(durations):.2f}"])
+    pids = sorted({int(span.get("pid", 0)) for span in spans})
+    verdict = "connected" if tree["connected"] else "DISCONNECTED"
+    print(render_table(
+        f"span trace: {args.trace}",
+        ["span", "count", "total ms", "max ms"],
+        rows,
+        note=f"{tree['spans']} spans | "
+             f"{len(tree['trace_ids'])} trace ids | "
+             f"{len(tree['roots'])} roots | "
+             f"{len(tree['orphans'])} orphans | "
+             f"{len(pids)} processes | {verdict}"))
+    if args.chrome:
+        path = write_chrome_trace(spans, args.chrome)
+        print(f"chrome trace -> {path}")
+    return 0 if tree["connected"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -432,6 +517,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="host-side join lane (default: config/"
                             "GSI_JOIN_KERNEL); all lanes give identical "
                             "matches and simulated transactions")
+
+    def add_trace_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="record a span trace of this command and "
+                            "write it to PATH as NDJSON (inspect with "
+                            "'python -m repro.cli obs PATH')")
 
     m = sub.add_parser("match", help="run one engine on one workload")
     add_workload_args(m)
@@ -478,6 +569,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "to workers: shared-memory handles (O(handle) "
                         "bytes per batch) or full pickles (legacy "
                         "baseline)")
+    add_trace_arg(b)
 
     si = sub.add_parser("shard-info",
                         help="partition a dataset and print the "
@@ -514,6 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="compact a PCSR partition's ci region in place "
                          "when dead words exceed this fraction")
     add_join_kernel_arg(st)
+    add_trace_arg(st)
 
     sv = sub.add_parser("serve",
                         help="run the always-on serving front end "
@@ -549,6 +642,18 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--data-plane", default="shm",
                     choices=["shm", "pickle"],
                     help="process-executor data plane")
+    add_trace_arg(sv)
+
+    ob = sub.add_parser("obs",
+                        help="inspect a span trace recorded with "
+                             "--trace-out: per-span aggregates, tree "
+                             "connectivity, optional chrome://tracing "
+                             "dump")
+    ob.add_argument("trace",
+                    help="NDJSON span log written by --trace-out")
+    ob.add_argument("--chrome", default=None, metavar="PATH",
+                    help="also write a chrome://tracing / Perfetto "
+                         "JSON dump to PATH")
     return parser
 
 
@@ -562,6 +667,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "shard-info": cmd_shard_info,
         "stream": cmd_stream,
         "serve": cmd_serve,
+        "obs": cmd_obs,
     }
     return handlers[args.command](args)
 

@@ -39,6 +39,7 @@ from repro.errors import BudgetExceeded, GraphError
 from repro.gpusim.constants import CLOCK_GHZ
 from repro.gpusim.device import Device
 from repro.graph.labeled_graph import LabeledGraph
+from repro.obs.trace import TraceContext, get_tracer
 from repro.storage.base import NeighborStore
 from repro.storage.factory import build_storage
 
@@ -68,6 +69,11 @@ class PreparedQuery:
         :func:`~repro.core.plan.plan_join_order`.
     timed_out:
         True when the simulated budget was exhausted during filtering.
+    trace:
+        The coordinator's :class:`~repro.obs.trace.TraceContext` when
+        tracing is active; it pickles with the prepared query into
+        process workers so spans recorded there re-parent under the
+        coordinator's trace tree.  ``None`` when tracing is disabled.
     """
 
     query: LabeledGraph
@@ -78,6 +84,7 @@ class PreparedQuery:
     filter_ms: float = 0.0
     plan_cached: bool = False
     timed_out: bool = False
+    trace: Optional[TraceContext] = None
 
 
 class GSIEngine:
@@ -166,37 +173,63 @@ class GSIEngine:
         shape_cache = (getattr(plan_cache, "shapes", None)
                        if plan_cache is not None else None)
         prepared = PreparedQuery(query=query, device=self._make_device())
-        try:
-            prepared.candidates = filter_candidates(
-                query, self.signature_table, prepared.device,
-                self.config.signature_bits, self.config.label_bits,
-                shape_cache=shape_cache)
-        except BudgetExceeded:
-            prepared.timed_out = True
-            return prepared
-        prepared.candidate_sizes = {
-            u: len(c) for u, c in prepared.candidates.items()}
-        prepared.filter_ms = prepared.device.elapsed_ms
-
-        if any(len(c) == 0 for c in prepared.candidates.values()):
-            return prepared  # provably no matches; nothing to plan
-
-        fingerprint = None
-        if plan_cache is not None:
-            cached, fingerprint = plan_cache.lookup(query)
-            if cached is not None:
-                prepared.plan = cached
-                prepared.plan_cached = True
+        tracer = get_tracer()
+        with tracer.span("gsi.prepare",
+                         query_vertices=query.num_vertices) as span:
+            prepared.trace = span.context() if span.trace_id else None
+            try:
+                with tracer.span("gsi.filter"):
+                    prepared.candidates = filter_candidates(
+                        query, self.signature_table, prepared.device,
+                        self.config.signature_bits,
+                        self.config.label_bits,
+                        shape_cache=shape_cache)
+            except BudgetExceeded:
+                prepared.timed_out = True
+                span.set_attribute("timed_out", True)
                 return prepared
-        prepared.plan = plan_join_order(query, self.graph,
-                                        prepared.candidate_sizes)
-        if plan_cache is not None and fingerprint is not None:
-            plan_cache.store(fingerprint, prepared.plan,
-                             edge_labels=query.distinct_edge_labels())
+            prepared.candidate_sizes = {
+                u: len(c) for u, c in prepared.candidates.items()}
+            prepared.filter_ms = prepared.device.elapsed_ms
+
+            if any(len(c) == 0 for c in prepared.candidates.values()):
+                # provably no matches; nothing to plan
+                span.set_attribute("empty_candidates", True)
+                return prepared
+
+            fingerprint = None
+            if plan_cache is not None:
+                cached, fingerprint = plan_cache.lookup(query)
+                if cached is not None:
+                    prepared.plan = cached
+                    prepared.plan_cached = True
+                    span.set_attribute("plan_cached", True)
+                    if fingerprint is not None:
+                        span.set_attribute("fingerprint",
+                                           str(fingerprint)[:16])
+                    return prepared
+            with tracer.span("gsi.plan"):
+                prepared.plan = plan_join_order(
+                    query, self.graph, prepared.candidate_sizes)
+            if plan_cache is not None and fingerprint is not None:
+                plan_cache.store(
+                    fingerprint, prepared.plan,
+                    edge_labels=query.distinct_edge_labels())
+                span.set_attribute("fingerprint",
+                                   str(fingerprint)[:16])
         return prepared
 
     def execute(self, prepared: PreparedQuery) -> MatchResult:
         """Joining phase: run the prepared plan to a final result."""
+        with get_tracer().span("gsi.execute", parent=prepared.trace,
+                               lane=self.config.join_kernel) as span:
+            result = self._execute_inner(prepared)
+            span.set_attribute("matches", result.num_matches)
+            if result.timed_out:
+                span.set_attribute("timed_out", True)
+        return result
+
+    def _execute_inner(self, prepared: PreparedQuery) -> MatchResult:
         device = prepared.device
         result = MatchResult(engine=self.name)
         if prepared.timed_out:

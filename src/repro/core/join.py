@@ -36,6 +36,7 @@ from repro.gpusim.constants import CYCLES_PER_GLD, LABEL_JOIN, WARPS_PER_BLOCK
 from repro.gpusim.device import Device
 from repro.gpusim.transactions import batched_write, contiguous_read
 from repro.graph.labeled_graph import LabeledGraph
+from repro.obs.trace import get_tracer
 from repro.storage.base import NeighborStore
 
 Row = Tuple[int, ...]
@@ -282,21 +283,25 @@ def run_join_phase(ctx: JoinContext, plan: JoinPlan,
         # bulk NumPy host execution (repro.core.kernels).
         from repro.core.kernels import run_join_phase_vector
         return run_join_phase_vector(ctx, plan, candidates)
-    start = plan.start_vertex
-    start_cands = candidates[start]
-    # Materializing M = C(u_start): one coalesced copy.
-    tx = contiguous_read(len(start_cands))
-    ctx.device.meter.add_gld(tx, label=LABEL_JOIN)
-    ctx.device.meter.add_gst(tx)
-    ctx.device.run_kernel([float(tx * CYCLES_PER_GLD)], name="init_m")
+    with get_tracer().span("kernel.join_phase", lane="rows",
+                           steps=len(plan.steps)) as span:
+        start = plan.start_vertex
+        start_cands = candidates[start]
+        # Materializing M = C(u_start): one coalesced copy.
+        tx = contiguous_read(len(start_cands))
+        ctx.device.meter.add_gld(tx, label=LABEL_JOIN)
+        ctx.device.meter.add_gst(tx)
+        ctx.device.run_kernel([float(tx * CYCLES_PER_GLD)],
+                              name="init_m")
 
-    rows: List[Row] = [(int(c),) for c in start_cands]
-    columns = [start]
-    for step in plan.steps:
-        cand = CandidateSet(np.asarray(candidates[step.vertex],
-                                       dtype=np.int64))
-        rows = execute_join_step(ctx, rows, columns, step, cand)
-        columns.append(step.vertex)
-        if not rows:
-            break
+        rows: List[Row] = [(int(c),) for c in start_cands]
+        columns = [start]
+        for step in plan.steps:
+            cand = CandidateSet(np.asarray(candidates[step.vertex],
+                                           dtype=np.int64))
+            rows = execute_join_step(ctx, rows, columns, step, cand)
+            columns.append(step.vertex)
+            if not rows:
+                break
+        span.set_attribute("rows", len(rows))
     return rows

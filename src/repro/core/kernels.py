@@ -44,6 +44,7 @@ from repro.gpusim.constants import (
     WARPS_PER_BLOCK,
 )
 from repro.gpusim.transactions import contiguous_read
+from repro.obs.trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from repro.core.join import JoinContext, Row
@@ -404,19 +405,26 @@ def run_join_phase_vector(ctx: "JoinContext", plan: JoinPlan,
                           candidates: Dict[int, Array]
                           ) -> List["Row"]:
     """Vectorized twin of ``run_join_phase``; same rows, same meters."""
-    start_cands = candidates[plan.start_vertex]
-    tx = contiguous_read(len(start_cands))
-    ctx.device.meter.add_gld(tx, label=LABEL_JOIN)
-    ctx.device.meter.add_gst(tx)
-    ctx.device.run_kernel([float(tx * CYCLES_PER_GLD)], name="init_m")
+    lane = "numba" if (ctx.config.join_kernel == "numba"
+                       and HAVE_NUMBA) else "vector"
+    with get_tracer().span("kernel.join_phase", lane=lane,
+                           steps=len(plan.steps)) as span:
+        start_cands = candidates[plan.start_vertex]
+        tx = contiguous_read(len(start_cands))
+        ctx.device.meter.add_gld(tx, label=LABEL_JOIN)
+        ctx.device.meter.add_gst(tx)
+        ctx.device.run_kernel([float(tx * CYCLES_PER_GLD)],
+                              name="init_m")
 
-    rows_np = np.asarray(start_cands, dtype=np.int64).reshape(-1, 1)
-    columns = [plan.start_vertex]
-    for step in plan.steps:
-        cand = CandidateSet(np.asarray(candidates[step.vertex],
-                                       dtype=np.int64))
-        rows_np = execute_join_step_vector(ctx, rows_np, columns, step, cand)
-        columns.append(step.vertex)
-        if rows_np.shape[0] == 0:
-            break
+        rows_np = np.asarray(start_cands, dtype=np.int64).reshape(-1, 1)
+        columns = [plan.start_vertex]
+        for step in plan.steps:
+            cand = CandidateSet(np.asarray(candidates[step.vertex],
+                                           dtype=np.int64))
+            rows_np = execute_join_step_vector(ctx, rows_np, columns,
+                                               step, cand)
+            columns.append(step.vertex)
+            if rows_np.shape[0] == 0:
+                break
+        span.set_attribute("rows", int(rows_np.shape[0]))
     return [tuple(int(x) for x in row) for row in rows_np]

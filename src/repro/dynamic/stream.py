@@ -66,6 +66,13 @@ from repro.errors import GraphError
 from repro.gpusim.constants import LABEL_DELTA_SEED
 from repro.gpusim.meter import MeterSnapshot
 from repro.graph.labeled_graph import LabeledGraph
+from repro.obs.metrics import get_registry
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    get_tracer,
+    shipped_spans,
+)
 from repro.service.executors import QueryExecutor, SerialExecutor
 from repro.service.plan_cache import PlanCache
 from repro.storage.shm import (
@@ -189,6 +196,9 @@ class _DeltaContext:
     signature_bits: int
     label_bits: int
     handle: Optional[GraphSnapshotHandle] = None
+    #: coordinator trace context; rides the pickle into process workers
+    #: so per-query delta spans re-parent under ``stream.apply_batch``
+    trace: Optional[TraceContext] = None
 
     def __getstate__(self) -> Dict[str, object]:
         state = dict(self.__dict__)
@@ -207,20 +217,34 @@ class _DeltaContext:
 _DeltaTask = Tuple[int, LabeledGraph, Set[Match]]
 
 
-def _query_delta(ctx: _DeltaContext, task: _DeltaTask
-                 ) -> Tuple[int, Set[Match], Set[Match], float]:
+#: one query's delta outcome: (query id, created, destroyed, host ms,
+#: spans recorded while computing it — empty unless the computation ran
+#: in a process worker with the coordinator tracing)
+_DeltaOutcome = Tuple[int, Set[Match], Set[Match], float,
+                      List[Dict[str, object]]]
+
+
+def _query_delta(ctx: _DeltaContext, task: _DeltaTask) -> _DeltaOutcome:
     """One registered query's (created, destroyed) delta for one batch.
 
     Module-level and side-effect free so every executor — including a
     process pool — runs the identical code path; the caller applies the
-    returned sets to the live match set.
+    returned sets to the live match set.  In a process worker the span
+    recorded here ships back in the outcome tuple (via
+    :func:`~repro.obs.trace.shipped_spans`) and the coordinator absorbs
+    it; in-process executors record it directly.
     """
     query_id, query, live = task
     t0 = time.perf_counter()
-    created = _delta_created(ctx, query)
-    destroyed = _delta_destroyed(ctx, query, live)
+    with shipped_spans(ctx.trace) as spans:
+        with get_tracer().span("stream.query_delta", parent=ctx.trace,
+                               query_id=query_id) as span:
+            created = _delta_created(ctx, query)
+            destroyed = _delta_destroyed(ctx, query, live)
+            span.set_attribute("created", len(created))
+            span.set_attribute("destroyed", len(destroyed))
     return (query_id, created, destroyed,
-            (time.perf_counter() - t0) * 1000.0)
+            (time.perf_counter() - t0) * 1000.0, spans)
 
 
 def _delta_destroyed(ctx: _DeltaContext, query: LabeledGraph,
@@ -487,6 +511,35 @@ class StreamEngine:
 
     def apply_batch(self, delta: GraphDelta) -> StreamBatchReport:
         """Apply one update batch end to end (see module docstring)."""
+        with get_tracer().span("stream.apply_batch",
+                               batch_index=self.batches_applied) as span:
+            report = self._apply_batch_inner(delta, span)
+            span.set_attribute("created", report.total_created)
+            span.set_attribute("destroyed", report.total_destroyed)
+        self._record_stream_metrics(report)
+        return report
+
+    @staticmethod
+    def _record_stream_metrics(report: StreamBatchReport) -> None:
+        """Roll one batch's maintenance events into the registry."""
+        registry = get_registry()
+        maintenance = registry.counter(
+            "gsi_pcsr_maintenance_total",
+            "PCSR maintenance events applied by the stream index.")
+        if report.compactions:
+            maintenance.inc(float(report.compactions), kind="compact")
+        if report.rebuilds:
+            maintenance.inc(float(report.rebuilds), kind="rebuild")
+        edges = registry.counter(
+            "gsi_stream_edges_total",
+            "Edges applied by stream update batches.")
+        if report.num_inserted:
+            edges.inc(float(report.num_inserted), kind="insert")
+        if report.num_deleted:
+            edges.inc(float(report.num_deleted), kind="delete")
+
+    def _apply_batch_inner(self, delta: GraphDelta,
+                           span: Span) -> StreamBatchReport:
         t0 = time.perf_counter()
         old_snapshot = self.dynamic.base
         self.dynamic.apply(delta)
@@ -537,7 +590,8 @@ class StreamEngine:
             table=self.index.signature_table.table,
             signature_bits=self.config.signature_bits,
             label_bits=self.config.label_bits,
-            handle=self._publish_snapshot(commit))
+            handle=self._publish_snapshot(commit),
+            trace=span.context() if span.trace_id else None)
         # Snapshot the registration list: per-query work is handed to
         # the executor as pure tasks, and merged back by query id in
         # registration order regardless of completion order.
@@ -571,8 +625,11 @@ class StreamEngine:
                 f"out of order or incomplete "
                 f"({len(outcomes)} results for {len(regs)} queries); "
                 f"no deltas were applied")
-        for (qid, reg), (_, created, destroyed, host_ms) in zip(
-                regs, outcomes):
+        tracer = get_tracer()
+        for (qid, reg), (_, created, destroyed, host_ms,
+                         spans) in zip(regs, outcomes):
+            if spans:
+                tracer.absorb(spans)
             reg.matches -= destroyed
             reg.matches |= created
             report.query_deltas[qid] = QueryDelta(

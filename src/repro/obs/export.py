@@ -1,0 +1,186 @@
+"""Exporters: NDJSON span logs, chrome://tracing JSON, Prometheus text.
+
+Three consumers, three formats, one span-dict/snapshot schema:
+
+* ``write_spans_ndjson`` — one JSON object per line per span; the
+  ``--trace-out PATH`` sink, trivially greppable and streamable.
+* ``chrome_trace`` — the Chrome trace-event JSON that
+  ``chrome://tracing`` / Perfetto load for flamegraph inspection.
+* ``prometheus_text`` — the Prometheus exposition format rendered
+  from a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, served
+  by the serve protocol's ``metrics`` op and the ``repro obs`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+
+def _json_default(value: Any) -> str:
+    return str(value)
+
+
+def write_spans_ndjson(spans: Iterable[Dict[str, Any]],
+                       path: Union[str, Path]) -> Path:
+    """Write spans as newline-delimited JSON; returns the path."""
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps(span, sort_keys=True, default=_json_default)
+             for span in spans]
+    target.write_text("\n".join(lines) + ("\n" if lines else ""),
+                      encoding="utf-8")
+    return target
+
+
+def read_spans_ndjson(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load an NDJSON span log (blank lines ignored)."""
+    spans: List[Dict[str, Any]] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        if not isinstance(obj, dict):
+            raise ValueError(
+                f"{path}:{lineno}: span line is not a JSON object")
+        spans.append(obj)
+    return spans
+
+
+def validate_span_tree(spans: Sequence[Dict[str, Any]]
+                       ) -> Dict[str, Any]:
+    """Structural check of one span log.
+
+    Returns ``{"spans": n, "trace_ids": [...], "roots": [...],
+    "orphans": [...], "connected": bool}`` — connected means a single
+    trace id, at least one root, and every parent link resolving to a
+    recorded span.  The obs-smoke CI leg and the cross-process
+    propagation tests both key off this.
+    """
+    ids = {span["span_id"] for span in spans}
+    trace_ids = sorted({span["trace_id"] for span in spans})
+    roots = [span["span_id"] for span in spans
+             if span.get("parent_id") is None]
+    orphans = [span["span_id"] for span in spans
+               if span.get("parent_id") is not None
+               and span["parent_id"] not in ids]
+    connected = (len(trace_ids) == 1 and len(roots) >= 1
+                 and not orphans and bool(spans))
+    return {"spans": len(spans), "trace_ids": trace_ids,
+            "roots": roots, "orphans": orphans,
+            "connected": connected}
+
+
+def chrome_trace(spans: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Spans as a chrome://tracing / Perfetto trace-event object.
+
+    Complete events (``ph: "X"``) with microsecond timestamps on the
+    wall clock, one row (tid) per recording process so coordinator
+    and worker spans land on separate tracks.
+    """
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        pid = int(span.get("pid", 0))
+        events.append({
+            "name": span["name"],
+            "cat": "gsi",
+            "ph": "X",
+            "ts": float(span["start_ms"]) * 1000.0,
+            "dur": float(span["duration_ms"]) * 1000.0,
+            "pid": 1,
+            "tid": pid,
+            "args": dict(span.get("attrs", {})),
+        })
+    events.sort(key=lambda e: e["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Sequence[Dict[str, Any]],
+                       path: Union[str, Path]) -> Path:
+    """Dump :func:`chrome_trace` output as JSON; returns the path."""
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(chrome_trace(spans), indent=2,
+                   default=_json_default) + "\n",
+        encoding="utf-8")
+    return target
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition format
+# ---------------------------------------------------------------------------
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _label_block(labels: Dict[str, str],
+                 extra: Union[Dict[str, str], None] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(val))}"'
+        for key, val in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def prometheus_text(snapshot: Dict[str, Any]) -> str:
+    """Render one metrics snapshot in Prometheus text format.
+
+    Histogram bucket counts are cumulated here (snapshots keep them
+    per-bucket so they merge additively) and get the conventional
+    ``_bucket``/``_sum``/``_count`` series with ``le`` labels.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        metric = snapshot[name]
+        kind = metric["type"]
+        if metric["help"]:
+            lines.append(f"# HELP {name} {metric['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind in ("counter", "gauge"):
+            for entry in metric["values"]:
+                lines.append(
+                    f"{name}{_label_block(entry['labels'])} "
+                    f"{_format_value(entry['value'])}")
+            continue
+        buckets = [float(b) for b in metric["buckets"]]
+        for entry in metric["values"]:
+            cumulative = 0
+            for bound, count in zip(buckets, entry["counts"]):
+                cumulative += int(count)
+                block = _label_block(entry["labels"],
+                                     {"le": _format_value(bound)})
+                lines.append(f"{name}_bucket{block} {cumulative}")
+            cumulative += int(entry["counts"][-1])
+            block = _label_block(entry["labels"], {"le": "+Inf"})
+            lines.append(f"{name}_bucket{block} {cumulative}")
+            lines.append(
+                f"{name}_sum{_label_block(entry['labels'])} "
+                f"{_format_value(entry['sum'])}")
+            lines.append(
+                f"{name}_count{_label_block(entry['labels'])} "
+                f"{int(entry['count'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+__all__ = ["write_spans_ndjson", "read_spans_ndjson",
+           "validate_span_tree", "chrome_trace", "write_chrome_trace",
+           "prometheus_text"]

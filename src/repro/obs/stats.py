@@ -1,0 +1,91 @@
+"""Shared latency statistics: percentiles and bounded reservoirs.
+
+The one home for percentile math.  ``BatchReport`` latency percentiles
+(:mod:`repro.service.batch`) and the serving subsystem's per-tenant
+SLO reservoirs (:mod:`repro.serve.metrics`) both previously carried
+their own copies of this logic; they now delegate here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+#: samples kept per reservoir by default; a bounded sliding window so
+#: a week-old latency spike ages out of the SLO view
+DEFAULT_RESERVOIR = 4096
+
+#: the percentile set SLO summaries report
+SUMMARY_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile of ``values`` (0.0 if empty)."""
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"pct must be in [0, 100], got {pct}")
+    if not values:
+        return 0.0
+    arr = np.asarray(values, dtype=np.float64)
+    return float(np.percentile(arr, pct))
+
+
+def percentile_summary(values: Sequence[float],
+                       pcts: Sequence[float] = SUMMARY_PERCENTILES
+                       ) -> Dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` over ``values``.
+
+    Keys are ``p<pct>`` with integral percentiles rendered without a
+    decimal point (``p99`` not ``p99.0``).
+    """
+    def key(p: float) -> str:
+        return f"p{int(p)}" if float(p).is_integer() else f"p{p}"
+
+    if not values:
+        return {key(p): 0.0 for p in pcts}
+    arr = np.asarray(values, dtype=np.float64)
+    cut = np.percentile(arr, list(pcts))
+    return {key(p): float(v) for p, v in zip(pcts, cut)}
+
+
+class Reservoir:
+    """A bounded sample window with drop-oldest-half eviction.
+
+    Appends are amortized O(1): when the window exceeds ``capacity``
+    the oldest half is removed in one splice, so percentiles always
+    reflect (at least) the most recent ``capacity // 2`` samples.
+    Not thread-safe; callers synchronize (``ServerMetrics`` holds its
+    own lock).
+    """
+
+    __slots__ = ("capacity", "_samples")
+
+    def __init__(self, capacity: int = DEFAULT_RESERVOIR) -> None:
+        if capacity < 2:
+            raise ValueError(
+                f"capacity must be >= 2, got {capacity}")
+        self.capacity = capacity
+        self._samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self._samples.append(float(value))
+        if len(self._samples) > self.capacity:
+            del self._samples[:self.capacity // 2]
+
+    def samples(self) -> List[float]:
+        """A copy of the current window, oldest first."""
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, pct: float) -> float:
+        return percentile(self._samples, pct)
+
+    def summary(self, pcts: Sequence[float] = SUMMARY_PERCENTILES
+                ) -> Dict[str, float]:
+        return percentile_summary(self._samples, pcts)
+
+
+__all__ = ["DEFAULT_RESERVOIR", "SUMMARY_PERCENTILES", "percentile",
+           "percentile_summary", "Reservoir"]

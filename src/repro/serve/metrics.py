@@ -20,45 +20,46 @@ from __future__ import annotations
 import threading
 from typing import Dict, List
 
-import numpy as np
-
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_MS,
+    SIZE_BUCKETS,
+    get_registry,
+)
+from repro.obs.stats import DEFAULT_RESERVOIR, Reservoir, percentile_summary
 from repro.service.batch import BatchReport, json_sanitize
 from repro.service.plan_cache import CacheStats
 
-#: per-tenant latency samples kept for percentile estimates; a bounded
-#: sliding window so a week-old latency spike ages out of the SLO view
-DEFAULT_RESERVOIR = 4096
-
 
 def latency_percentiles(samples: List[float]) -> Dict[str, float]:
-    """``{"p50": ..., "p95": ..., "p99": ...}`` over ``samples`` (ms)."""
-    if not samples:
-        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
-    arr = np.asarray(samples, dtype=np.float64)
-    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
-    return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+    """``{"p50": ..., "p95": ..., "p99": ...}`` over ``samples`` (ms).
+
+    Thin alias over :func:`repro.obs.stats.percentile_summary`, kept
+    for the serving subsystem's historical public name.
+    """
+    return percentile_summary(samples)
 
 
 class _TenantSeries:
     """One tenant's bounded latency reservoir plus request counters."""
 
-    __slots__ = ("latencies_ms", "completed", "errors", "deduped",
-                 "shed", "quota_rejected", "reservoir")
+    __slots__ = ("_latencies", "completed", "errors", "deduped",
+                 "shed", "quota_rejected")
 
     def __init__(self, reservoir: int) -> None:
-        self.latencies_ms: List[float] = []
+        self._latencies = Reservoir(reservoir)
         self.completed = 0
         self.errors = 0
         self.deduped = 0
         self.shed = 0
         self.quota_rejected = 0
-        self.reservoir = reservoir
+
+    @property
+    def latencies_ms(self) -> List[float]:
+        """The current latency window (a copy, oldest first)."""
+        return self._latencies.samples()
 
     def record_latency(self, latency_ms: float) -> None:
-        self.latencies_ms.append(float(latency_ms))
-        if len(self.latencies_ms) > self.reservoir:
-            # drop the oldest half in one splice (amortized O(1))
-            del self.latencies_ms[:self.reservoir // 2]
+        self._latencies.add(latency_ms)
 
     def to_dict(self) -> dict:
         return {
@@ -67,7 +68,7 @@ class _TenantSeries:
             "deduped": self.deduped,
             "shed": self.shed,
             "quota_rejected": self.quota_rejected,
-            "latency_ms": latency_percentiles(self.latencies_ms),
+            "latency_ms": self._latencies.summary(),
         }
 
 
@@ -126,22 +127,35 @@ class ServerMetrics:
             self.received += 1
             self._tenant_unlocked(tenant)
 
+    @staticmethod
+    def _obs_outcome(tenant: str, result: str) -> None:
+        """Mirror one request outcome into the process obs registry
+        (outside :attr:`_lock`; the registry has its own)."""
+        get_registry().counter(
+            "gsi_serve_requests_total",
+            "Serving requests by outcome.").inc(
+                1.0, tenant=tenant, result=result)
+
     def record_admitted(self, tenant: str, deduped: bool) -> None:
         with self._lock:
             self.admitted += 1
             if deduped:
                 self.deduped += 1
                 self._tenant_unlocked(tenant).deduped += 1
+        if deduped:
+            self._obs_outcome(tenant, "deduped")
 
     def record_shed(self, tenant: str) -> None:
         with self._lock:
             self.shed += 1
             self._tenant_unlocked(tenant).shed += 1
+        self._obs_outcome(tenant, "shed")
 
     def record_quota_rejected(self, tenant: str) -> None:
         with self._lock:
             self.quota_rejected += 1
             self._tenant_unlocked(tenant).quota_rejected += 1
+        self._obs_outcome(tenant, "quota_rejected")
 
     def record_completed(self, tenant: str, latency_ms: float,
                          error: bool) -> None:
@@ -153,6 +167,12 @@ class ServerMetrics:
             if error:
                 self.errors += 1
                 series.errors += 1
+        self._obs_outcome(tenant, "error" if error else "ok")
+        get_registry().histogram(
+            "gsi_serve_latency_ms",
+            "End-to-end serving latency in milliseconds.",
+            buckets=LATENCY_BUCKETS_MS).observe(latency_ms,
+                                                tenant=tenant)
 
     def record_queue_depth(self, depth: int) -> None:
         with self._lock:
@@ -172,6 +192,10 @@ class ServerMetrics:
             self.total_gst += report.total_gst
             self.total_simulated_ms += report.total_simulated_ms
             self.last_storage = report.storage
+        get_registry().histogram(
+            "gsi_serve_batch_fill",
+            "Dispatched micro-batch sizes (distinct queries).",
+            buckets=SIZE_BUCKETS).observe(float(report.num_queries))
 
     # ------------------------------------------------------------------
 

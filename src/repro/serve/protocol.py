@@ -18,6 +18,10 @@ Requests
 ``{"op": "stats", "id": 8}``
     Server-level metrics snapshot (see
     :class:`~repro.serve.metrics.ServerMetrics`).
+``{"op": "metrics", "id": 10}``
+    Prometheus text exposition of the process metrics registry
+    (:func:`repro.obs.export.prometheus_text`); the response carries it
+    in ``text``.
 ``{"op": "ping", "id": 9}``
     Liveness probe.
 
@@ -54,7 +58,7 @@ from repro.errors import GraphError
 from repro.graph.labeled_graph import LabeledGraph
 
 #: protocol operations a server accepts
-OPS = ("query", "stats", "ping")
+OPS = ("query", "stats", "metrics", "ping")
 
 #: response statuses a client must handle
 STATUSES = ("ok", "error", "overloaded", "quota_exceeded")

@@ -54,6 +54,9 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.result import MatchResult
 from repro.graph.labeled_graph import LabeledGraph
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.serve.metrics import ServerMetrics
 from repro.serve.protocol import (
     ProtocolError,
@@ -409,9 +412,21 @@ class GSIServer:
         """Run one micro-batch off-loop and fan results to waiters."""
         queries = [p.query for p in batch]
         loop = asyncio.get_running_loop()
+        tracer = get_tracer()
+        parent = tracer.current_context()
+
+        def run_traced():
+            # The batch runs on a worker thread whose span stack is
+            # empty; parent it explicitly so the engine's spans nest
+            # under this dispatch instead of rooting a second tree.
+            with tracer.span("serve.batch", parent=parent,
+                             queries=len(queries)) as span:
+                report = self.engine.run_batch(queries)
+                span.set_attribute("matches", report.total_matches)
+            return report
+
         try:
-            report = await loop.run_in_executor(
-                None, self.engine.run_batch, queries)
+            report = await loop.run_in_executor(None, run_traced)
         except Exception as exc:  # noqa: BLE001 - a dead executor pool
             # must fail this batch's waiters, not kill the server.
             self._fan_out_failure(batch,
@@ -542,10 +557,15 @@ class GSIServer:
                 await respond({"id": request_id, "status": "ok",
                                "stats": self.stats()})
                 return
+            if op == "metrics":
+                text = prometheus_text(get_registry().snapshot())
+                await respond({"id": request_id, "status": "ok",
+                               "text": text})
+                return
             if op != "query":
                 raise ProtocolError(
                     f"unknown op {op!r}; expected one of "
-                    f"('query', 'stats', 'ping')")
+                    f"('query', 'stats', 'metrics', 'ping')")
             query = query_from_wire(request.get("query"))
             tenant = str(request.get("tenant", DEFAULT_TENANT))
             outcome = await self.submit(query, tenant=tenant)

@@ -47,6 +47,9 @@ from repro.core.config import GSIConfig
 from repro.core.engine import GSIEngine, PreparedQuery
 from repro.core.result import MatchResult
 from repro.graph.labeled_graph import LabeledGraph
+from repro.obs.metrics import SIZE_BUCKETS, get_registry
+from repro.obs.stats import percentile
+from repro.obs.trace import get_tracer
 from repro.service.executors import (
     EngineHandle,
     PreparedTask,
@@ -182,9 +185,7 @@ class BatchReport:
         """
         values = [item.result.elapsed_ms for item in self.items
                   if item.error is None]
-        if not values:
-            return 0.0
-        return float(np.percentile(np.asarray(values), pct))
+        return percentile(values, pct)
 
     @property
     def p50_ms(self) -> float:
@@ -393,10 +394,27 @@ class BatchEngine:
         chosen, owned = self._resolve_executor(max_workers, executor)
         if self.sharded is not None:
             try:
-                return self._run_sharded(queries, chosen)
+                with get_tracer().span("batch.run",
+                                       queries=len(queries),
+                                       executor=chosen.name,
+                                       sharded=True):
+                    report = self._run_sharded(queries, chosen)
             finally:
                 if owned:
                     chosen.shutdown()
+            self._record_batch_metrics(report)
+            return report
+        with get_tracer().span("batch.run", queries=len(queries),
+                               executor=chosen.name) as batch_span:
+            report = self._run_batch_inner(queries, chosen, owned)
+            batch_span.set_attribute("matches", report.total_matches)
+            batch_span.set_attribute("errors", report.errors)
+        self._record_batch_metrics(report)
+        return report
+
+    def _run_batch_inner(self, queries: Sequence[LabeledGraph],
+                         chosen: QueryExecutor,
+                         owned: bool) -> BatchReport:
         stats_before = self.plan_cache.stats_snapshot()
         start = time.perf_counter()
 
@@ -445,6 +463,31 @@ class BatchEngine:
                            cache=cache_delta,
                            storage=self.engine.store.stats(),
                            executor=chosen.name)
+
+    @staticmethod
+    def _record_batch_metrics(report: BatchReport) -> None:
+        """Roll one batch's outcome into the process metrics registry."""
+        registry = get_registry()
+        registry.histogram(
+            "gsi_batch_size_queries",
+            "Queries per run_batch call.",
+            buckets=SIZE_BUCKETS).observe(float(report.num_queries))
+        lookups = registry.counter(
+            "gsi_cache_lookups_total",
+            "Plan/shape cache lookups by outcome.")
+        cache = report.cache
+        if cache.hits:
+            lookups.inc(float(cache.hits), cache="plan", result="hit")
+        plan_misses = cache.lookups - cache.hits
+        if plan_misses > 0:
+            lookups.inc(float(plan_misses), cache="plan",
+                        result="miss")
+        if cache.shape_hits:
+            lookups.inc(float(cache.shape_hits), cache="shape",
+                        result="hit")
+        if cache.shape_misses:
+            lookups.inc(float(cache.shape_misses), cache="shape",
+                        result="miss")
 
     def _run_sharded(self, queries: Sequence[LabeledGraph],
                      executor: QueryExecutor) -> BatchReport:

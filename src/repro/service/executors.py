@@ -77,7 +77,7 @@ import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import GSIConfig
@@ -85,6 +85,8 @@ from repro.core.engine import GSIEngine, PreparedQuery
 from repro.core.result import MatchResult
 from repro.errors import ConfigError
 from repro.graph.labeled_graph import LabeledGraph
+from repro.obs.metrics import absorb_snapshot, get_registry, scoped_registry
+from repro.obs.trace import get_tracer, set_tracer, shipped_spans
 from repro.storage.shm import (
     BlockLease,
     EngineArtifactsHandle,
@@ -164,12 +166,19 @@ class EngineHandle:
 
 @dataclass
 class ExecutedQuery:
-    """Outcome of executing one prepared query (joins a ``BatchItem``)."""
+    """Outcome of executing one prepared query (joins a ``BatchItem``).
+
+    ``spans`` carries trace spans recorded inside a process worker
+    back across the pickle boundary; the process executor absorbs
+    them into the coordinator's tracer before returning, so the field
+    is empty again by the time callers see it.
+    """
 
     index: int
     result: MatchResult
     error: Optional[str] = None
     execute_ms: float = 0.0
+    spans: List[Dict[str, Any]] = field(default_factory=list)
 
 
 #: (submission index, prepared query) pairs fed to an executor
@@ -245,8 +254,11 @@ class SerialExecutor(QueryExecutor):
                          tasks: Sequence[PreparedTask],
                          error_label: str = "GSI"
                          ) -> List[ExecutedQuery]:
-        return [_execute_one(handle.engine, index, prepared, error_label)
-                for index, prepared in tasks]
+        with get_tracer().span("executor.execute_prepared",
+                               executor=self.name, tasks=len(tasks)):
+            return [_execute_one(handle.engine, index, prepared,
+                                 error_label)
+                    for index, prepared in tasks]
 
     def map_tasks(self, fn: Callable[[Any, Any], Any],
                   payloads: Sequence[Any],
@@ -290,10 +302,12 @@ class ThreadExecutor(QueryExecutor):
         if self.workers == 1 or len(tasks) <= 1:
             return SerialExecutor().execute_prepared(handle, tasks,
                                                      error_label)
-        return list(self._ensure_pool().map(
-            lambda task: _execute_one(handle.engine, task[0], task[1],
-                                      error_label),
-            tasks))
+        with get_tracer().span("executor.execute_prepared",
+                               executor=self.name, tasks=len(tasks)):
+            return list(self._ensure_pool().map(
+                lambda task: _execute_one(handle.engine, task[0],
+                                          task[1], error_label),
+                tasks))
 
     def map_tasks(self, fn: Callable[[Any, Any], Any],
                   payloads: Sequence[Any],
@@ -365,22 +379,43 @@ def _process_worker_init(spec: Optional[EngineBuildSpec]) -> None:
     The spec is pickled once per worker (not per query); the worker
     rebuilds the signature table and storage structure locally, so no
     data-graph-sized artifact ever crosses the process boundary again.
+
+    Fork-mode workers inherit the coordinator's process globals —
+    including a recording tracer, whose spans would silently die with
+    the worker.  Reset to the null tracer so worker spans go through
+    the explicit shipping path (:func:`repro.obs.trace.shipped_spans`)
+    and re-parent in the coordinator, identically under fork and spawn.
     """
+    set_tracer(None)
     global _WORKER_ENGINE
     _WORKER_ENGINE = spec.build() if spec is not None else None
 
 
 def _process_execute_chunk(error_label: str,
                            tasks: List[PreparedTask]
-                           ) -> List[ExecutedQuery]:
-    """Worker-side joining phase over one pickled chunk."""
+                           ) -> Tuple[List[ExecutedQuery],
+                                      Dict[str, Any]]:
+    """Worker-side joining phase over one pickled chunk.
+
+    Trace spans recorded during each execution ship back on the
+    :class:`ExecutedQuery` (re-parented under the coordinator's tree
+    via the ``TraceContext`` that pickled in with the prepared query);
+    the chunk's metric deltas ship as one mergeable snapshot.
+    """
     engine = _WORKER_ENGINE
     if engine is None:
         raise RuntimeError(
             "process worker has no engine; the pool was created without "
             "an EngineBuildSpec")
-    return [_execute_one(engine, index, prepared, error_label)
-            for index, prepared in tasks]
+    executed: List[ExecutedQuery] = []
+    with scoped_registry() as registry:
+        for index, prepared in tasks:
+            with shipped_spans(prepared.trace) as spans:
+                item = _execute_one(engine, index, prepared,
+                                    error_label)
+            item.spans = spans
+            executed.append(item)
+    return executed, registry.snapshot()
 
 
 def _process_map_chunk(fn: Callable[[Any, Any], Any], shared: Any,
@@ -608,18 +643,36 @@ class ProcessExecutor(QueryExecutor):
             shipped_spec.append(spec)
             return spec
 
-        chunks = self._prepared_chunks(tasks)
-        results = self._run_chunked(
-            spec_factory,
-            lambda pool, chunk: pool.submit(
-                _process_execute_chunk, error_label, chunk),
-            chunks)
+        tracer = get_tracer()
+        with tracer.span("executor.execute_prepared",
+                         executor=self.name, plane=self.data_plane,
+                         tasks=len(tasks)) as span:
+            chunks = self._prepared_chunks(tasks)
+            span.set_attribute("chunks", len(chunks))
+            results = self._run_chunked(
+                spec_factory,
+                lambda pool, chunk: pool.submit(
+                    _process_execute_chunk, error_label, chunk),
+                chunks)
         self.last_shipment = {
             "plane": self.data_plane, "call": "execute_prepared",
             "context_bytes": len(pickle.dumps(shipped_spec[-1])),
             "chunks": len(chunks),
         }
-        executed: List[ExecutedQuery] = [e for res in results for e in res]
+        get_registry().counter(
+            "gsi_shipped_bytes_total",
+            "pickled batch-constant context bytes shipped to "
+            "process workers").inc(
+                self.last_shipment["context_bytes"],
+                plane=self.data_plane, kind="execute_prepared")
+        executed: List[ExecutedQuery] = []
+        for chunk_executed, snapshot in results:
+            absorb_snapshot(snapshot)
+            executed.extend(chunk_executed)
+        for item in executed:
+            if item.spans:
+                tracer.absorb(item.spans)
+                item.spans = []
         # Chunks preserve submission order already; the explicit sort
         # pins the merge contract independent of chunking policy.
         executed.sort(key=lambda e: e.index)
@@ -636,17 +689,28 @@ class ProcessExecutor(QueryExecutor):
         # per chunk, so fewer chunks halve the shipping cost — which is
         # O(handle) when the caller routes the snapshot through the shm
         # plane, and O(|G|) on the legacy pickle plane.
-        chunks = self._chunks(payloads, max_parts=self.workers)
-        results = self._run_chunked(
-            lambda: None,
-            lambda pool, chunk: pool.submit(
-                _process_map_chunk, fn, shared, chunk),
-            chunks)
+        with get_tracer().span("executor.map_tasks",
+                               executor=self.name,
+                               plane=self.data_plane,
+                               tasks=len(payloads)) as span:
+            chunks = self._chunks(payloads, max_parts=self.workers)
+            span.set_attribute("chunks", len(chunks))
+            results = self._run_chunked(
+                lambda: None,
+                lambda pool, chunk: pool.submit(
+                    _process_map_chunk, fn, shared, chunk),
+                chunks)
         self.last_shipment = {
             "plane": self.data_plane, "call": "map_tasks",
             "context_bytes": len(pickle.dumps(shared)),
             "chunks": len(chunks),
         }
+        get_registry().counter(
+            "gsi_shipped_bytes_total",
+            "pickled batch-constant context bytes shipped to "
+            "process workers").inc(
+                self.last_shipment["context_bytes"],
+                plane=self.data_plane, kind="map_tasks")
         return [item for res in results for item in res]
 
 

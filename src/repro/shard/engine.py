@@ -56,6 +56,13 @@ from repro.core.result import MatchResult, PhaseBreakdown
 from repro.errors import GraphError
 from repro.gpusim.meter import merge_shard_snapshots
 from repro.graph.labeled_graph import LabeledGraph
+from repro.obs.metrics import get_registry
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    get_tracer,
+    shipped_spans,
+)
 from repro.service.executors import (
     EngineBuildSpec,
     ExecutedQuery,
@@ -171,14 +178,19 @@ class _ShardContext:
         self.epoch = epoch
         self.specs = specs
         self.engines = engines
+        # Coordinator trace context, refreshed per run_batch; it rides
+        # the pickle so worker-side spans re-parent into the batch tree.
+        self.trace: Optional[TraceContext] = None
 
     def __getstate__(self) -> dict:
-        return {"epoch": self.epoch, "specs": self.specs}
+        return {"epoch": self.epoch, "specs": self.specs,
+                "trace": self.trace}
 
     def __setstate__(self, state: dict) -> None:
         self.epoch = state["epoch"]
         self.specs = state["specs"]
         self.engines = None
+        self.trace = state.get("trace")
 
 
 def _context_engine(ctx: _ShardContext, shard_id: int) -> GSIEngine:
@@ -203,10 +215,21 @@ _ShardTask = Tuple[int, int, PreparedQuery]
 
 def _execute_shard_task(ctx: _ShardContext,
                         payload: _ShardTask) -> ExecutedQuery:
-    """Module-level worker function (picklable by reference)."""
+    """Module-level worker function (picklable by reference).
+
+    In a process worker the spans recorded here (the ``shard.execute``
+    wrapper plus the engine's own ``gsi.execute`` tree) ship back in
+    :attr:`~repro.service.executors.ExecutedQuery.spans`; the
+    coordinator absorbs and empties them during the gather phase.
+    """
     index, shard_id, prepared = payload
-    return _execute_one(_context_engine(ctx, shard_id), index, prepared,
-                        "GSI-shard")
+    with shipped_spans(ctx.trace) as spans:
+        with get_tracer().span("shard.execute", parent=prepared.trace,
+                               shard=shard_id):
+            item = _execute_one(_context_engine(ctx, shard_id), index,
+                                prepared, "GSI-shard")
+    item.spans = spans
+    return item
 
 
 # ----------------------------------------------------------------------
@@ -559,6 +582,29 @@ class ShardedEngine:
         unaffected.
         """
         chosen, owned = self._resolve_executor(executor)
+        with get_tracer().span("shard.run_batch",
+                               queries=len(queries),
+                               shards=self.num_shards,
+                               executor=chosen.name) as span:
+            report = self._run_batch_inner(queries, chosen, owned, span)
+            span.set_attribute("matches", report.total_matches)
+        self._record_shard_metrics(report)
+        return report
+
+    @staticmethod
+    def _record_shard_metrics(report: ShardReport) -> None:
+        """Roll one batch's per-shard totals into the registry."""
+        transactions = get_registry().counter(
+            "gsi_shard_transactions_total",
+            "Simulated memory transactions by shard.")
+        for shard_id, total in enumerate(report.shard_transactions):
+            if total:
+                transactions.inc(float(total), shard=str(shard_id))
+
+    def _run_batch_inner(self, queries: Sequence[LabeledGraph],
+                         chosen: QueryExecutor, owned: bool,
+                         span: Span) -> ShardReport:
+        tracer = get_tracer()
         stats_before = self.plan_cache.stats_snapshot()
         start = time.perf_counter()
         num_shards = self.num_shards
@@ -566,19 +612,22 @@ class ShardedEngine:
         items: List[Optional[ShardedItem]] = [None] * len(queries)
         prepared_ok: Dict[int, ShardedPrepared] = {}
         payloads: List[_ShardTask] = []
-        for index, query in enumerate(queries):
-            try:
-                sp = self.prepare(query)
-            except Exception as exc:  # noqa: BLE001 - one bad query must
-                # never abort the rest of the batch; report it per item.
-                items[index] = ShardedItem(
-                    index=index, result=MatchResult(engine=self.name),
-                    error=f"{type(exc).__name__}: {exc}")
-                continue
-            prepared_ok[index] = sp
-            for s in range(num_shards):
-                payloads.append((index * num_shards + s, s,
-                                 sp.per_shard[s]))
+        with tracer.span("shard.prepare", queries=len(queries)):
+            for index, query in enumerate(queries):
+                try:
+                    sp = self.prepare(query)
+                except Exception as exc:  # noqa: BLE001 - one bad query
+                    # must never abort the rest of the batch; report it
+                    # per item.
+                    items[index] = ShardedItem(
+                        index=index,
+                        result=MatchResult(engine=self.name),
+                        error=f"{type(exc).__name__}: {exc}")
+                    continue
+                prepared_ok[index] = sp
+                for s in range(num_shards):
+                    payloads.append((index * num_shards + s, s,
+                                     sp.per_shard[s]))
 
         # Process executors on the shm plane get the handle-based
         # context (published lazily, reused across batches until a
@@ -586,10 +635,12 @@ class ShardedEngine:
         uses_shm = (getattr(chosen, "name", None) == "process"
                     and getattr(chosen, "data_plane", None) == "shm")
         ctx = self._shm_context() if uses_shm else self._ctx
+        ctx.trace = span.context() if span.trace_id else None
         try:
-            outcomes = (chosen.map_tasks(_execute_shard_task, payloads,
-                                         shared=ctx)
-                        if payloads else [])
+            with tracer.span("shard.scatter", tasks=len(payloads)):
+                outcomes = (chosen.map_tasks(_execute_shard_task,
+                                             payloads, shared=ctx)
+                            if payloads else [])
         finally:
             if owned:
                 chosen.shutdown()
@@ -601,18 +652,24 @@ class ShardedEngine:
             out.index: out for out in outcomes}
 
         shard_tx = [0] * num_shards
-        for index, sp in prepared_ok.items():
-            shard_outs = [by_index[index * num_shards + s]
-                          for s in range(num_shards)]
-            merged, per_shard, error = self._merge(sp, shard_outs)
-            for stat in per_shard:
-                shard_tx[stat.shard] += stat.transactions
-            items[index] = ShardedItem(
-                index=index, result=merged, per_shard=per_shard,
-                plan_cached=sp.plan_cached,
-                host_ms=sp.prepare_ms + max(
-                    (o.execute_ms for o in shard_outs), default=0.0),
-                error=error)
+        with tracer.span("shard.gather", tasks=len(outcomes)):
+            for out in outcomes:
+                if out.spans:
+                    tracer.absorb(out.spans)
+                    out.spans = []
+            for index, sp in prepared_ok.items():
+                shard_outs = [by_index[index * num_shards + s]
+                              for s in range(num_shards)]
+                merged, per_shard, error = self._merge(sp, shard_outs)
+                for stat in per_shard:
+                    shard_tx[stat.shard] += stat.transactions
+                items[index] = ShardedItem(
+                    index=index, result=merged, per_shard=per_shard,
+                    plan_cached=sp.plan_cached,
+                    host_ms=sp.prepare_ms + max(
+                        (o.execute_ms for o in shard_outs),
+                        default=0.0),
+                    error=error)
 
         wall_ms = (time.perf_counter() - start) * 1000.0
         return ShardReport(

@@ -105,6 +105,8 @@ from repro.arraytypes import Array
 from repro.core.signature_table import SignatureTable
 from repro.errors import StorageError
 from repro.graph.labeled_graph import LabeledGraph
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.storage.pcsr import _EMPTY_SLOT, PCSRPartition, PCSRStorage
 
 if TYPE_CHECKING:  # runtime import stays inside attach_engine (the
@@ -156,6 +158,14 @@ def _create_block(arr: Array) -> BlockHandle:
     with _LOCK:
         _OWNED[name] = seg
         _REFS[name] = 1
+    registry = get_registry()
+    registry.counter(
+        "gsi_shm_segments_total",
+        "Shared-memory segments published.").inc(1.0, plane="shm")
+    registry.counter(
+        "gsi_shm_published_bytes_total",
+        "Bytes copied into fresh shared-memory segments.").inc(
+            float(arr.nbytes), plane="shm")
     return BlockHandle(name=name, dtype=str(arr.dtype),
                        shape=tuple(int(s) for s in arr.shape))
 
@@ -574,20 +584,22 @@ def publish_engine(engine: GSIEngine, *, epoch: int,
     subclass) is omitted and rebuilt deterministically worker-side from
     the attached graph + config.
     """
-    graph_h, names = _publish_graph_blocks(engine.graph, chunk)
-    sig_pub, sig_names = _publish_table_blocks(
-        engine.signature_table.table, chunk)
-    names.extend(sig_names)
-    store_h: Optional[PCSRStoreHandle] = None
-    if type(engine.store) is PCSRStorage:
-        store_h, store_names = _publish_pcsr_blocks(engine.store)
-        names.extend(store_names)
-    handle = EngineArtifactsHandle(
-        epoch=epoch, graph=graph_h,
-        signature=SignatureHandle(
-            table=sig_pub,
-            column_first=engine.signature_table.column_first),
-        store=store_h)
+    with get_tracer().span("shm.publish_engine", epoch=epoch) as span:
+        graph_h, names = _publish_graph_blocks(engine.graph, chunk)
+        sig_pub, sig_names = _publish_table_blocks(
+            engine.signature_table.table, chunk)
+        names.extend(sig_names)
+        store_h: Optional[PCSRStoreHandle] = None
+        if type(engine.store) is PCSRStorage:
+            store_h, store_names = _publish_pcsr_blocks(engine.store)
+            names.extend(store_names)
+        handle = EngineArtifactsHandle(
+            epoch=epoch, graph=graph_h,
+            signature=SignatureHandle(
+                table=sig_pub,
+                column_first=engine.signature_table.column_first),
+            store=store_h)
+        span.set_attribute("segments", len(names))
     return handle, BlockLease(names)
 
 
@@ -595,9 +607,12 @@ def publish_snapshot(graph: LabeledGraph, table: Array, *,
                      epoch: int, chunk: int = DEFAULT_CHUNK
                      ) -> Tuple[GraphSnapshotHandle, BlockLease]:
     """Publish a stream snapshot (graph + signature rows) in full."""
-    graph_h, names = _publish_graph_blocks(graph, chunk)
-    pub, table_names = _publish_table_blocks(table, chunk)
-    names.extend(table_names)
+    with get_tracer().span("shm.publish_snapshot",
+                           epoch=epoch) as span:
+        graph_h, names = _publish_graph_blocks(graph, chunk)
+        pub, table_names = _publish_table_blocks(table, chunk)
+        names.extend(table_names)
+        span.set_attribute("segments", len(names))
     return (GraphSnapshotHandle(epoch=epoch, graph=graph_h, table=pub),
             BlockLease(names))
 
@@ -611,11 +626,14 @@ def publish_snapshot_patch(prev: GraphSnapshotHandle,
     the batch (graph rows and signature rows alike change only at
     touched vertices — vertex labels are immutable)."""
     touched = set(touched)
-    graph_h, names = _publish_graph_patch_blocks(prev.graph, graph,
-                                                 touched, chunk)
-    pub, table_names = _publish_table_blocks(
-        table, chunk, prev=prev.table, touched=touched)
-    names.extend(table_names)
+    with get_tracer().span("shm.publish_snapshot_patch", epoch=epoch,
+                           touched=len(touched)) as span:
+        graph_h, names = _publish_graph_patch_blocks(prev.graph, graph,
+                                                     touched, chunk)
+        pub, table_names = _publish_table_blocks(
+            table, chunk, prev=prev.table, touched=touched)
+        names.extend(table_names)
+        span.set_attribute("segments", len(names))
     return (GraphSnapshotHandle(epoch=epoch, graph=graph_h, table=pub),
             BlockLease(names))
 

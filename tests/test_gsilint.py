@@ -37,9 +37,10 @@ def rule_ids(findings):
 # ---------------------------------------------------------------------------
 
 
-def test_registry_lists_all_five_rules():
+def test_registry_lists_all_six_rules():
     ids = [rule.rule_id for rule in all_rules()]
-    assert ids == ["GSI001", "GSI002", "GSI003", "GSI004", "GSI005"]
+    assert ids == ["GSI001", "GSI002", "GSI003", "GSI004", "GSI005",
+                   "GSI006"]
     for rule in all_rules():
         assert rule.name
         assert rule.description
@@ -269,6 +270,55 @@ def test_gsi005_flags_dtypeless_constructions():
 
 def test_gsi005_allows_explicit_dtype_kwarg_or_positional():
     assert lint(GSI005_GOOD, select={"GSI005"}) == []
+
+
+# ---------------------------------------------------------------------------
+# GSI006 — span lifecycle
+# ---------------------------------------------------------------------------
+
+GSI006_BAD = """
+    def run(tracer, item):
+        tracer.span("fire-and-forget", kind="bad")
+        leaked = tracer.span("leaked")
+        leaked.set_attribute("x", 1)
+        return item
+"""
+
+GSI006_GOOD = """
+    def run(tracer, item):
+        with tracer.span("work") as span:
+            span.set_attribute("x", 1)
+        manual = tracer.span("manual")
+        try:
+            item = item + 1
+        finally:
+            manual.end()
+        return tracer.span("handed-to-caller")
+
+    def factory(tracer):
+        span = tracer.span("escapes-this-scope")
+        return span
+"""
+
+
+def test_gsi006_flags_unmanaged_span_calls():
+    findings = lint(GSI006_BAD, select={"GSI006"})
+    assert rule_ids(findings) == ["GSI006"]
+    assert len(findings) == 2
+
+
+def test_gsi006_allows_with_end_and_returned_spans():
+    assert lint(GSI006_GOOD, select={"GSI006"}) == []
+
+
+def test_gsi006_exempts_the_tracer_module():
+    findings = lint(
+        """
+        def demo(tracer):
+            tracer.span("loose")
+        """,
+        path="src/repro/obs/trace.py", select={"GSI006"})
+    assert findings == []
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,265 @@
+"""Tests for the tracing core (``repro.obs.trace``).
+
+Two layers: unit tests of span/tracer semantics (thread-local nesting,
+explicit parents, the null fast path, ``shipped_spans``), and the
+load-bearing integration claim — a traced batch over the
+process-pool executor, sharded and unsharded, under both fork and
+spawn start methods, yields ONE connected span tree whose worker
+spans carry worker pids and re-parent under the coordinator's spans.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.core.config import GSIConfig
+from repro.graph.generators import random_walk_query, scale_free_graph
+from repro.obs.export import validate_span_tree
+from repro.obs.trace import (
+    NullSpan,
+    NullTracer,
+    TraceContext,
+    Tracer,
+    current_trace_context,
+    get_tracer,
+    set_tracer,
+    shipped_spans,
+    tracing_active,
+)
+from repro.service import BatchEngine
+from repro.service.executors import ProcessExecutor
+from repro.shard import ShardedEngine, ShardedGraph
+
+
+@pytest.fixture(autouse=True)
+def _null_tracer_between_tests():
+    """Every test starts and ends on the disabled (null) tracer."""
+    set_tracer(None)
+    yield
+    set_tracer(None)
+
+
+# ----------------------------------------------------------------------
+# Span / tracer semantics
+# ----------------------------------------------------------------------
+
+
+class TestSpanSemantics:
+    def test_with_nesting_parents_automatically(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+        finished = tracer.finished()
+        assert [s["name"] for s in finished] == ["inner", "outer"]
+        assert finished[1]["parent_id"] is None
+
+    def test_explicit_parent_beats_stack(self):
+        tracer = Tracer()
+        remote = TraceContext(tracer.trace_id, "feedbeefcafe0123")
+        with tracer.span("active"):
+            span = tracer.span("child", parent=remote)
+            span.end()
+        assert tracer.finished()[0]["parent_id"] == "feedbeefcafe0123"
+
+    def test_end_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.span("once")
+        span.end()
+        span.end()
+        assert len(tracer.finished()) == 1
+
+    def test_exception_is_recorded_as_error_attribute(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        record = tracer.finished()[0]
+        assert record["attrs"]["error"] == "RuntimeError"
+
+    def test_span_dict_shape(self):
+        tracer = Tracer()
+        with tracer.span("op", shard="3") as span:
+            span.set_attribute("matches", 7)
+        record = tracer.finished()[0]
+        assert set(record) == {"name", "trace_id", "span_id",
+                               "parent_id", "start_ms", "duration_ms",
+                               "pid", "attrs"}
+        assert record["attrs"] == {"shard": "3", "matches": 7}
+        assert record["duration_ms"] >= 0.0
+
+    def test_tracer_with_parent_roots_under_it(self):
+        parent = TraceContext("aaaa", "bbbb")
+        tracer = Tracer(parent=parent)
+        assert tracer.trace_id == "aaaa"
+        span = tracer.span("rooted")
+        span.end()
+        assert tracer.finished()[0]["parent_id"] == "bbbb"
+
+    def test_absorb_merges_shipped_dicts(self):
+        tracer = Tracer()
+        tracer.absorb([{"name": "remote", "trace_id": tracer.trace_id,
+                        "span_id": "x", "parent_id": None,
+                        "start_ms": 0.0, "duration_ms": 1.0,
+                        "pid": 1, "attrs": {}}])
+        assert [s["name"] for s in tracer.finished()] == ["remote"]
+
+
+class TestGlobalTracer:
+    def test_default_is_null_and_free(self):
+        assert isinstance(get_tracer(), NullTracer)
+        assert not tracing_active()
+        assert current_trace_context() is None
+        span = get_tracer().span("ignored")
+        assert isinstance(span, NullSpan)
+        # The null span is shared and inert.
+        assert get_tracer().span("also-ignored") is span
+        with span:
+            span.set_attribute("k", "v")
+        assert get_tracer().finished() == []
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        assert isinstance(previous, NullTracer)
+        assert tracing_active()
+        assert set_tracer(None) is tracer
+        assert not tracing_active()
+
+    def test_current_trace_context_tracks_active_span(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        with tracer.span("live") as span:
+            ctx = current_trace_context()
+            assert ctx == TraceContext(tracer.trace_id, span.span_id)
+        assert current_trace_context() is None
+
+
+class TestShippedSpans:
+    def test_records_locally_when_disabled(self):
+        ctx = TraceContext("t" * 16, "p" * 16)
+        with shipped_spans(ctx) as out:
+            with get_tracer().span("worker.op"):
+                pass
+        assert not tracing_active()
+        assert [s["name"] for s in out] == ["worker.op"]
+        assert out[0]["trace_id"] == ctx.trace_id
+        assert out[0]["parent_id"] == ctx.span_id
+
+    def test_noop_when_ctx_is_none(self):
+        with shipped_spans(None) as out:
+            get_tracer().span("dropped").end()
+        assert out == []
+
+    def test_noop_when_recording_tracer_active(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        ctx = tracer.span("root").context()
+        with shipped_spans(ctx) as out:
+            with get_tracer().span("local"):
+                pass
+        assert out == []  # landed in the active tracer instead
+        assert "local" in [s["name"] for s in tracer.finished()]
+
+
+# ----------------------------------------------------------------------
+# Cross-process propagation: one connected tree under fork AND spawn
+# ----------------------------------------------------------------------
+
+
+def _available_start_methods():
+    wanted = ("fork", "spawn")
+    have = multiprocessing.get_all_start_methods()
+    return [m for m in wanted if m in have]
+
+
+@pytest.fixture(scope="module")
+def trace_graph():
+    return scale_free_graph(80, 3, 4, 3, seed=11)
+
+
+@pytest.fixture(scope="module")
+def trace_queries(trace_graph):
+    return [random_walk_query(trace_graph, 4, seed=s) for s in range(4)]
+
+
+def _run_traced(run):
+    """Run ``run()`` under a fresh recording tracer; return its spans."""
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        with tracer.span("test.root"):
+            run()
+    finally:
+        set_tracer(previous)
+    return tracer.finished()
+
+
+class TestCrossProcessPropagation:
+    @pytest.mark.parametrize("start_method", _available_start_methods())
+    def test_sharded_process_batch_is_one_tree(self, start_method,
+                                               trace_graph,
+                                               trace_queries):
+        engine = ShardedEngine(ShardedGraph(trace_graph, 2, halo_hops=3),
+                               GSIConfig.gsi_opt())
+        executor = ProcessExecutor(max_workers=2,
+                                   start_method=start_method)
+        try:
+            spans = _run_traced(
+                lambda: engine.run_batch(trace_queries,
+                                         executor=executor))
+        finally:
+            executor.shutdown()
+            engine.close()
+        tree = validate_span_tree(spans)
+        assert tree["connected"], tree
+        assert len(tree["roots"]) == 1
+        names = {s["name"] for s in spans}
+        assert {"test.root", "shard.run_batch", "shard.scatter",
+                "shard.gather", "shard.execute",
+                "gsi.execute"} <= names
+        # Worker spans really came from other processes...
+        pids = {s["pid"] for s in spans}
+        assert len(pids) >= 2
+        # ...and every shard execution re-parented under this trace.
+        executes = [s for s in spans if s["name"] == "shard.execute"]
+        assert len(executes) == 2 * len(trace_queries)  # 2 shards
+        by_id = {s["span_id"]: s for s in spans}
+        for span in executes:
+            assert by_id[span["parent_id"]]["name"] == "gsi.prepare"
+
+    @pytest.mark.parametrize("start_method", _available_start_methods())
+    def test_unsharded_process_batch_is_one_tree(self, start_method,
+                                                 trace_graph,
+                                                 trace_queries):
+        executor = ProcessExecutor(max_workers=2,
+                                   start_method=start_method)
+        try:
+            engine = BatchEngine(trace_graph, GSIConfig.gsi_opt(),
+                                 executor=executor)
+            spans = _run_traced(
+                lambda: engine.run_batch(trace_queries))
+        finally:
+            executor.shutdown()
+        tree = validate_span_tree(spans)
+        assert tree["connected"], tree
+        names = {s["name"] for s in spans}
+        assert {"test.root", "batch.run",
+                "executor.execute_prepared", "gsi.execute"} <= names
+        assert len({s["pid"] for s in spans}) >= 2
+
+    def test_disabled_tracing_ships_no_spans(self, trace_graph,
+                                             trace_queries):
+        executor = ProcessExecutor(max_workers=2, start_method="fork")
+        try:
+            engine = BatchEngine(trace_graph, GSIConfig.gsi_opt(),
+                                 executor=executor)
+            report = engine.run_batch(trace_queries)
+        finally:
+            executor.shutdown()
+        assert report.errors == 0
+        assert get_tracer().finished() == []
+        assert not tracing_active()
